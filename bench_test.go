@@ -1,0 +1,223 @@
+// Package dias_test hosts the full benchmark harness: one benchmark per
+// table and figure of the paper's evaluation, regenerating the data the
+// paper plots (see DESIGN.md §4 for the experiment index and
+// EXPERIMENTS.md for paper-vs-measured numbers). Run with
+//
+//	go test -bench=. -benchmem
+//
+// Each iteration regenerates the complete figure at QuickScale; the CLI
+// cmd/dias-experiments produces the larger FullScale numbers.
+package dias_test
+
+import (
+	"testing"
+
+	"dias/internal/experiments"
+)
+
+// benchScale keeps per-iteration work bounded for testing.B.
+func benchScale() experiments.Scale {
+	return experiments.Scale{Jobs: 120, WarmupFraction: 0.1, Seed: 1}
+}
+
+func BenchmarkFigure4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure4(benchScale()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure5(benchScale()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure6(benchScale()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure7(benchScale()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure8a(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure8(experiments.Figure8EqualSizes, benchScale()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure8b(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure8(experiments.Figure8MoreHigh, benchScale()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure8c(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure8(experiments.Figure8HalfLoad, benchScale()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure9(benchScale()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure10(b *testing.B) {
+	sc := benchScale()
+	sc.Jobs = 80
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure10(sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure11a(b *testing.B) {
+	sc := benchScale()
+	sc.Jobs = 80
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure11(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = res.Limited.String()
+	}
+}
+
+func BenchmarkFigure11b(b *testing.B) {
+	sc := benchScale()
+	sc.Jobs = 80
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure11(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = res.Unlimited.String()
+	}
+}
+
+func BenchmarkFigure11c(b *testing.B) {
+	sc := benchScale()
+	sc.Jobs = 80
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure11(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = res.EnergyTable()
+	}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	sc := benchScale()
+	sc.Jobs = 80
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure11(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = res.Table2()
+	}
+}
+
+func BenchmarkAblationSprintTimeout(b *testing.B) {
+	sc := benchScale()
+	sc.Jobs = 80
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationSprintTimeout(sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationEvictionResume(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationEvictionResume(benchScale()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationDropTiming(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationDropTiming(benchScale()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationModelLevel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationModelLevel(benchScale()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExtensionBursty(b *testing.B) {
+	sc := benchScale()
+	sc.Jobs = 90
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.ExtensionBursty(sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExtensionFailures(b *testing.B) {
+	sc := benchScale()
+	sc.Jobs = 90
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.ExtensionFailures(sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExtensionVariableSizes(b *testing.B) {
+	sc := benchScale()
+	sc.Jobs = 90
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.ExtensionVariableSizes(sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMotivation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Motivation(benchScale()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExtensionAdaptive(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.ExtensionAdaptive(benchScale()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,166 @@
+// dias-experiments regenerates the paper's tables and figures.
+//
+//	dias-experiments [-fig 4|5|6|7|8|9|10|11|table2|ablations|extensions|all] [-jobs N] [-seed S]
+//
+// Output is the textual form of each figure: baseline absolutes plus
+// relative differences, exactly the quantities the paper plots.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dias/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: motivation,4,5,6,7,8,9,10,11,table2,ablations,extensions,all")
+	jobs := flag.Int("jobs", 0, "arrivals per scenario (0 = full scale)")
+	seed := flag.Int64("seed", 1, "experiment seed")
+	flag.Parse()
+
+	scale := experiments.FullScale()
+	scale.Seed = *seed
+	if *jobs > 0 {
+		scale.Jobs = *jobs
+	}
+	if err := run(*fig, scale); err != nil {
+		fmt.Fprintln(os.Stderr, "dias-experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(fig string, scale experiments.Scale) error {
+	all := fig == "all"
+	graphScale := scale
+	if graphScale.Jobs > 300 {
+		graphScale.Jobs = 300 // graph jobs are ~10x heavier per arrival
+	}
+	type step struct {
+		name string
+		fn   func() (fmt.Stringer, error)
+	}
+	steps := []step{
+		{"motivation", func() (fmt.Stringer, error) { return experiments.Motivation(scale) }},
+		{"4", func() (fmt.Stringer, error) { return experiments.Figure4(scale) }},
+		{"5", func() (fmt.Stringer, error) { return experiments.Figure5(scale) }},
+		{"6", func() (fmt.Stringer, error) { return experiments.Figure6(scale) }},
+		{"7", func() (fmt.Stringer, error) { return experiments.Figure7(scale) }},
+		{"8", func() (fmt.Stringer, error) {
+			var out multi
+			for _, v := range []experiments.Figure8Variant{
+				experiments.Figure8EqualSizes, experiments.Figure8MoreHigh, experiments.Figure8HalfLoad,
+			} {
+				r, err := experiments.Figure8(v, scale)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, r)
+			}
+			return out, nil
+		}},
+		{"9", func() (fmt.Stringer, error) { return experiments.Figure9(scale) }},
+		{"10", func() (fmt.Stringer, error) { return experiments.Figure10(graphScale) }},
+		{"11", func() (fmt.Stringer, error) { return experiments.Figure11(graphScale) }},
+		{"table2", func() (fmt.Stringer, error) {
+			r, err := experiments.Figure11(graphScale)
+			if err != nil {
+				return nil, err
+			}
+			return stringer(r.Table2()), nil
+		}},
+		{"ablations", func() (fmt.Stringer, error) {
+			var out multi
+			st, err := experiments.AblationSprintTimeout(graphScale)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, st)
+			ml, err := experiments.AblationModelLevel(scale)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, ml)
+			dt, err := experiments.AblationDropTiming(scale)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, stringer(fmt.Sprintf(
+				"Ablation: early drop timing\n  full exec %.1fs, theta=0.5 exec %.1fs (%.0f%% saved)\n",
+				dt.FullExecSec, dt.DroppedExecSec, 100*(1-dt.DroppedExecSec/dt.FullExecSec))))
+			er, err := experiments.AblationEvictionResume(scale)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, stringer(fmt.Sprintf(
+				"Ablation: preemptive-repeat eviction\n  resource waste %.1f%% of machine time\n",
+				er.ResourceWastePct)))
+			return out, nil
+		}},
+		{"extensions", func() (fmt.Stringer, error) {
+			var out multi
+			b, err := experiments.ExtensionBursty(scale)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, b)
+			v, err := experiments.ExtensionVariableSizes(scale)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+			f, err := experiments.ExtensionFailures(scale)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, f)
+			a, err := experiments.ExtensionAdaptive(scale)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, a)
+			return out, nil
+		}},
+	}
+	ran := false
+	for _, s := range steps {
+		if !all && s.name != fig {
+			continue
+		}
+		// table2 duplicates figure 11's run; skip it under -fig all.
+		if all && s.name == "table2" {
+			continue
+		}
+		out, err := s.fn()
+		if err != nil {
+			return fmt.Errorf("figure %s: %w", s.name, err)
+		}
+		fmt.Println(out.String())
+		fmt.Println()
+		ran = true
+	}
+	if !ran {
+		return fmt.Errorf("unknown figure %q", fig)
+	}
+	return nil
+}
+
+// stringer adapts a plain string to fmt.Stringer.
+type stringer string
+
+func (s stringer) String() string { return string(s) }
+
+// multi concatenates several results.
+type multi []fmt.Stringer
+
+func (m multi) String() string {
+	out := ""
+	for i, s := range m {
+		if i > 0 {
+			out += "\n"
+		}
+		out += s.String()
+	}
+	return out
+}

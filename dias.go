@@ -1,0 +1,132 @@
+// Package dias is a from-scratch Go reproduction of "Differential
+// Approximation and Sprinting for Multi-Priority Big Data Engines"
+// (Birke et al., Middleware 2019): a priority scheduler that replaces
+// preemptive eviction with per-class task dropping (approximation) and
+// DVFS sprinting, built on a simulated Spark-like dataflow engine.
+//
+// This package is the facade over the internal building blocks:
+//
+//   - internal/simtime   discrete-event simulation kernel
+//   - internal/cluster   slots, DVFS sprinting, power/energy model
+//   - internal/dfs       HDFS-like replicated block store
+//   - internal/engine    dataflow engine with task dropping and eviction
+//   - internal/analytics word-popularity and triangle-count jobs
+//   - internal/workload  synthetic corpora, graphs, Poisson job streams
+//   - internal/phdist    phase-type distributions (§4 building block)
+//   - internal/model     task-level and wave-level job-time models (§4)
+//   - internal/queueing  M[K]/PH[K]/1 priority-queue solver + simulator
+//   - internal/core      DiAS: buffers, deflator, sprinter, policies,
+//     and the closed-loop AdaptiveDeflator
+//   - internal/mmap      MMAP[K] arrival processes (bursty traffic)
+//   - internal/trace     scheduler event log, replayable as workload
+//   - internal/metrics   per-class latency/waste/energy/slowdown aggregation
+//   - internal/experiments  one driver per paper figure and table
+//
+// Stack wires a complete simulated deployment; the examples/ directory
+// shows end-to-end usage, and bench_test.go regenerates every figure.
+package dias
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dias/internal/cluster"
+	"dias/internal/core"
+	"dias/internal/engine"
+	"dias/internal/simtime"
+	"dias/internal/workload"
+)
+
+// StackConfig assembles a simulated DiAS deployment.
+type StackConfig struct {
+	// Cluster describes the simulated machines; zero value means the
+	// paper's testbed (10 workers x 2 slots, 800 MHz->2.4 GHz DVFS).
+	Cluster cluster.Config
+	// Cost converts work to virtual task durations; zero value means
+	// engine.DefaultCostModel.
+	Cost engine.CostModel
+	// Policy selects the scheduling discipline and DiAS knobs (see
+	// core.PolicyP, PolicyNP, PolicyDA, PolicyDiAS).
+	Policy core.Config
+	// Seed drives all randomness; runs are reproducible per seed.
+	Seed int64
+}
+
+// Stack is a complete simulated deployment: virtual clock, cluster,
+// dataflow engine and the DiAS scheduler on top.
+type Stack struct {
+	Sim       *simtime.Simulation
+	Cluster   *cluster.Cluster
+	Engine    *engine.Engine
+	Scheduler *core.Scheduler
+}
+
+// NewStack builds a ready-to-use deployment.
+func NewStack(cfg StackConfig) (*Stack, error) {
+	if cfg.Cluster.Nodes == 0 {
+		cfg.Cluster = cluster.DefaultConfig()
+	}
+	zero := engine.CostModel{}
+	if cfg.Cost == zero {
+		cfg.Cost = engine.DefaultCostModel()
+	}
+	sim := simtime.New()
+	clu, err := cluster.New(sim, cfg.Cluster)
+	if err != nil {
+		return nil, fmt.Errorf("building cluster: %w", err)
+	}
+	eng, err := engine.New(sim, clu, nil, cfg.Cost, cfg.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("building engine: %w", err)
+	}
+	sch, err := core.New(sim, clu, eng, cfg.Policy)
+	if err != nil {
+		return nil, fmt.Errorf("building scheduler: %w", err)
+	}
+	return &Stack{Sim: sim, Cluster: clu, Engine: eng, Scheduler: sch}, nil
+}
+
+// SubmitAt schedules a job arrival at virtual time t seconds.
+func (s *Stack) SubmitAt(t float64, class int, job *engine.Job) {
+	s.Sim.At(simtime.Time(t), func() {
+		// Arrival errors are programming errors (bad class/job); surface
+		// them loudly rather than silently dropping workload.
+		if err := s.Scheduler.Arrive(class, job); err != nil {
+			panic(fmt.Sprintf("dias: arrival at t=%g failed: %v", t, err))
+		}
+	})
+}
+
+// SubmitStream schedules n arrivals drawn from any arrival process
+// (Poisson mix, MMAP source, trace replay, bootstrap) with jobs built by
+// the source (fixed templates or per-arrival variants). The seed drives
+// both the arrival and the job-variant RNGs.
+func (s *Stack) SubmitStream(proc workload.Process, source workload.JobSource, n int, seed int64) error {
+	if proc == nil || source == nil {
+		return fmt.Errorf("dias: nil arrival process or job source")
+	}
+	arrRng := rand.New(rand.NewSource(seed))
+	jobRng := rand.New(rand.NewSource(seed + 1))
+	for _, a := range workload.StreamOf(proc, arrRng, n) {
+		job, err := source.Job(jobRng, a.Class)
+		if err != nil {
+			return fmt.Errorf("building class-%d job: %w", a.Class, err)
+		}
+		s.SubmitAt(a.At, a.Class, job)
+	}
+	return nil
+}
+
+// InjectFailures arms random node fail/repair cycles on the deployment
+// (see engine.FailureConfig); running tasks on failed nodes are re-executed.
+func (s *Stack) InjectFailures(cfg engine.FailureConfig) error {
+	_, err := engine.NewFailureInjector(s.Sim, s.Engine, cfg)
+	return err
+}
+
+// Run drains the simulation: all scheduled arrivals are processed and all
+// jobs run to completion.
+func (s *Stack) Run() { s.Sim.Run() }
+
+// Records returns the completed-job records.
+func (s *Stack) Records() []core.JobRecord { return s.Scheduler.Records() }

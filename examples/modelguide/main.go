@@ -1,0 +1,124 @@
+// Model-guided knob selection: reproduce the deflator's §5.2.1 use case.
+// Given (i) the offline-profiled accuracy-loss curve (Figure 6), (ii) a
+// 30% accuracy tolerance for low-priority jobs and 0% for high, and
+// (iii) a latency cap on high-priority mean response, the deflator
+// enumerates latency-accuracy pairs with the §4 stochastic model and picks
+// the smallest feasible drop ratio.
+//
+//	go run ./examples/modelguide
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"dias/internal/core"
+	"dias/internal/model"
+	"dias/internal/phdist"
+	"dias/internal/queueing"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "modelguide:", err)
+		os.Exit(1)
+	}
+}
+
+// accuracyCurve is the profiled Figure 6 shape: ~8.5% at θ=0.1, ~15% at
+// 0.2, ~32% at 0.4, growing towards ~60% at 0.8.
+func accuracyCurve(theta float64) float64 {
+	switch {
+	case theta <= 0:
+		return 0
+	case theta <= 0.1:
+		return 85 * theta
+	case theta <= 0.2:
+		return 8.5 + 65*(theta-0.1)
+	case theta <= 0.4:
+		return 15 + 85*(theta-0.2)
+	default:
+		return 32 + 70*(theta-0.4)
+	}
+}
+
+// processingPH builds the wave-level §4.2 processing-time distribution for
+// a 50-map-task / 10-reduce-task job on 20 slots at drop ratio theta, from
+// profiled per-wave times.
+func processingPH(theta, mapWaveSec, redWaveSec, setupSec, shuffleSec float64) (*phdist.PH, error) {
+	setup, err := phdist.FitMeanSCV(setupSec, 0.05)
+	if err != nil {
+		return nil, err
+	}
+	shuffle, err := phdist.FitMeanSCV(shuffleSec, 0.05)
+	if err != nil {
+		return nil, err
+	}
+	mapWave, err := phdist.FitMeanSCV(mapWaveSec, 0.02)
+	if err != nil {
+		return nil, err
+	}
+	redWave, err := phdist.FitMeanSCV(redWaveSec, 0.02)
+	if err != nil {
+		return nil, err
+	}
+	cfg := model.WaveLevelConfig{
+		Slots:       20,
+		MapTasks:    model.FixedTasks(50),
+		ReduceTasks: model.FixedTasks(10),
+		ThetaMap:    theta,
+		Setup:       setup,
+		Shuffle:     shuffle,
+		MapWave:     func(int) *phdist.PH { return mapWave },
+		ReduceWave:  func(int) *phdist.PH { return redWave },
+	}
+	return cfg.ProcessingTime()
+}
+
+func run() error {
+	// Profiled components (seconds): low jobs are 2.36x the high ones.
+	const (
+		lowMapWave, lowRedWave, lowSetup, lowShuffle     = 8.5, 4.1, 5.6, 2.8
+		highMapWave, highRedWave, highSetup, highShuffle = 3.6, 1.7, 3.4, 1.5
+		lowRate, highRate                                = 0.0160, 0.0018 // 9:1, ~80% load
+	)
+	predict := func(thetas []float64) ([]float64, error) {
+		lowPH, err := processingPH(thetas[0], lowMapWave, lowRedWave, lowSetup, lowShuffle)
+		if err != nil {
+			return nil, err
+		}
+		highPH, err := processingPH(thetas[1], highMapWave, highRedWave, highSetup, highShuffle)
+		if err != nil {
+			return nil, err
+		}
+		return model.PredictMeanResponse([]model.ClassModel{
+			{Rate: lowRate, Processing: lowPH},
+			{Rate: highRate, Processing: highPH},
+		}, queueing.NonPreemptive)
+	}
+
+	grid := []float64{0, 0.1, 0.2, 0.4, 0.6}
+	cons := core.KnobConstraints{
+		MaxErrorPct:           []float64{30, 0}, // low may lose 30%, high exact
+		MaxTopMeanResponseSec: 150,
+	}
+	choices, err := core.EnumerateChoices(grid, accuracyCurve, cons, predict)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Deflator search (latency-accuracy pairs, §5.2.1):")
+	fmt.Println("theta(low)  err-low[%]  pred-low[s]  pred-high[s]  feasible")
+	for _, ch := range choices {
+		fmt.Printf("%9.2f  %9.1f  %11.1f  %12.1f  %v\n",
+			ch.Thetas[0], ch.ErrorPct[0],
+			ch.PredictedMeanResponse[0], ch.PredictedMeanResponse[1], ch.Feasible)
+	}
+	thetas, err := core.SelectDropRatios(grid, accuracyCurve, cons, predict)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nselected drop ratios (low, high): %.2f, %.2f\n", thetas[0], thetas[1])
+	fmt.Println("the smallest approximation meeting both the accuracy tolerance and")
+	fmt.Println("the high-priority latency cap, as the paper's deflator chooses.")
+	return nil
+}

@@ -1,0 +1,118 @@
+// Trace replay: record a scheduler trace from one run (the JSONL format of
+// internal/trace, the analogue of the production cluster traces the
+// paper's motivation analyzes), then replay the exact same arrival
+// sequence under a different policy — an apples-to-apples comparison with
+// identical arrival instants, the methodology trace studies use.
+//
+//	go run ./examples/tracereplay
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"dias"
+	"dias/internal/analytics"
+	"dias/internal/core"
+	"dias/internal/engine"
+	"dias/internal/metrics"
+	"dias/internal/trace"
+	"dias/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "tracereplay:", err)
+		os.Exit(1)
+	}
+}
+
+func buildJobs() ([]*engine.Job, error) {
+	rng := rand.New(rand.NewSource(42))
+	lowCfg := workload.DefaultCorpusConfig()
+	lowCfg.PostsPerPartition = 50
+	lowCorpus, err := workload.SynthesizeCorpus(rng, lowCfg)
+	if err != nil {
+		return nil, err
+	}
+	highCfg := workload.DefaultCorpusConfig()
+	highCfg.PostsPerPartition = 21
+	highCorpus, err := workload.SynthesizeCorpus(rng, highCfg)
+	if err != nil {
+		return nil, err
+	}
+	return []*engine.Job{
+		analytics.WordPopularityJob("low-text", lowCorpus, 10, 1117<<20),
+		analytics.WordPopularityJob("high-text", highCorpus, 10, 473<<20),
+	}, nil
+}
+
+func run() error {
+	jobs, err := buildJobs()
+	if err != nil {
+		return err
+	}
+
+	// 1. Record: run P with tracing enabled on a fresh Poisson stream.
+	log := &trace.Log{}
+	pCfg := core.PolicyP(2)
+	pCfg.Trace = log
+	recorder, err := dias.NewStack(dias.StackConfig{Policy: pCfg, Seed: 1})
+	if err != nil {
+		return err
+	}
+	mix, err := workload.NewPoissonMix([]float64{0.055, 0.0062})
+	if err != nil {
+		return err
+	}
+	if err := recorder.SubmitStream(mix, workload.FixedJobs(jobs), 120, 7); err != nil {
+		return err
+	}
+	recorder.Run()
+
+	// 2. Persist + reload the trace through its JSONL wire format, as a
+	// field study would with a real cluster trace.
+	var buf bytes.Buffer
+	if err := log.WriteJSONL(&buf); err != nil {
+		return err
+	}
+	wire := buf.Len()
+	reloaded, err := trace.ReadJSONL(&buf)
+	if err != nil {
+		return err
+	}
+	st := reloaded.Summarize()
+	fmt.Printf("recorded trace: %d events (%d B JSONL), %d arrivals, %d evictions of low-priority jobs\n",
+		reloaded.Len(), wire, st.ByKind[trace.Arrival], st.EvictionsByClass[0])
+
+	// 3. Replay the identical arrival sequence under DA(0,20).
+	arrivals := workload.FromTraceLog(reloaded)
+	replayProc, err := workload.NewReplay(arrivals)
+	if err != nil {
+		return err
+	}
+	replayer, err := dias.NewStack(dias.StackConfig{
+		Policy: core.PolicyDA([]float64{0.2, 0}),
+		Seed:   1,
+	})
+	if err != nil {
+		return err
+	}
+	if err := replayer.SubmitStream(replayProc, workload.FixedJobs(jobs), len(arrivals), 7); err != nil {
+		return err
+	}
+	replayer.Run()
+
+	report := func(name string, st *dias.Stack) {
+		agg := metrics.Aggregate(st.Records(), 2, 0.1)
+		fmt.Printf("%-9s low mean %7.1fs p95 %7.1fs   high mean %6.1fs   evictions %d\n",
+			name, agg[0].MeanResponseSec, agg[0].P95ResponseSec,
+			agg[1].MeanResponseSec, agg[0].Evictions)
+	}
+	fmt.Println("same arrival instants, two policies:")
+	report("P", recorder)
+	report("DA(0,20)", replayer)
+	return nil
+}

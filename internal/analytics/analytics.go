@@ -1,0 +1,473 @@
+// Package analytics implements the paper's two evaluation applications as
+// dataflow-engine jobs (§5.1):
+//
+//   - text analysis: word-popularity counting over per-topic post corpora
+//     (the StackExchange workload) as a map + reduce job, and
+//   - graph analysis: triangle counting (the GraphX workload) as a chain of
+//     six ShuffleMap stages plus one Result stage.
+//
+// It also provides the accuracy metrics the paper reports: ApproxHadoop-
+// style inverse-sampling estimators and the relative error of approximate
+// results against exact ones (Figure 6, §5.2.4).
+package analytics
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"dias/internal/engine"
+)
+
+// --- Text analysis -------------------------------------------------------
+
+// WordPopularityJob builds the paper's text-analysis job: stage 0 parses
+// posts and emits per-partition word counts (a map-side combine, as Spark
+// does), stage 1 sums counts per word and delivers (word, count) records.
+// Input partitions hold post records whose Value is the post body text.
+func WordPopularityJob(name string, corpus engine.Dataset, reducers int, sizeBytes int64) *engine.Job {
+	return &engine.Job{
+		Name:      name,
+		Input:     corpus,
+		SizeBytes: sizeBytes,
+		Stages: []engine.Stage{
+			{
+				Name: "parse+count", Kind: engine.ShuffleMap, OutPartitions: reducers,
+				Compute: mapWordCounts,
+			},
+			{
+				Name: "aggregate", Kind: engine.Result, Deps: []int{0},
+				Compute: reduceWordCounts,
+			},
+		},
+	}
+}
+
+func mapWordCounts(in []engine.Record) []engine.Record {
+	counts := make(map[string]float64)
+	for _, r := range in {
+		body, ok := r.Value.(string)
+		if !ok {
+			continue
+		}
+		for _, w := range strings.Fields(body) {
+			counts[w]++
+		}
+	}
+	return countsToRecords(counts)
+}
+
+func reduceWordCounts(in []engine.Record) []engine.Record {
+	counts := make(map[string]float64)
+	for _, r := range in {
+		if v, ok := r.Value.(float64); ok {
+			counts[r.Key] += v
+		}
+	}
+	return countsToRecords(counts)
+}
+
+func countsToRecords(counts map[string]float64) []engine.Record {
+	out := make([]engine.Record, 0, len(counts))
+	for k, v := range counts {
+		out = append(out, engine.Record{Key: k, Value: v})
+	}
+	// Deterministic order keeps downstream bucketing and tests stable.
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// WordCounts folds a word-popularity result into a count map.
+func WordCounts(output []engine.Record) map[string]float64 {
+	counts := make(map[string]float64, len(output))
+	for _, r := range output {
+		if v, ok := r.Value.(float64); ok {
+			counts[r.Key] += v
+		}
+	}
+	return counts
+}
+
+// ScaleCounts applies the inverse-sampling correction: counts computed from
+// a fraction (1-θ) of the tasks are scaled by 1/(1-θ) to stay unbiased, as
+// ApproxHadoop does. factor is executedTasks/totalTasks of the sampled
+// stage; factor <= 0 leaves counts untouched.
+func ScaleCounts(counts map[string]float64, factor float64) map[string]float64 {
+	out := make(map[string]float64, len(counts))
+	if factor <= 0 {
+		for k, v := range counts {
+			out[k] = v
+		}
+		return out
+	}
+	inv := 1 / factor
+	for k, v := range counts {
+		out[k] = v * inv
+	}
+	return out
+}
+
+// TopWords returns the n highest-count words, ties broken alphabetically.
+func TopWords(counts map[string]float64, n int) []string {
+	type wc struct {
+		w string
+		c float64
+	}
+	all := make([]wc, 0, len(counts))
+	for w, c := range counts {
+		all = append(all, wc{w, c})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].c != all[j].c {
+			return all[i].c > all[j].c
+		}
+		return all[i].w < all[j].w
+	})
+	if n > len(all) {
+		n = len(all)
+	}
+	out := make([]string, n)
+	for i := 0; i < n; i++ {
+		out[i] = all[i].w
+	}
+	return out
+}
+
+// WordAccuracyMAPE returns the mean absolute percentage error of approx
+// against exact over exact's top-n words — the paper's accuracy-loss metric
+// for text analysis (Figure 6). Missing words count as zero.
+func WordAccuracyMAPE(exact, approx map[string]float64, topN int) (float64, error) {
+	words := TopWords(exact, topN)
+	if len(words) == 0 {
+		return 0, fmt.Errorf("analytics: no words in exact result")
+	}
+	var sum float64
+	for _, w := range words {
+		e := exact[w]
+		a := approx[w]
+		if e == 0 {
+			continue
+		}
+		d := (a - e) / e
+		if d < 0 {
+			d = -d
+		}
+		sum += d
+	}
+	return 100 * sum / float64(len(words)), nil
+}
+
+// --- Graph analysis ------------------------------------------------------
+
+// Edge is an undirected graph edge.
+type Edge struct {
+	U, V int64
+}
+
+// Canonical returns the edge with U <= V.
+func (e Edge) Canonical() Edge {
+	if e.U > e.V {
+		return Edge{U: e.V, V: e.U}
+	}
+	return e
+}
+
+func (e Edge) key() string {
+	return strconv.FormatInt(e.U, 10) + "," + strconv.FormatInt(e.V, 10)
+}
+
+func parseEdgeKey(k string) (Edge, bool) {
+	i := strings.IndexByte(k, ',')
+	if i < 0 {
+		return Edge{}, false
+	}
+	u, err1 := strconv.ParseInt(k[:i], 10, 64)
+	v, err2 := strconv.ParseInt(k[i+1:], 10, 64)
+	if err1 != nil || err2 != nil {
+		return Edge{}, false
+	}
+	return Edge{U: u, V: v}, true
+}
+
+// EdgeDataset partitions an edge list into nParts input partitions.
+func EdgeDataset(edges []Edge, nParts int) engine.Dataset {
+	if nParts < 1 {
+		nParts = 1
+	}
+	d := make(engine.Dataset, nParts)
+	for i, e := range edges {
+		p := i % nParts
+		d[p] = append(d[p], engine.Record{Key: e.key(), Value: e})
+	}
+	return d
+}
+
+// Marker values distinguishing record roles in the triangle-count shuffle.
+const (
+	markerEdge  = "E"
+	markerWedge = "W"
+)
+
+// TriangleCountJob builds the paper's graph-analysis job as six ShuffleMap
+// stages plus one Result stage, mirroring the GraphX triangle-count plan
+// (§5.1): canonicalize edges, deduplicate, build adjacency, enumerate
+// wedges alongside edge markers, join wedges with edges, aggregate partial
+// counts, and produce the global count. Every triangle is matched at all
+// three of its wedges, so the Result stage divides by three.
+func TriangleCountJob(name string, edges engine.Dataset, buckets int, sizeBytes int64) *engine.Job {
+	return &engine.Job{
+		Name:      name,
+		Input:     edges,
+		SizeBytes: sizeBytes,
+		Stages: []engine.Stage{
+			{Name: "canonicalize", Kind: engine.ShuffleMap, OutPartitions: buckets, Compute: stageCanonicalize},
+			{Name: "dedup", Kind: engine.ShuffleMap, OutPartitions: buckets, Deps: []int{0}, Compute: stageDedup},
+			{Name: "adjacency", Kind: engine.ShuffleMap, OutPartitions: buckets, Deps: []int{1}, Compute: stageAdjacency},
+			{Name: "wedges", Kind: engine.ShuffleMap, OutPartitions: buckets, Deps: []int{2}, Compute: stageWedges},
+			{Name: "join", Kind: engine.ShuffleMap, OutPartitions: buckets, Deps: []int{3}, Compute: stageJoin},
+			{Name: "partial-count", Kind: engine.ShuffleMap, OutPartitions: 1, Deps: []int{4}, Compute: stagePartialCount},
+			{Name: "total", Kind: engine.Result, Deps: []int{5}, Compute: stageTotal},
+		},
+	}
+}
+
+// stageCanonicalize re-keys every edge by its canonical (min,max) form.
+func stageCanonicalize(in []engine.Record) []engine.Record {
+	out := make([]engine.Record, 0, len(in))
+	for _, r := range in {
+		e, ok := r.Value.(Edge)
+		if !ok {
+			continue
+		}
+		if e.U == e.V {
+			continue // self-loops form no triangles
+		}
+		c := e.Canonical()
+		out = append(out, engine.Record{Key: c.key(), Value: c})
+	}
+	return out
+}
+
+// stageDedup removes duplicate edges; canonical keys co-locate duplicates.
+func stageDedup(in []engine.Record) []engine.Record {
+	seen := make(map[string]Edge, len(in))
+	for _, r := range in {
+		if e, ok := r.Value.(Edge); ok {
+			seen[r.Key] = e
+		}
+	}
+	out := make([]engine.Record, 0, len(seen))
+	for k, e := range seen {
+		out = append(out, engine.Record{Key: k, Value: e})
+	}
+	sortRecords(out)
+	return out
+}
+
+// stageAdjacency emits each edge under both endpoint keys so the next
+// stage sees complete neighborhoods, plus one edge marker under the
+// canonical key for the later join.
+func stageAdjacency(in []engine.Record) []engine.Record {
+	out := make([]engine.Record, 0, 3*len(in))
+	for _, r := range in {
+		e, ok := r.Value.(Edge)
+		if !ok {
+			continue
+		}
+		out = append(out,
+			engine.Record{Key: strconv.FormatInt(e.U, 10), Value: e.V},
+			engine.Record{Key: strconv.FormatInt(e.V, 10), Value: e.U},
+			engine.Record{Key: e.key(), Value: markerEdge},
+		)
+	}
+	return out
+}
+
+// stageWedges groups neighbors per vertex and emits one wedge record per
+// neighbor pair, forwarding edge markers unchanged.
+func stageWedges(in []engine.Record) []engine.Record {
+	adj := make(map[string][]int64)
+	var out []engine.Record
+	for _, r := range in {
+		switch v := r.Value.(type) {
+		case int64:
+			adj[r.Key] = append(adj[r.Key], v)
+		case string:
+			if v == markerEdge {
+				out = append(out, r)
+			}
+		}
+	}
+	keys := make([]string, 0, len(adj))
+	for k := range adj {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		ns := dedupSorted(adj[k])
+		for i := 0; i < len(ns); i++ {
+			for j := i + 1; j < len(ns); j++ {
+				w := Edge{U: ns[i], V: ns[j]}
+				out = append(out, engine.Record{Key: w.key(), Value: markerWedge})
+			}
+		}
+	}
+	return out
+}
+
+// stageJoin counts, per canonical pair key, wedges that close into
+// triangles because the pair is also an edge.
+func stageJoin(in []engine.Record) []engine.Record {
+	wedges := make(map[string]float64)
+	isEdge := make(map[string]bool)
+	for _, r := range in {
+		switch r.Value {
+		case markerWedge:
+			wedges[r.Key]++
+		case markerEdge:
+			isEdge[r.Key] = true
+		}
+	}
+	var out []engine.Record
+	keys := make([]string, 0, len(wedges))
+	for k := range wedges {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if isEdge[k] {
+			out = append(out, engine.Record{Key: k, Value: wedges[k]})
+		}
+	}
+	return out
+}
+
+// stagePartialCount sums matched wedges within its bucket.
+func stagePartialCount(in []engine.Record) []engine.Record {
+	var sum float64
+	for _, r := range in {
+		if v, ok := r.Value.(float64); ok {
+			sum += v
+		}
+	}
+	return []engine.Record{{Key: "partial", Value: sum}}
+}
+
+// stageTotal sums partial counts; each triangle was matched at its three
+// wedges, so divide by three.
+func stageTotal(in []engine.Record) []engine.Record {
+	var sum float64
+	for _, r := range in {
+		if v, ok := r.Value.(float64); ok {
+			sum += v
+		}
+	}
+	return []engine.Record{{Key: "triangles", Value: sum / 3}}
+}
+
+// TriangleCount extracts the count from a TriangleCountJob result.
+func TriangleCount(output []engine.Record) (float64, error) {
+	var sum float64
+	var found bool
+	for _, r := range output {
+		if r.Key == "triangles" {
+			if v, ok := r.Value.(float64); ok {
+				sum += v
+				found = true
+			}
+		}
+	}
+	if !found {
+		return 0, fmt.Errorf("analytics: no triangle count in %d output records", len(output))
+	}
+	return sum, nil
+}
+
+// ScaleTriangleEstimate applies the inverse-sampling correction for
+// per-stage task dropping: with stage drop ratios thetas applied to the
+// sampling-sensitive stages, the raw count underestimates roughly by the
+// product of retained fractions, so scale by its inverse.
+func ScaleTriangleEstimate(raw float64, thetas []float64) float64 {
+	scale := 1.0
+	for _, th := range thetas {
+		if th > 0 && th < 1 {
+			scale /= 1 - th
+		}
+	}
+	return raw * scale
+}
+
+// RelativeErrorPct returns |approx-exact|/exact in percent.
+func RelativeErrorPct(exact, approx float64) float64 {
+	if exact == 0 {
+		return 0
+	}
+	d := (approx - exact) / exact
+	if d < 0 {
+		d = -d
+	}
+	return 100 * d
+}
+
+// ExactTriangles counts triangles directly (sorted adjacency intersection),
+// the reference for accuracy measurements.
+func ExactTriangles(edges []Edge) int64 {
+	adj := make(map[int64][]int64)
+	seen := make(map[Edge]bool)
+	for _, e := range edges {
+		c := e.Canonical()
+		if c.U == c.V || seen[c] {
+			continue
+		}
+		seen[c] = true
+		adj[c.U] = append(adj[c.U], c.V)
+		adj[c.V] = append(adj[c.V], c.U)
+	}
+	for v := range adj {
+		sort.Slice(adj[v], func(i, j int) bool { return adj[v][i] < adj[v][j] })
+	}
+	var count int64
+	for e := range seen {
+		// Intersect neighbor lists of u and v, counting w > v to count each
+		// triangle exactly once (u < v < w with all three edges present).
+		nu, nv := adj[e.U], adj[e.V]
+		i, j := 0, 0
+		for i < len(nu) && j < len(nv) {
+			switch {
+			case nu[i] < nv[j]:
+				i++
+			case nu[i] > nv[j]:
+				j++
+			default:
+				if nu[i] > e.V {
+					count++
+				}
+				i++
+				j++
+			}
+		}
+	}
+	return count
+}
+
+func dedupSorted(xs []int64) []int64 {
+	if len(xs) == 0 {
+		return xs
+	}
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+	out := xs[:1]
+	for _, x := range xs[1:] {
+		if x != out[len(out)-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func sortRecords(rs []engine.Record) {
+	sort.Slice(rs, func(i, j int) bool { return rs[i].Key < rs[j].Key })
+}
+
+// ParseEdgeKey is exported for tests and tooling that inspect shuffle keys.
+func ParseEdgeKey(k string) (Edge, bool) { return parseEdgeKey(k) }

@@ -1,0 +1,231 @@
+// Connected components as a dataflow job: iterative min-label propagation
+// over an undirected edge list, the way GraphX's connectedComponents lowers
+// onto Spark. Like PageRank it builds deep ShuffleMap chains (one per
+// propagation round), and its output degrades gracefully under task
+// dropping: dropped edges can only split components, never merge them, so
+// the component-count estimate is biased upward in a measurable way.
+package analytics
+
+import (
+	"fmt"
+	"strconv"
+
+	"dias/internal/engine"
+)
+
+// labelOf carries the current component label of vertex Key.
+type labelOf struct{ Label int64 }
+
+// neighbor marks an undirected adjacency record: vertex Key touches Peer.
+type neighbor struct{ Peer int64 }
+
+// ConnectedComponentsJob builds a job running `rounds` of min-label
+// propagation over an undirected edge list:
+//
+//	expand    emit both directions of every edge, keyed by endpoint
+//	seed      label(v) = min(v, neighbors) and push labels along edges
+//	round-k   label(v) = min(label(v), incoming); push when it shrank
+//	collect   deliver (vertex, label) records
+//
+// With rounds >= the graph diameter every vertex of a component carries
+// the component's minimum vertex id.
+func ConnectedComponentsJob(name string, edges engine.Dataset, buckets, rounds int, sizeBytes int64) *engine.Job {
+	if rounds < 1 {
+		rounds = 1
+	}
+	stages := make([]engine.Stage, 0, rounds+3)
+	stages = append(stages,
+		engine.Stage{
+			Name: "expand", Kind: engine.ShuffleMap, OutPartitions: buckets,
+			Compute: ccExpand,
+		},
+		engine.Stage{
+			Name: "seed", Kind: engine.ShuffleMap, OutPartitions: buckets,
+			Deps: []int{0}, Compute: ccSeed,
+		},
+	)
+	for i := 1; i <= rounds; i++ {
+		stages = append(stages, engine.Stage{
+			Name: "round-" + strconv.Itoa(i), Kind: engine.ShuffleMap,
+			OutPartitions: buckets, Deps: []int{i},
+			Compute: ccRound,
+		})
+	}
+	stages = append(stages, engine.Stage{
+		Name: "collect", Kind: engine.Result, Deps: []int{rounds + 1},
+		Compute: ccCollect,
+	})
+	return &engine.Job{Name: name, Input: edges, SizeBytes: sizeBytes, Stages: stages}
+}
+
+// ccExpand emits both directions of each edge keyed by endpoint, so every
+// vertex sees its full undirected neighborhood after the shuffle.
+func ccExpand(in []engine.Record) []engine.Record {
+	out := make([]engine.Record, 0, 2*len(in))
+	for _, r := range in {
+		e, ok := r.Value.(Edge)
+		if !ok || e.U == e.V {
+			continue
+		}
+		out = append(out,
+			engine.Record{Key: vertexKey(e.U), Value: neighbor{Peer: e.V}},
+			engine.Record{Key: vertexKey(e.V), Value: neighbor{Peer: e.U}},
+		)
+	}
+	return out
+}
+
+// ccGroup splits a partition into adjacency and the smallest incoming
+// label per vertex (or the vertex's own id when none arrived yet).
+func ccGroup(in []engine.Record) (adj map[string][]int64, label map[string]int64) {
+	adj = make(map[string][]int64)
+	label = make(map[string]int64)
+	seed := func(key string) {
+		if _, ok := label[key]; ok {
+			return
+		}
+		v, err := strconv.ParseInt(key, 10, 64)
+		if err != nil {
+			v = 0
+		}
+		label[key] = v
+	}
+	for _, r := range in {
+		switch v := r.Value.(type) {
+		case neighbor:
+			adj[r.Key] = append(adj[r.Key], v.Peer)
+			seed(r.Key)
+		case labelOf:
+			seed(r.Key)
+			if v.Label < label[r.Key] {
+				label[r.Key] = v.Label
+			}
+		}
+	}
+	return adj, label
+}
+
+// push emits the vertex's label to itself (carrying state forward) and to
+// all neighbors, plus the adjacency for the next round.
+func ccPush(adj map[string][]int64, label map[string]int64) []engine.Record {
+	keys := make([]string, 0, len(label))
+	for k := range label {
+		keys = append(keys, k)
+	}
+	sortStrings(keys)
+	var out []engine.Record
+	for _, k := range keys {
+		l := label[k]
+		out = append(out, engine.Record{Key: k, Value: labelOf{Label: l}})
+		for _, p := range adj[k] {
+			out = append(out,
+				engine.Record{Key: vertexKey(p), Value: labelOf{Label: l}},
+				engine.Record{Key: k, Value: neighbor{Peer: p}},
+			)
+		}
+	}
+	return out
+}
+
+// ccSeed initializes label(v) = v and performs the first propagation.
+func ccSeed(in []engine.Record) []engine.Record {
+	adj, label := ccGroup(in)
+	return ccPush(adj, label)
+}
+
+// ccRound takes the minimum of incoming labels and propagates again.
+func ccRound(in []engine.Record) []engine.Record {
+	adj, label := ccGroup(in)
+	return ccPush(adj, label)
+}
+
+// ccCollect keeps one label record per vertex.
+func ccCollect(in []engine.Record) []engine.Record {
+	_, label := ccGroup(in)
+	keys := make([]string, 0, len(label))
+	for k := range label {
+		keys = append(keys, k)
+	}
+	sortStrings(keys)
+	out := make([]engine.Record, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, engine.Record{Key: k, Value: labelOf{Label: label[k]}})
+	}
+	return out
+}
+
+func sortStrings(xs []string) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// ComponentLabels extracts the vertex->label map from a job result.
+func ComponentLabels(output []engine.Record) (map[int64]int64, error) {
+	out := make(map[int64]int64, len(output))
+	for _, r := range output {
+		lo, ok := r.Value.(labelOf)
+		if !ok {
+			continue
+		}
+		v, err := strconv.ParseInt(r.Key, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("analytics: bad vertex key %q", r.Key)
+		}
+		if cur, seen := out[v]; !seen || lo.Label < cur {
+			out[v] = lo.Label
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("analytics: no label records in %d outputs", len(output))
+	}
+	return out, nil
+}
+
+// ComponentCount returns the number of distinct labels.
+func ComponentCount(labels map[int64]int64) int {
+	set := make(map[int64]bool, len(labels))
+	for _, l := range labels {
+		set[l] = true
+	}
+	return len(set)
+}
+
+// ExactComponents computes the reference labeling with union-find: every
+// vertex mapped to the minimum vertex id of its component.
+func ExactComponents(edges []Edge) map[int64]int64 {
+	parent := make(map[int64]int64)
+	var find func(int64) int64
+	find = func(x int64) int64 {
+		p, ok := parent[x]
+		if !ok || p == x {
+			parent[x] = x
+			return x
+		}
+		r := find(p)
+		parent[x] = r
+		return r
+	}
+	union := func(a, b int64) {
+		ra, rb := find(a), find(b)
+		if ra == rb {
+			return
+		}
+		// Root at the smaller id so labels match min-propagation.
+		if ra < rb {
+			parent[rb] = ra
+		} else {
+			parent[ra] = rb
+		}
+	}
+	for _, e := range edges {
+		union(e.U, e.V)
+	}
+	out := make(map[int64]int64, len(parent))
+	for v := range parent {
+		out[v] = find(v)
+	}
+	return out
+}

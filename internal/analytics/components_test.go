@@ -1,0 +1,200 @@
+package analytics
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dias/internal/cluster"
+	"dias/internal/engine"
+	"dias/internal/simtime"
+)
+
+// runCCJob executes a connected-components job to completion on an idle
+// stack and returns the vertex labels.
+func runCCJob(t *testing.T, edges []Edge, parts, buckets, rounds int, drops []float64) map[int64]int64 {
+	t.Helper()
+	sim := simtime.New()
+	clu, err := cluster.New(sim, cluster.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := engine.New(sim, clu, nil, engine.CostModel{TaskOverheadSec: 0.01}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := ConnectedComponentsJob("cc", EdgeDataset(edges, parts), buckets, rounds, 1<<20)
+	var out []engine.Record
+	done := false
+	if _, err := eng.Submit(job, engine.SubmitOptions{
+		DropRatios: drops,
+		OnComplete: func(r engine.JobResult) { out = r.Output; done = true },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sim.Run()
+	if !done {
+		t.Fatal("cc job did not complete")
+	}
+	labels, err := ComponentLabels(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return labels
+}
+
+func TestConnectedComponentsTwoIslands(t *testing.T) {
+	// Two triangles: {0,1,2} and {10,11,12}.
+	edges := []Edge{
+		{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0},
+		{U: 10, V: 11}, {U: 11, V: 12}, {U: 12, V: 10},
+	}
+	labels := runCCJob(t, edges, 3, 4, 3, nil)
+	if got := ComponentCount(labels); got != 2 {
+		t.Fatalf("%d components, want 2 (labels %v)", got, labels)
+	}
+	for _, v := range []int64{0, 1, 2} {
+		if labels[v] != 0 {
+			t.Errorf("vertex %d labeled %d, want 0", v, labels[v])
+		}
+	}
+	for _, v := range []int64{10, 11, 12} {
+		if labels[v] != 10 {
+			t.Errorf("vertex %d labeled %d, want 10", v, labels[v])
+		}
+	}
+}
+
+func TestConnectedComponentsChainNeedsDiameterRounds(t *testing.T) {
+	// A path 0-1-2-3-4-5: label 0 needs 5 rounds to reach vertex 5.
+	var edges []Edge
+	for v := int64(0); v < 5; v++ {
+		edges = append(edges, Edge{U: v, V: v + 1})
+	}
+	short := runCCJob(t, edges, 2, 3, 2, nil)
+	if short[5] == 0 {
+		t.Fatal("label 0 reached the chain end in only 2 rounds")
+	}
+	full := runCCJob(t, edges, 2, 3, 5, nil)
+	want := ExactComponents(edges)
+	for v, l := range full {
+		if l != want[v] {
+			t.Fatalf("vertex %d labeled %d, want %d", v, l, want[v])
+		}
+	}
+	if got := ComponentCount(full); got != 1 {
+		t.Fatalf("%d components, want 1", got)
+	}
+}
+
+func TestConnectedComponentsMatchesExactOnRandomGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 5; trial++ {
+		n := 12 + rng.Intn(10)
+		var edges []Edge
+		for i := 0; i < n; i++ {
+			u, v := int64(rng.Intn(n)), int64(rng.Intn(n))
+			if u != v {
+				edges = append(edges, Edge{U: u, V: v})
+			}
+		}
+		if len(edges) == 0 {
+			continue
+		}
+		// Rounds = vertex count covers any diameter.
+		labels := runCCJob(t, edges, 3, 4, n, nil)
+		want := ExactComponents(edges)
+		if len(labels) != len(want) {
+			t.Fatalf("trial %d: %d labeled vertices, want %d", trial, len(labels), len(want))
+		}
+		for v, l := range labels {
+			if l != want[v] {
+				t.Fatalf("trial %d: vertex %d labeled %d, want %d", trial, v, l, want[v])
+			}
+		}
+	}
+}
+
+func TestConnectedComponentsDroppingOnlySplits(t *testing.T) {
+	// One long cycle: dropping edges can split it into several components
+	// but never merge distinct vertices into fewer than the exact count.
+	var edges []Edge
+	const n = 30
+	for v := int64(0); v < n; v++ {
+		edges = append(edges, Edge{U: v, V: (v + 1) % n})
+	}
+	exactCount := ComponentCount(ExactComponents(edges))
+	labels := runCCJob(t, edges, 10, 4, n, []float64{0.4})
+	if got := ComponentCount(labels); got < exactCount {
+		t.Fatalf("dropping merged components: %d < exact %d", got, exactCount)
+	}
+}
+
+func TestExactComponentsUnionFind(t *testing.T) {
+	edges := []Edge{{U: 5, V: 3}, {U: 3, V: 9}, {U: 2, V: 7}}
+	want := map[int64]int64{5: 3, 3: 3, 9: 3, 2: 2, 7: 2}
+	got := ExactComponents(edges)
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for v, l := range want {
+		if got[v] != l {
+			t.Errorf("vertex %d: %d, want %d", v, got[v], l)
+		}
+	}
+}
+
+func TestComponentLabelsErrors(t *testing.T) {
+	if _, err := ComponentLabels(nil); err == nil {
+		t.Fatal("empty output accepted")
+	}
+	bad := []engine.Record{{Key: "not-a-number", Value: labelOf{Label: 1}}}
+	if _, err := ComponentLabels(bad); err == nil {
+		t.Fatal("bad vertex key accepted")
+	}
+}
+
+// Property: for any undirected edge set, exact union-find labels are
+// idempotent under re-running and every label is the minimum id of its
+// component.
+func TestPropertyExactComponentsMinLabel(t *testing.T) {
+	f := func(raw []uint8) bool {
+		var edges []Edge
+		for i := 0; i+1 < len(raw); i += 2 {
+			u, v := int64(raw[i]%16), int64(raw[i+1]%16)
+			if u != v {
+				edges = append(edges, Edge{U: u, V: v})
+			}
+		}
+		if len(edges) == 0 {
+			return true
+		}
+		labels := ExactComponents(edges)
+		// Group vertices by label; check each label is its group minimum.
+		groups := make(map[int64][]int64)
+		for v, l := range labels {
+			groups[l] = append(groups[l], v)
+		}
+		for l, vs := range groups {
+			minV := vs[0]
+			for _, v := range vs {
+				if v < minV {
+					minV = v
+				}
+			}
+			if l != minV {
+				return false
+			}
+		}
+		// Both endpoints of every edge share a label.
+		for _, e := range edges {
+			if labels[e.U] != labels[e.V] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,236 @@
+// PageRank as a dataflow job: the third analytics workload, exercising
+// deep iterative stage chains (each iteration is one ShuffleMap stage) the
+// way GraphX lowers iterative graph algorithms onto Spark. The paper's
+// engine supports arbitrary DAGs; PageRank stresses per-stage dropping on
+// long chains beyond the triangle-count pipeline.
+package analytics
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"dias/internal/engine"
+)
+
+// Damping is the standard PageRank damping factor.
+const Damping = 0.85
+
+// adjTo marks an adjacency record: vertex Key links to Dst.
+type adjTo struct{ Dst int64 }
+
+// contrib carries rank mass flowing to vertex Key this iteration.
+type contrib struct{ Mass float64 }
+
+// rankOf is the final rank of vertex Key.
+type rankOf struct{ Rank float64 }
+
+// PageRankJob builds a job computing `iters` PageRank iterations over a
+// directed edge list:
+//
+//	init         re-key edges by source vertex
+//	distribute   group adjacency per vertex, spread rank_0 = 1 along edges
+//	iter-k       rank_k = (1-d) + d·Σ incoming mass; redistribute
+//	collect      deliver rank_iters records
+//
+// Adjacency records pass through every iteration stage so each vertex
+// keeps its out-edges co-located with its incoming mass.
+func PageRankJob(name string, edges engine.Dataset, buckets, iters int, sizeBytes int64) *engine.Job {
+	if iters < 1 {
+		iters = 1
+	}
+	stages := make([]engine.Stage, 0, iters+3)
+	stages = append(stages,
+		engine.Stage{
+			Name: "init", Kind: engine.ShuffleMap, OutPartitions: buckets,
+			Compute: prInit,
+		},
+		engine.Stage{
+			Name: "distribute", Kind: engine.ShuffleMap, OutPartitions: buckets,
+			Deps: []int{0}, Compute: prDistribute,
+		},
+	)
+	for i := 1; i <= iters; i++ {
+		final := i == iters
+		stages = append(stages, engine.Stage{
+			Name: "iter-" + strconv.Itoa(i), Kind: engine.ShuffleMap,
+			OutPartitions: buckets, Deps: []int{i},
+			Compute: prIteration(final),
+		})
+	}
+	stages = append(stages, engine.Stage{
+		Name: "collect", Kind: engine.Result, Deps: []int{iters + 1},
+		Compute: prCollect,
+	})
+	return &engine.Job{Name: name, Input: edges, SizeBytes: sizeBytes, Stages: stages}
+}
+
+func vertexKey(v int64) string { return strconv.FormatInt(v, 10) }
+
+// prInit re-keys edges by their source vertex so the next stage sees full
+// out-neighborhoods. Sinks (vertices with only in-edges) are announced via
+// an empty adjacency marker so they exist in every later stage.
+func prInit(in []engine.Record) []engine.Record {
+	out := make([]engine.Record, 0, 2*len(in))
+	for _, r := range in {
+		e, ok := r.Value.(Edge)
+		if !ok {
+			continue
+		}
+		out = append(out,
+			engine.Record{Key: vertexKey(e.U), Value: adjTo{Dst: e.V}},
+			engine.Record{Key: vertexKey(e.V), Value: contrib{Mass: 0}},
+		)
+	}
+	return out
+}
+
+// prDistribute spreads every vertex's initial rank 1 uniformly along its
+// out-edges and forwards the adjacency (plus zero-mass markers so sinks
+// stay visible).
+func prDistribute(in []engine.Record) []engine.Record {
+	adj, mass := groupVertexRecords(in)
+	var out []engine.Record
+	for _, k := range sortedVertexKeys(adj, mass) {
+		outs := adj[k]
+		if len(outs) > 0 {
+			share := 1.0 / float64(len(outs))
+			for _, dst := range outs {
+				out = append(out, engine.Record{Key: vertexKey(dst), Value: contrib{Mass: share}})
+			}
+			for _, dst := range outs {
+				out = append(out, engine.Record{Key: k, Value: adjTo{Dst: dst}})
+			}
+		} else {
+			out = append(out, engine.Record{Key: k, Value: contrib{Mass: 0}})
+		}
+	}
+	return out
+}
+
+// prIteration sums incoming mass into rank_k = (1-d) + d·mass and either
+// redistributes it (intermediate iterations) or emits rank records (final
+// iteration).
+func prIteration(final bool) engine.TaskFunc {
+	return func(in []engine.Record) []engine.Record {
+		adj, mass := groupVertexRecords(in)
+		var out []engine.Record
+		for _, k := range sortedVertexKeys(adj, mass) {
+			rank := (1 - Damping) + Damping*mass[k]
+			outs := adj[k]
+			if final {
+				out = append(out, engine.Record{Key: k, Value: rankOf{Rank: rank}})
+				continue
+			}
+			if len(outs) > 0 {
+				share := rank / float64(len(outs))
+				for _, dst := range outs {
+					out = append(out, engine.Record{Key: vertexKey(dst), Value: contrib{Mass: share}})
+				}
+				for _, dst := range outs {
+					out = append(out, engine.Record{Key: k, Value: adjTo{Dst: dst}})
+				}
+			} else {
+				out = append(out, engine.Record{Key: k, Value: contrib{Mass: 0}})
+			}
+		}
+		return out
+	}
+}
+
+// groupVertexRecords splits a partition into adjacency lists and summed
+// incoming mass, keyed by vertex.
+func groupVertexRecords(in []engine.Record) (map[string][]int64, map[string]float64) {
+	adj := make(map[string][]int64)
+	mass := make(map[string]float64)
+	for _, r := range in {
+		switch v := r.Value.(type) {
+		case adjTo:
+			adj[r.Key] = append(adj[r.Key], v.Dst)
+		case contrib:
+			mass[r.Key] += v.Mass
+		}
+	}
+	return adj, mass
+}
+
+// sortedVertexKeys returns the union of both key sets in stable order.
+func sortedVertexKeys(adj map[string][]int64, mass map[string]float64) []string {
+	keys := make(map[string]bool, len(adj)+len(mass))
+	for k := range adj {
+		keys[k] = true
+	}
+	for k := range mass {
+		keys[k] = true
+	}
+	out := make([]string, 0, len(keys))
+	for k := range keys {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// prCollect passes rank records to the driver.
+func prCollect(in []engine.Record) []engine.Record {
+	out := make([]engine.Record, 0, len(in))
+	for _, r := range in {
+		if _, ok := r.Value.(rankOf); ok {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// PageRanks extracts the vertex->rank map from a PageRankJob result.
+func PageRanks(output []engine.Record) (map[int64]float64, error) {
+	out := make(map[int64]float64, len(output))
+	for _, r := range output {
+		ro, ok := r.Value.(rankOf)
+		if !ok {
+			continue
+		}
+		v, err := strconv.ParseInt(r.Key, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("analytics: bad vertex key %q", r.Key)
+		}
+		out[v] += ro.Rank
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("analytics: no rank records in %d outputs", len(output))
+	}
+	return out, nil
+}
+
+// ExactPageRank runs the same iteration in memory as the reference for
+// accuracy checks: rank_{k+1}(v) = (1-d) + d·Σ_{u→v} rank_k(u)/outdeg(u),
+// with rank_0 = 1 and dangling mass dropped (as the job does).
+func ExactPageRank(edges []Edge, iters int) map[int64]float64 {
+	adj := make(map[int64][]int64)
+	vertices := make(map[int64]bool)
+	for _, e := range edges {
+		adj[e.U] = append(adj[e.U], e.V)
+		vertices[e.U] = true
+		vertices[e.V] = true
+	}
+	rank := make(map[int64]float64, len(vertices))
+	for v := range vertices {
+		rank[v] = 1
+	}
+	for i := 0; i < iters; i++ {
+		next := make(map[int64]float64, len(vertices))
+		for u, outs := range adj {
+			if len(outs) == 0 {
+				continue
+			}
+			share := rank[u] / float64(len(outs))
+			for _, v := range outs {
+				next[v] += share
+			}
+		}
+		for v := range vertices {
+			rank[v] = (1 - Damping) + Damping*next[v]
+		}
+	}
+	return rank
+}

@@ -1,0 +1,133 @@
+package analytics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dias/internal/engine"
+)
+
+// chainGraph is 0 -> 1 -> 2 with a back edge 2 -> 0.
+func chainGraph() []Edge {
+	return []Edge{{0, 1}, {1, 2}, {2, 0}}
+}
+
+func TestExactPageRankRing(t *testing.T) {
+	// A symmetric ring converges to rank 1 for every vertex.
+	ranks := ExactPageRank(chainGraph(), 50)
+	for v, r := range ranks {
+		if math.Abs(r-1) > 1e-9 {
+			t.Fatalf("vertex %d rank %g, want 1", v, r)
+		}
+	}
+}
+
+func TestExactPageRankStar(t *testing.T) {
+	// Hub 0 pointed at by 1..4: hub rank grows, leaves get base rank after
+	// one iteration... leaves have no in-edges: rank (1-d).
+	edges := []Edge{{1, 0}, {2, 0}, {3, 0}, {4, 0}}
+	ranks := ExactPageRank(edges, 2)
+	base := 1 - Damping
+	for v := int64(1); v <= 4; v++ {
+		if math.Abs(ranks[v]-base) > 1e-12 {
+			t.Fatalf("leaf %d rank %g, want %g", v, ranks[v], base)
+		}
+	}
+	// Hub after 2 iters: (1-d) + d*4*(leaf rank after 1 iter) = (1-d)+4d(1-d).
+	want := (1 - Damping) + Damping*4*base
+	if math.Abs(ranks[0]-want) > 1e-12 {
+		t.Fatalf("hub rank %g, want %g", ranks[0], want)
+	}
+}
+
+func TestPageRankJobMatchesExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var edges []Edge
+	const n = 25
+	for i := 0; i < 120; i++ {
+		u, v := int64(rng.Intn(n)), int64(rng.Intn(n))
+		if u != v {
+			edges = append(edges, Edge{u, v})
+		}
+	}
+	const iters = 4
+	want := ExactPageRank(edges, iters)
+
+	job := PageRankJob("pr", EdgeDataset(edges, 4), 5, iters, 1000)
+	if err := job.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	res := runJob(t, job, nil)
+	got, err := PageRanks(res.Output)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%d ranked vertices, want %d", len(got), len(want))
+	}
+	for v, w := range want {
+		if math.Abs(got[v]-w) > 1e-9 {
+			t.Fatalf("vertex %d: job %g vs exact %g", v, got[v], w)
+		}
+	}
+}
+
+func TestPageRankJobStructure(t *testing.T) {
+	job := PageRankJob("pr", EdgeDataset(chainGraph(), 2), 3, 5, 100)
+	// init + distribute + 5 iterations + collect.
+	if len(job.Stages) != 8 {
+		t.Fatalf("%d stages, want 8", len(job.Stages))
+	}
+	if job.Stages[len(job.Stages)-1].Kind != engine.Result {
+		t.Fatal("last stage not Result")
+	}
+	// Zero iterations clamp to one.
+	if got := len(PageRankJob("pr", EdgeDataset(chainGraph(), 2), 3, 0, 100).Stages); got != 4 {
+		t.Fatalf("clamped job has %d stages, want 4", got)
+	}
+}
+
+func TestPageRankDropUnderestimates(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	var edges []Edge
+	for i := 0; i < 200; i++ {
+		u, v := int64(rng.Intn(30)), int64(rng.Intn(30))
+		if u != v {
+			edges = append(edges, Edge{u, v})
+		}
+	}
+	exact := ExactPageRank(edges, 3)
+	var exactTotal float64
+	for _, r := range exact {
+		exactTotal += r
+	}
+	job := PageRankJob("pr", EdgeDataset(edges, 10), 8, 3, 1000)
+	res := runJob(t, job, []float64{0.4}) // drop 40% of init tasks
+	got, err := PageRanks(res.Output)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gotTotal float64
+	for _, r := range got {
+		gotTotal += r
+	}
+	// Dropping edges loses rank mass: the approximate total must be lower
+	// but still substantial.
+	if gotTotal >= exactTotal {
+		t.Fatalf("approximate total %g not below exact %g", gotTotal, exactTotal)
+	}
+	if gotTotal < exactTotal*0.3 {
+		t.Fatalf("approximate total %g collapsed (exact %g)", gotTotal, exactTotal)
+	}
+}
+
+func TestPageRanksErrors(t *testing.T) {
+	if _, err := PageRanks(nil); err == nil {
+		t.Fatal("empty output accepted")
+	}
+	bad := []engine.Record{{Key: "notanumber", Value: rankOf{Rank: 1}}}
+	if _, err := PageRanks(bad); err == nil {
+		t.Fatal("bad vertex key accepted")
+	}
+}

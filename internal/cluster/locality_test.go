@@ -1,0 +1,39 @@
+package cluster
+
+import "testing"
+
+func TestAcquireMatchingPrefersMatchingNode(t *testing.T) {
+	_, c := newFailTestCluster(t, 3, 2)
+	if got := c.Config().Nodes; got != 3 {
+		t.Fatalf("config nodes %d", got)
+	}
+	s, ok := c.AcquireMatching(func(node int) bool { return node == 2 })
+	if !ok || s.Node != 2 {
+		t.Fatalf("got slot %+v ok=%v, want node 2", s, ok)
+	}
+	// Exhaust node 2, then matching must fail while plain Acquire works.
+	s2, ok := c.AcquireMatching(func(node int) bool { return node == 2 })
+	if !ok || s2.Node != 2 {
+		t.Fatalf("second node-2 slot: %+v ok=%v", s2, ok)
+	}
+	if _, ok := c.AcquireMatching(func(node int) bool { return node == 2 }); ok {
+		t.Fatal("matched a slot on a fully busy node")
+	}
+	if _, ok := c.Acquire(); !ok {
+		t.Fatal("plain acquire failed with free slots remaining")
+	}
+	c.Release(s)
+	if got, ok := c.AcquireMatching(func(node int) bool { return node == 2 }); !ok || got != s {
+		t.Fatal("released slot not re-acquirable by matching")
+	}
+}
+
+func TestAcquireMatchingSkipsDownNodes(t *testing.T) {
+	_, c := newFailTestCluster(t, 2, 1)
+	if err := c.FailNode(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.AcquireMatching(func(node int) bool { return node == 1 }); ok {
+		t.Fatal("matched a slot on a down node")
+	}
+}

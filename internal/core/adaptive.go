@@ -1,0 +1,169 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"dias/internal/simtime"
+)
+
+// The paper selects drop ratios offline (§5.3: exhaustive model-driven
+// search, re-invoked "upon every workload change") and deploys them as
+// static thresholds. AdaptiveDeflator closes that loop online: it watches
+// the response times of each class and walks the class's drop ratio up or
+// down inside its accuracy ceiling to hold a latency target, so the system
+// re-tunes itself when the workload drifts instead of requiring a new
+// offline search.
+
+// AdaptiveConfig parameterizes the controller.
+type AdaptiveConfig struct {
+	// TargetResponseSec[k] is class k's mean-response-time objective; 0
+	// leaves the class uncontrolled (θ pinned at InitialTheta[k]).
+	TargetResponseSec []float64
+	// MaxTheta[k] is class k's accuracy ceiling (from the profiled
+	// Figure-6 curve and the class's error tolerance); θ never exceeds it.
+	MaxTheta []float64
+	// InitialTheta[k] is the starting drop ratio (default 0).
+	InitialTheta []float64
+	// Window is the number of completions of a class between adjustments.
+	Window int
+	// Step is the additive θ adjustment per decision.
+	Step float64
+	// Hysteresis in (0,1]: θ is lowered only when the windowed mean falls
+	// below Hysteresis x target, avoiding oscillation around the target.
+	Hysteresis float64
+}
+
+func (c AdaptiveConfig) validate() error {
+	k := len(c.TargetResponseSec)
+	if k == 0 {
+		return errors.New("core: adaptive config has no classes")
+	}
+	if len(c.MaxTheta) != k {
+		return fmt.Errorf("core: %d theta ceilings for %d classes", len(c.MaxTheta), k)
+	}
+	if c.InitialTheta != nil && len(c.InitialTheta) != k {
+		return fmt.Errorf("core: %d initial thetas for %d classes", len(c.InitialTheta), k)
+	}
+	for i := 0; i < k; i++ {
+		if c.TargetResponseSec[i] < 0 {
+			return fmt.Errorf("core: class %d target %g negative", i, c.TargetResponseSec[i])
+		}
+		if c.MaxTheta[i] < 0 || c.MaxTheta[i] >= 1 {
+			return fmt.Errorf("core: class %d theta ceiling %g out of [0,1)", i, c.MaxTheta[i])
+		}
+		if c.InitialTheta != nil && (c.InitialTheta[i] < 0 || c.InitialTheta[i] > c.MaxTheta[i]) {
+			return fmt.Errorf("core: class %d initial theta %g out of [0,%g]",
+				i, c.InitialTheta[i], c.MaxTheta[i])
+		}
+	}
+	if c.Window < 1 {
+		return fmt.Errorf("core: adaptation window %d", c.Window)
+	}
+	if c.Step <= 0 || c.Step >= 1 {
+		return fmt.Errorf("core: adaptation step %g out of (0,1)", c.Step)
+	}
+	if c.Hysteresis <= 0 || c.Hysteresis > 1 {
+		return fmt.Errorf("core: hysteresis %g out of (0,1]", c.Hysteresis)
+	}
+	return nil
+}
+
+// ThetaChange records one controller decision for introspection.
+type ThetaChange struct {
+	At        simtime.Time
+	Class     int
+	Theta     float64 // new value
+	WindowAvg float64 // the windowed mean response that triggered it
+}
+
+// AdaptiveDeflator is a windowed additive-increase/additive-decrease
+// controller over per-class drop ratios. It satisfies the Deflator
+// interface; plug it into Config.Deflator.
+type AdaptiveDeflator struct {
+	sim *simtime.Simulation
+	cfg AdaptiveConfig
+
+	theta   []float64
+	window  [][]float64 // pending responses per class
+	history []ThetaChange
+}
+
+// NewAdaptiveDeflator validates the config and initializes state.
+func NewAdaptiveDeflator(sim *simtime.Simulation, cfg AdaptiveConfig) (*AdaptiveDeflator, error) {
+	if sim == nil {
+		return nil, errors.New("core: nil simulation")
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	k := len(cfg.TargetResponseSec)
+	d := &AdaptiveDeflator{
+		sim:    sim,
+		cfg:    cfg,
+		theta:  make([]float64, k),
+		window: make([][]float64, k),
+	}
+	if cfg.InitialTheta != nil {
+		copy(d.theta, cfg.InitialTheta)
+	}
+	return d, nil
+}
+
+// DropRatios returns the current θ for the class, applied to the job's
+// first stage (the map stage, as PolicyDA does).
+func (d *AdaptiveDeflator) DropRatios(class int) []float64 {
+	if class < 0 || class >= len(d.theta) || d.theta[class] <= 0 {
+		return nil
+	}
+	return []float64{d.theta[class]}
+}
+
+// Observe feeds one completion into the class's window and adjusts θ when
+// the window fills: over target → θ += Step (capped at the accuracy
+// ceiling); below Hysteresis x target → θ -= Step (floored at 0).
+func (d *AdaptiveDeflator) Observe(rec JobRecord) {
+	k := rec.Class
+	if k < 0 || k >= len(d.theta) || d.cfg.TargetResponseSec[k] == 0 {
+		return
+	}
+	d.window[k] = append(d.window[k], rec.ResponseSec)
+	if len(d.window[k]) < d.cfg.Window {
+		return
+	}
+	var sum float64
+	for _, r := range d.window[k] {
+		sum += r
+	}
+	avg := sum / float64(len(d.window[k]))
+	d.window[k] = d.window[k][:0]
+
+	target := d.cfg.TargetResponseSec[k]
+	old := d.theta[k]
+	switch {
+	case avg > target:
+		d.theta[k] = min(old+d.cfg.Step, d.cfg.MaxTheta[k])
+	case avg < target*d.cfg.Hysteresis:
+		d.theta[k] = max(old-d.cfg.Step, 0)
+	}
+	if d.theta[k] != old {
+		d.history = append(d.history, ThetaChange{
+			At: d.sim.Now(), Class: k, Theta: d.theta[k], WindowAvg: avg,
+		})
+	}
+}
+
+// Theta returns the class's current drop ratio.
+func (d *AdaptiveDeflator) Theta(class int) float64 {
+	if class < 0 || class >= len(d.theta) {
+		return 0
+	}
+	return d.theta[class]
+}
+
+// History returns the controller's decisions so far (a copy).
+func (d *AdaptiveDeflator) History() []ThetaChange {
+	out := make([]ThetaChange, len(d.history))
+	copy(out, d.history)
+	return out
+}

@@ -1,0 +1,468 @@
+// Package core implements DiAS itself (§3): per-priority job buffers, the
+// task deflator that dispatches jobs non-preemptively with per-class
+// approximation levels θk, and the sprinter that temporarily raises CPU
+// frequency for dispatched jobs after a per-class timeout Tk under a
+// replenishing energy budget.
+//
+// The same scheduler also implements the paper's baselines: preemptive
+// priority with eviction and re-execution (P), plain non-preemptive
+// priority (NP), non-preemptive with sprinting only (NPS), and differential
+// approximation without sprinting (DA). Policy constructors for each are
+// provided.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"dias/internal/cluster"
+	"dias/internal/engine"
+	"dias/internal/simtime"
+	"dias/internal/trace"
+)
+
+// SprintPolicy configures the sprinter (§3.2, §3.3 "Sprinter").
+type SprintPolicy struct {
+	// TimeoutSec[k] is the sprinting timeout Tk for class k: once a class-k
+	// job has run this long, the sprinter raises the frequency until the
+	// job ends or the budget depletes. Negative means class k never
+	// sprints. Zero sprints from dispatch (the paper's unlimited setup).
+	TimeoutSec []float64
+	// BudgetJoules is the sprinting energy budget (paper: 22 kJ for the
+	// limited scenario). Use math.Inf(1) for unlimited sprinting.
+	BudgetJoules float64
+	// DrainWatts is the extra power drawn while sprinting, depleting the
+	// budget (paper: 270 W - 180 W = 90 W per node, so 900 W for ten).
+	DrainWatts float64
+	// ReplenishWatts refills the budget while not sprinting, up to
+	// BudgetJoules (the paper cites e.g. 6 sprint-minutes per hour).
+	ReplenishWatts float64
+}
+
+func (p *SprintPolicy) validate(classes int) error {
+	if len(p.TimeoutSec) != classes {
+		return fmt.Errorf("core: %d sprint timeouts for %d classes", len(p.TimeoutSec), classes)
+	}
+	if p.BudgetJoules <= 0 {
+		return fmt.Errorf("core: sprint budget %g", p.BudgetJoules)
+	}
+	if !math.IsInf(p.BudgetJoules, 1) && p.DrainWatts <= 0 {
+		return errors.New("core: finite sprint budget needs positive drain watts")
+	}
+	if p.ReplenishWatts < 0 {
+		return fmt.Errorf("core: replenish rate %g", p.ReplenishWatts)
+	}
+	return nil
+}
+
+// Config selects the scheduling policy.
+type Config struct {
+	// Classes is the number of priority classes K; class index k in
+	// [0, K) with higher k = higher priority, as in the paper.
+	Classes int
+	// Preemptive evicts the running job when a higher-priority one
+	// arrives; the evicted job returns to the head of its buffer and
+	// re-executes from scratch (the paper's P baseline).
+	Preemptive bool
+	// DropRatios[k] holds the per-stage approximation levels θ applied to
+	// class-k jobs at dispatch; nil means no dropping for that class.
+	DropRatios [][]float64
+	// Deflator, when non-nil, chooses drop ratios dynamically at each
+	// dispatch and observes every completion (e.g. AdaptiveDeflator). It
+	// is mutually exclusive with DropRatios.
+	Deflator Deflator
+	// Sprint enables the sprinter; nil disables sprinting.
+	Sprint *SprintPolicy
+	// KeepOutputs retains job outputs in records (needed for accuracy
+	// measurements; costs memory on long runs).
+	KeepOutputs bool
+	// Trace, when non-nil, receives scheduler events (arrivals,
+	// dispatches, evictions, sprint transitions, completions).
+	Trace *trace.Log
+}
+
+func (c Config) validate() error {
+	if c.Classes <= 0 {
+		return fmt.Errorf("core: %d classes", c.Classes)
+	}
+	if c.DropRatios != nil && len(c.DropRatios) != c.Classes {
+		return fmt.Errorf("core: %d drop-ratio sets for %d classes", len(c.DropRatios), c.Classes)
+	}
+	for k, drops := range c.DropRatios {
+		for _, th := range drops {
+			if th < 0 || th >= 1 {
+				return fmt.Errorf("core: class %d drop ratio %g out of [0,1)", k, th)
+			}
+		}
+	}
+	if c.Deflator != nil && c.DropRatios != nil {
+		return errors.New("core: DropRatios and Deflator are mutually exclusive")
+	}
+	if c.Sprint != nil {
+		if err := c.Sprint.validate(c.Classes); err != nil {
+			return err
+		}
+		if c.Preemptive {
+			return errors.New("core: sprinting with preemptive eviction is not a paper scenario")
+		}
+	}
+	return nil
+}
+
+// Deflator decides per-stage drop ratios at dispatch time and observes
+// completions, enabling closed-loop approximation control. The static
+// policy (Config.DropRatios) covers the paper's experiments; see
+// AdaptiveDeflator for the feedback variant.
+type Deflator interface {
+	// DropRatios returns the per-stage θ vector for the next class-k
+	// dispatch (nil = no dropping).
+	DropRatios(class int) []float64
+	// Observe is invoked with each completed job's record.
+	Observe(rec JobRecord)
+}
+
+// PolicyP is the paper's preemptive priority baseline.
+func PolicyP(classes int) Config {
+	return Config{Classes: classes, Preemptive: true}
+}
+
+// PolicyNP is the non-preemptive priority baseline.
+func PolicyNP(classes int) Config {
+	return Config{Classes: classes}
+}
+
+// PolicyDA is differential approximation: non-preemptive with per-class
+// single-stage drop ratios (θ applied to the job's first stage, the map
+// stage). thetas[k] is class k's ratio; the paper writes DA(θhigh,θlow)
+// with the high class first, here index order is low..high.
+func PolicyDA(thetas []float64) Config {
+	cfg := Config{Classes: len(thetas), DropRatios: make([][]float64, len(thetas))}
+	for k, th := range thetas {
+		if th > 0 {
+			cfg.DropRatios[k] = []float64{th}
+		}
+	}
+	return cfg
+}
+
+// PolicyDiAS is the full system: differential approximation plus
+// sprinting.
+func PolicyDiAS(thetas []float64, sprint SprintPolicy) Config {
+	cfg := PolicyDA(thetas)
+	cfg.Sprint = &sprint
+	return cfg
+}
+
+// JobRecord is the per-job outcome the experiments aggregate.
+type JobRecord struct {
+	Class      int
+	Name       string
+	ArrivedAt  simtime.Time
+	FinishedAt simtime.Time
+	// ResponseSec = queueing + execution; ExecSec is the duration of the
+	// final (successful) attempt; QueueSec the rest, including time lost
+	// to evicted attempts.
+	ResponseSec float64
+	ExecSec     float64
+	QueueSec    float64
+	// Evictions counts preemptions suffered.
+	Evictions int
+	// SlotSeconds is machine time of the successful attempt.
+	SlotSeconds float64
+	// EffectiveDropRatio is 1 - executed/total tasks.
+	EffectiveDropRatio float64
+	// Output holds the job result records when Config.KeepOutputs is set.
+	Output []engine.Record
+}
+
+// entry is a buffered or running job.
+type entry struct {
+	class        int
+	job          *engine.Job
+	arrivedAt    simtime.Time
+	dispatchedAt simtime.Time
+	evictions    int
+	engineID     engine.JobID
+}
+
+// Scheduler is the DiAS runtime: deflator + buffers + sprinter driving one
+// processing engine.
+type Scheduler struct {
+	sim *simtime.Simulation
+	clu *cluster.Cluster
+	eng *engine.Engine
+	cfg Config
+
+	buffers [][]*entry
+	current *entry
+
+	records []JobRecord
+
+	// Sprinter state.
+	sprintTimer  *simtime.Timer
+	depleteTimer *simtime.Timer
+	budget       float64
+	budgetCap    float64
+	budgetAt     simtime.Time
+	sprinting    bool
+}
+
+// New builds a scheduler. The engine must be dedicated to this scheduler:
+// DiAS dispatches exactly one job at a time (§4, single-server view).
+func New(sim *simtime.Simulation, clu *cluster.Cluster, eng *engine.Engine, cfg Config) (*Scheduler, error) {
+	if sim == nil || clu == nil || eng == nil {
+		return nil, errors.New("core: nil dependency")
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	s := &Scheduler{
+		sim:     sim,
+		clu:     clu,
+		eng:     eng,
+		cfg:     cfg,
+		buffers: make([][]*entry, cfg.Classes),
+	}
+	if cfg.Sprint != nil {
+		s.sprintTimer = simtime.NewTimer(sim)
+		s.depleteTimer = simtime.NewTimer(sim)
+		s.budget = cfg.Sprint.BudgetJoules
+		s.budgetCap = cfg.Sprint.BudgetJoules
+		s.budgetAt = sim.Now()
+	}
+	return s, nil
+}
+
+// Arrive enqueues a class-k job at the current virtual time. It must be
+// called from simulation context (an event callback).
+func (s *Scheduler) Arrive(class int, job *engine.Job) error {
+	if class < 0 || class >= s.cfg.Classes {
+		return fmt.Errorf("core: class %d out of [0,%d)", class, s.cfg.Classes)
+	}
+	if job == nil {
+		return errors.New("core: nil job")
+	}
+	en := &entry{class: class, job: job, arrivedAt: s.sim.Now()}
+	s.trace(trace.Arrival, en, "")
+	s.buffers[class] = append(s.buffers[class], en)
+	if s.current == nil {
+		s.dispatchNext()
+		return nil
+	}
+	if s.cfg.Preemptive && class > s.current.class {
+		s.evictCurrent()
+		s.dispatchNext()
+	}
+	return nil
+}
+
+// evictCurrent kills the running job and returns it to the head of its
+// buffer for re-execution from scratch (§3.2 baseline behaviour).
+func (s *Scheduler) evictCurrent() {
+	victim := s.current
+	s.current = nil
+	if _, err := s.eng.Kill(victim.engineID); err != nil {
+		// The completion callback may already be queued for this instant;
+		// treat as completed and let the callback handle it.
+		s.current = victim
+		return
+	}
+	victim.evictions++
+	s.trace(trace.Evict, victim, "")
+	s.buffers[victim.class] = append([]*entry{victim}, s.buffers[victim.class]...)
+}
+
+// trace records a scheduler event when tracing is enabled.
+func (s *Scheduler) trace(kind trace.Kind, en *entry, detail string) {
+	if s.cfg.Trace == nil {
+		return
+	}
+	name, class := "", -1
+	if en != nil {
+		name, class = en.job.Name, en.class
+	}
+	s.cfg.Trace.Record(s.sim.Now(), kind, name, class, detail)
+}
+
+// dispatchNext sends the head of the highest non-empty buffer to the
+// engine with its class's approximation levels, and arms the sprinter.
+func (s *Scheduler) dispatchNext() {
+	if s.current != nil {
+		return
+	}
+	var next *entry
+	for k := s.cfg.Classes - 1; k >= 0; k-- {
+		if len(s.buffers[k]) > 0 {
+			next = s.buffers[k][0]
+			s.buffers[k] = s.buffers[k][1:]
+			break
+		}
+	}
+	if next == nil {
+		return
+	}
+	next.dispatchedAt = s.sim.Now()
+	var drops []float64
+	switch {
+	case s.cfg.Deflator != nil:
+		drops = s.cfg.Deflator.DropRatios(next.class)
+	case s.cfg.DropRatios != nil:
+		drops = s.cfg.DropRatios[next.class]
+	}
+	id, err := s.eng.Submit(next.job, engine.SubmitOptions{
+		DropRatios: drops,
+		OnComplete: func(res engine.JobResult) { s.onComplete(next, res) },
+	})
+	if err != nil {
+		// Invalid job: drop it rather than wedging the queue. Validation
+		// happens at submission time in experiments, so this is defensive.
+		s.dispatchNext()
+		return
+	}
+	next.engineID = id
+	s.current = next
+	s.trace(trace.Dispatch, next, "")
+	s.armSprinter(next)
+}
+
+func (s *Scheduler) onComplete(en *entry, res engine.JobResult) {
+	if s.current == en {
+		s.current = nil
+	}
+	s.stopSprint()
+	s.trace(trace.Complete, en, "")
+	now := s.sim.Now()
+	rec := JobRecord{
+		Class:              en.class,
+		Name:               en.job.Name,
+		ArrivedAt:          en.arrivedAt,
+		FinishedAt:         now,
+		ResponseSec:        now.Sub(en.arrivedAt).Seconds(),
+		ExecSec:            now.Sub(en.dispatchedAt).Seconds(),
+		Evictions:          en.evictions,
+		SlotSeconds:        res.SlotSeconds,
+		EffectiveDropRatio: res.EffectiveDropRatio,
+	}
+	rec.QueueSec = rec.ResponseSec - rec.ExecSec
+	if s.cfg.KeepOutputs {
+		rec.Output = res.Output
+	}
+	s.records = append(s.records, rec)
+	if s.cfg.Deflator != nil {
+		s.cfg.Deflator.Observe(rec)
+	}
+	s.dispatchNext()
+}
+
+// --- Sprinter -------------------------------------------------------------
+
+// armSprinter schedules the sprint start for a newly dispatched job.
+func (s *Scheduler) armSprinter(en *entry) {
+	if s.cfg.Sprint == nil {
+		return
+	}
+	timeout := s.cfg.Sprint.TimeoutSec[en.class]
+	if timeout < 0 {
+		return
+	}
+	s.sprintTimer.Reset(simtime.Duration(timeout), func() { s.startSprint(en) })
+}
+
+// updateBudget accrues replenishment (idle) or drain (sprinting) up to now.
+func (s *Scheduler) updateBudget() {
+	if s.cfg.Sprint == nil || math.IsInf(s.budgetCap, 1) {
+		return
+	}
+	now := s.sim.Now()
+	dt := now.Sub(s.budgetAt).Seconds()
+	if dt > 0 {
+		if s.sprinting {
+			s.budget -= dt * s.cfg.Sprint.DrainWatts
+			if s.budget < 0 {
+				s.budget = 0
+			}
+		} else {
+			s.budget += dt * s.cfg.Sprint.ReplenishWatts
+			if s.budget > s.budgetCap {
+				s.budget = s.budgetCap
+			}
+		}
+	}
+	s.budgetAt = now
+}
+
+func (s *Scheduler) startSprint(en *entry) {
+	if s.current != en || s.sprinting {
+		return
+	}
+	s.updateBudget()
+	if s.budget <= 0 {
+		return
+	}
+	s.sprinting = true
+	s.clu.SetSprinting(true)
+	s.trace(trace.SprintStart, en, "")
+	if !math.IsInf(s.budgetCap, 1) {
+		ttl := s.budget / s.cfg.Sprint.DrainWatts
+		s.depleteTimer.Reset(simtime.Duration(ttl), s.onBudgetDepleted)
+	}
+}
+
+func (s *Scheduler) onBudgetDepleted() {
+	if !s.sprinting {
+		return
+	}
+	s.updateBudget()
+	s.sprinting = false
+	s.clu.SetSprinting(false)
+	s.trace(trace.SprintStop, s.current, "budget-depleted")
+}
+
+// stopSprint ends sprinting when the sprinted job leaves the engine and
+// cancels any pending sprint start.
+func (s *Scheduler) stopSprint() {
+	if s.cfg.Sprint == nil {
+		return
+	}
+	s.sprintTimer.Stop()
+	s.depleteTimer.Stop()
+	if s.sprinting {
+		s.updateBudget()
+		s.sprinting = false
+		s.clu.SetSprinting(false)
+		s.trace(trace.SprintStop, s.current, "job-left-engine")
+	}
+}
+
+// --- Introspection ---------------------------------------------------------
+
+// Records returns the completed-job records so far. The slice is shared;
+// callers must not mutate it.
+func (s *Scheduler) Records() []JobRecord { return s.records }
+
+// QueuedJobs returns the number of buffered (not yet dispatched) jobs.
+func (s *Scheduler) QueuedJobs() int {
+	var n int
+	for _, b := range s.buffers {
+		n += len(b)
+	}
+	return n
+}
+
+// Busy reports whether a job is currently in the engine.
+func (s *Scheduler) Busy() bool { return s.current != nil }
+
+// SprintBudgetJoules returns the remaining sprint budget (cap when
+// sprinting is disabled or unlimited).
+func (s *Scheduler) SprintBudgetJoules() float64 {
+	if s.cfg.Sprint == nil {
+		return 0
+	}
+	s.updateBudget()
+	return s.budget
+}
+
+// Sprinting reports whether the sprinter currently has the cluster at high
+// frequency.
+func (s *Scheduler) Sprinting() bool { return s.sprinting }

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// AccuracyCurve maps a map-task drop ratio θ to the expected relative
+// error in percent — the offline-profiled Figure 6 curve.
+type AccuracyCurve func(theta float64) float64
+
+// KnobConstraints bound the deflator's drop-ratio search (§5.2.1).
+type KnobConstraints struct {
+	// MaxErrorPct[k] is class k's accuracy-loss tolerance in percent
+	// (0 for classes that must stay exact, e.g. the top priority).
+	MaxErrorPct []float64
+	// MaxTopMeanResponseSec caps the predicted mean response time of the
+	// top class; zero disables the latency constraint.
+	MaxTopMeanResponseSec float64
+}
+
+// Choice is one latency-accuracy point of the deflator's search space: a
+// per-class drop-ratio vector with its predicted consequences.
+type Choice struct {
+	// Thetas[k] is the candidate drop ratio of class k.
+	Thetas []float64
+	// ErrorPct[k] is the accuracy loss curve evaluated at Thetas[k].
+	ErrorPct []float64
+	// PredictedMeanResponse[k] is the model's mean response time.
+	PredictedMeanResponse []float64
+	// Feasible reports whether all constraints hold.
+	Feasible bool
+}
+
+// EnumerateChoices walks the drop-ratio grid (ascending) and evaluates, for
+// each grid value g, the vector θk = min(g, maxAccuracyFeasible(k)): every
+// class drops as much as g allows within its own accuracy tolerance. The
+// predict callback maps a θ vector to per-class mean response times (the
+// §4 model + priority queue); it may be nil to skip latency prediction.
+//
+// This is the paper's procedure: the accuracy targets fix per-class
+// ceilings from the profiled error curve, and the latency model screens
+// the remaining candidates (§5.2.1, §5.3).
+func EnumerateChoices(grid []float64, curve AccuracyCurve, cons KnobConstraints,
+	predict func(thetas []float64) ([]float64, error)) ([]Choice, error) {
+	if len(grid) == 0 {
+		return nil, errors.New("core: empty drop-ratio grid")
+	}
+	if curve == nil {
+		return nil, errors.New("core: nil accuracy curve")
+	}
+	if len(cons.MaxErrorPct) == 0 {
+		return nil, errors.New("core: no accuracy tolerances")
+	}
+	k := len(cons.MaxErrorPct)
+	for _, g := range grid {
+		if g < 0 || g >= 1 {
+			return nil, fmt.Errorf("core: grid value %g out of [0,1)", g)
+		}
+	}
+	// Per-class ceiling: the largest grid θ whose error fits the tolerance.
+	ceil := make([]float64, k)
+	for c := 0; c < k; c++ {
+		ceil[c] = 0
+		for _, g := range grid {
+			if curve(g) <= cons.MaxErrorPct[c] && g > ceil[c] {
+				ceil[c] = g
+			}
+		}
+	}
+	choices := make([]Choice, 0, len(grid))
+	for _, g := range grid {
+		ch := Choice{
+			Thetas:   make([]float64, k),
+			ErrorPct: make([]float64, k),
+			Feasible: true,
+		}
+		for c := 0; c < k; c++ {
+			th := g
+			if th > ceil[c] {
+				th = ceil[c]
+			}
+			ch.Thetas[c] = th
+			ch.ErrorPct[c] = curve(th)
+			if ch.ErrorPct[c] > cons.MaxErrorPct[c]+1e-9 {
+				ch.Feasible = false
+			}
+		}
+		if predict != nil {
+			resp, err := predict(ch.Thetas)
+			if err != nil {
+				return nil, fmt.Errorf("predicting response for θ=%v: %w", ch.Thetas, err)
+			}
+			if len(resp) != k {
+				return nil, fmt.Errorf("core: predictor returned %d classes, want %d", len(resp), k)
+			}
+			ch.PredictedMeanResponse = resp
+			if cons.MaxTopMeanResponseSec > 0 && resp[k-1] > cons.MaxTopMeanResponseSec {
+				ch.Feasible = false
+			}
+		}
+		choices = append(choices, ch)
+	}
+	return choices, nil
+}
+
+// SelectDropRatios returns the smallest feasible drop-ratio vector: the
+// minimum approximation that satisfies the accuracy tolerances and keeps
+// the top class within its latency cap, per the paper's "determine a
+// minimum value for the drop ratio" guidance (§4.3).
+func SelectDropRatios(grid []float64, curve AccuracyCurve, cons KnobConstraints,
+	predict func(thetas []float64) ([]float64, error)) ([]float64, error) {
+	choices, err := EnumerateChoices(grid, curve, cons, predict)
+	if err != nil {
+		return nil, err
+	}
+	for _, ch := range choices {
+		if ch.Feasible {
+			return ch.Thetas, nil
+		}
+	}
+	return nil, errors.New("core: no feasible drop-ratio vector under the given constraints")
+}

@@ -1,0 +1,266 @@
+// Package dfs simulates the HDFS layer the paper's jobs read their input
+// from (§2.4): a namenode mapping files to fixed-size blocks, datanodes
+// holding replicated blocks, and a locality-aware read cost model.
+//
+// The dataflow engine maps one input partition to one block; a dropped
+// task never fetches its block, which is where the "early drop saves the
+// overhead of fetching data" effect (§3.1) comes from.
+package dfs
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"dias/internal/simtime"
+)
+
+// Default transfer rates. Reads of a local replica stream from disk; remote
+// reads cross the 10G network (paper testbed) and cost slightly more.
+const (
+	// DefaultBlockSize is the HDFS-style 128 MiB block size, in bytes.
+	DefaultBlockSize = 128 << 20
+	// DefaultLocalBytesPerSec is the local-read bandwidth (bytes/s).
+	DefaultLocalBytesPerSec = 400e6
+	// DefaultRemoteBytesPerSec is the remote-read bandwidth (bytes/s).
+	DefaultRemoteBytesPerSec = 250e6
+)
+
+// ErrNotFound is returned when a path does not exist.
+var ErrNotFound = errors.New("dfs: file not found")
+
+// BlockID identifies a block cluster-wide.
+type BlockID uint64
+
+// Block is one replicated chunk of a file.
+type Block struct {
+	ID       BlockID
+	Size     int64 // bytes
+	Replicas []int // datanode indices holding a copy
+}
+
+// Config describes a DFS deployment.
+type Config struct {
+	DataNodes   int
+	Replication int
+	BlockSize   int64
+	// LocalBytesPerSec / RemoteBytesPerSec drive ReadTime.
+	LocalBytesPerSec  float64
+	RemoteBytesPerSec float64
+}
+
+// DefaultConfig mirrors the paper's deployment: HDFS with three datanodes
+// and default replication 3 (every datanode holds every block).
+func DefaultConfig() Config {
+	return Config{
+		DataNodes:         3,
+		Replication:       3,
+		BlockSize:         DefaultBlockSize,
+		LocalBytesPerSec:  DefaultLocalBytesPerSec,
+		RemoteBytesPerSec: DefaultRemoteBytesPerSec,
+	}
+}
+
+type file struct {
+	blocks []Block
+	size   int64
+}
+
+// FS is a simulated distributed file system. It is single-threaded like
+// the simulation driving it.
+type FS struct {
+	cfg     Config
+	files   map[string]*file
+	nextID  BlockID
+	used    []int64 // bytes stored per datanode
+	placeAt int     // round-robin cursor for replica placement
+	down    []bool  // failed datanodes; their replicas are unreadable
+}
+
+// New builds an empty file system.
+func New(cfg Config) (*FS, error) {
+	switch {
+	case cfg.DataNodes <= 0:
+		return nil, fmt.Errorf("dfs: %d datanodes", cfg.DataNodes)
+	case cfg.Replication <= 0 || cfg.Replication > cfg.DataNodes:
+		return nil, fmt.Errorf("dfs: replication %d with %d datanodes", cfg.Replication, cfg.DataNodes)
+	case cfg.BlockSize <= 0:
+		return nil, fmt.Errorf("dfs: block size %d", cfg.BlockSize)
+	case cfg.LocalBytesPerSec <= 0 || cfg.RemoteBytesPerSec <= 0:
+		return nil, fmt.Errorf("dfs: bandwidths %g/%g", cfg.LocalBytesPerSec, cfg.RemoteBytesPerSec)
+	}
+	return &FS{
+		cfg:   cfg,
+		files: make(map[string]*file),
+		used:  make([]int64, cfg.DataNodes),
+		down:  make([]bool, cfg.DataNodes),
+	}, nil
+}
+
+// Config returns the deployment configuration.
+func (fs *FS) Config() Config { return fs.cfg }
+
+// Create writes a file of the given logical size, splitting it into blocks
+// and placing replicas round-robin across datanodes. It fails if the path
+// already exists.
+func (fs *FS) Create(path string, size int64) error {
+	if size <= 0 {
+		return fmt.Errorf("dfs: create %q with size %d", path, size)
+	}
+	if _, ok := fs.files[path]; ok {
+		return fmt.Errorf("dfs: create %q: file exists", path)
+	}
+	f := &file{size: size}
+	for off := int64(0); off < size; off += fs.cfg.BlockSize {
+		bs := fs.cfg.BlockSize
+		if rem := size - off; rem < bs {
+			bs = rem
+		}
+		fs.nextID++
+		b := Block{ID: fs.nextID, Size: bs}
+		for r := 0; r < fs.cfg.Replication; r++ {
+			node := (fs.placeAt + r) % fs.cfg.DataNodes
+			b.Replicas = append(b.Replicas, node)
+			fs.used[node] += bs
+		}
+		fs.placeAt = (fs.placeAt + 1) % fs.cfg.DataNodes
+		sort.Ints(b.Replicas)
+		f.blocks = append(f.blocks, b)
+	}
+	fs.files[path] = f
+	return nil
+}
+
+// Exists reports whether path is present.
+func (fs *FS) Exists(path string) bool {
+	_, ok := fs.files[path]
+	return ok
+}
+
+// Delete removes a file and frees its replicas.
+func (fs *FS) Delete(path string) error {
+	f, ok := fs.files[path]
+	if !ok {
+		return fmt.Errorf("delete %q: %w", path, ErrNotFound)
+	}
+	for _, b := range f.blocks {
+		for _, n := range b.Replicas {
+			fs.used[n] -= b.Size
+		}
+	}
+	delete(fs.files, path)
+	return nil
+}
+
+// Size returns the logical size of a file.
+func (fs *FS) Size(path string) (int64, error) {
+	f, ok := fs.files[path]
+	if !ok {
+		return 0, fmt.Errorf("size %q: %w", path, ErrNotFound)
+	}
+	return f.size, nil
+}
+
+// Blocks returns the block list of a file, in order.
+func (fs *FS) Blocks(path string) ([]Block, error) {
+	f, ok := fs.files[path]
+	if !ok {
+		return nil, fmt.Errorf("blocks %q: %w", path, ErrNotFound)
+	}
+	out := make([]Block, len(f.blocks))
+	copy(out, f.blocks)
+	return out, nil
+}
+
+// UsedBytes returns the bytes stored on one datanode.
+func (fs *FS) UsedBytes(node int) int64 { return fs.used[node] }
+
+// TotalStored returns the bytes stored across all datanodes (including
+// replication).
+func (fs *FS) TotalStored() int64 {
+	var t int64
+	for _, u := range fs.used {
+		t += u
+	}
+	return t
+}
+
+// IsLocal reports whether reader (a datanode index; compute nodes are
+// co-located with datanodes modulo the datanode count, as in the paper's
+// testbed where workers and datanodes share machines) holds a live replica
+// of b. Replicas on failed datanodes do not count.
+func (fs *FS) IsLocal(b Block, readerNode int) bool {
+	dn := readerNode % fs.cfg.DataNodes
+	if fs.down[dn] {
+		return false
+	}
+	for _, r := range b.Replicas {
+		if r == dn {
+			return true
+		}
+	}
+	return false
+}
+
+// liveReplicas counts replicas of b on up datanodes.
+func (fs *FS) liveReplicas(b Block) int {
+	var n int
+	for _, r := range b.Replicas {
+		if !fs.down[r] {
+			n++
+		}
+	}
+	return n
+}
+
+// DegradedReadPenalty multiplies the remote read time when no live replica
+// exists and the block must be recovered out of band (e.g. from a cold
+// backup) — HDFS would block the read until re-replication.
+const DegradedReadPenalty = 10
+
+// ReadTime returns the virtual time needed to fetch block b from the
+// perspective of a reader on the given compute node: local-disk rate when
+// the reader co-hosts a live replica, network rate when some other live
+// replica exists, and a degraded recovery read when failures took out
+// every replica.
+func (fs *FS) ReadTime(b Block, readerNode int) simtime.Duration {
+	bw := fs.cfg.RemoteBytesPerSec
+	switch {
+	case fs.IsLocal(b, readerNode):
+		bw = fs.cfg.LocalBytesPerSec
+	case fs.liveReplicas(b) == 0:
+		bw = fs.cfg.RemoteBytesPerSec / DegradedReadPenalty
+	}
+	return simtime.Duration(float64(b.Size) / bw)
+}
+
+// FailDataNode takes a datanode offline: its replicas become unreadable
+// until repair. Failing a failed datanode is an error.
+func (fs *FS) FailDataNode(dn int) error {
+	if dn < 0 || dn >= fs.cfg.DataNodes {
+		return fmt.Errorf("dfs: fail datanode %d of %d", dn, fs.cfg.DataNodes)
+	}
+	if fs.down[dn] {
+		return fmt.Errorf("dfs: datanode %d already down", dn)
+	}
+	fs.down[dn] = true
+	return nil
+}
+
+// RepairDataNode brings a failed datanode back (its replicas were
+// preserved on disk, as an HDFS restart would find them).
+func (fs *FS) RepairDataNode(dn int) error {
+	if dn < 0 || dn >= fs.cfg.DataNodes {
+		return fmt.Errorf("dfs: repair datanode %d of %d", dn, fs.cfg.DataNodes)
+	}
+	if !fs.down[dn] {
+		return fmt.Errorf("dfs: datanode %d is not down", dn)
+	}
+	fs.down[dn] = false
+	return nil
+}
+
+// DataNodeDown reports whether a datanode is currently failed.
+func (fs *FS) DataNodeDown(dn int) bool {
+	return dn >= 0 && dn < fs.cfg.DataNodes && fs.down[dn]
+}

@@ -1,0 +1,110 @@
+package dfs
+
+import (
+	"testing"
+)
+
+func newFailFS(t *testing.T) *FS {
+	t.Helper()
+	cfg := Config{
+		DataNodes:         3,
+		Replication:       2,
+		BlockSize:         64 << 20,
+		LocalBytesPerSec:  200e6,
+		RemoteBytesPerSec: 100e6,
+	}
+	fs, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Create("/data", 128<<20); err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func TestFailDataNodeBreaksLocality(t *testing.T) {
+	fs := newFailFS(t)
+	blocks, err := fs.Blocks("/data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := blocks[0]
+	reader := b.Replicas[0]
+	if !fs.IsLocal(b, reader) {
+		t.Fatal("replica holder not local before failure")
+	}
+	localTime := fs.ReadTime(b, reader)
+	if err := fs.FailDataNode(reader); err != nil {
+		t.Fatal(err)
+	}
+	if fs.IsLocal(b, reader) {
+		t.Fatal("down datanode still counts as local")
+	}
+	remoteTime := fs.ReadTime(b, reader)
+	if remoteTime <= localTime {
+		t.Fatalf("read with down local replica %v not slower than local %v", remoteTime, localTime)
+	}
+	if err := fs.RepairDataNode(reader); err != nil {
+		t.Fatal(err)
+	}
+	if !fs.IsLocal(b, reader) {
+		t.Fatal("locality not restored by repair")
+	}
+}
+
+func TestAllReplicasDownDegradesRead(t *testing.T) {
+	fs := newFailFS(t)
+	blocks, err := fs.Blocks("/data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := blocks[0]
+	// A reader co-located with no replica pays the remote rate.
+	remoteReader := -1
+	for dn := 0; dn < fs.Config().DataNodes; dn++ {
+		if !fs.IsLocal(b, dn) {
+			remoteReader = dn
+			break
+		}
+	}
+	if remoteReader == -1 {
+		t.Skip("replication covers all nodes; no remote reader")
+	}
+	healthy := fs.ReadTime(b, remoteReader)
+	for _, r := range b.Replicas {
+		if err := fs.FailDataNode(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	degraded := fs.ReadTime(b, remoteReader)
+	want := float64(healthy) * DegradedReadPenalty
+	if got := float64(degraded); got < want*0.99 || got > want*1.01 {
+		t.Fatalf("degraded read %v, want ~%gx of %v", degraded, float64(DegradedReadPenalty), healthy)
+	}
+}
+
+func TestFailRepairDataNodeValidation(t *testing.T) {
+	fs := newFailFS(t)
+	if err := fs.FailDataNode(9); err == nil {
+		t.Fatal("out-of-range fail accepted")
+	}
+	if err := fs.RepairDataNode(0); err == nil {
+		t.Fatal("repair of up node accepted")
+	}
+	if err := fs.FailDataNode(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.FailDataNode(0); err == nil {
+		t.Fatal("double fail accepted")
+	}
+	if !fs.DataNodeDown(0) {
+		t.Fatal("down not reported")
+	}
+	if err := fs.RepairDataNode(0); err != nil {
+		t.Fatal(err)
+	}
+	if fs.DataNodeDown(0) {
+		t.Fatal("repair not reported")
+	}
+}

@@ -1,0 +1,956 @@
+// Package engine implements the Spark-like dataflow processing engine the
+// paper extends (§2.4, §3.3): jobs are DAGs of stages over partitioned
+// datasets, each stage runs one task per partition, tasks execute on the
+// cluster's computing slots in waves, and ShuffleMap stages hash their
+// output into the next stage's input partitions.
+//
+// Task dropping is wired in exactly where the paper patches Spark: the
+// scheduler asks FindMissingPartitions for the partitions of a stage to
+// compute, and with a drop ratio θ only ⌈n(1-θ)⌉ of n are returned (§3.3,
+// "Dropper"). Eviction (for the preemptive baseline) kills a job mid-
+// flight and accounts the consumed machine time as waste.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+	"sort"
+
+	"dias/internal/cluster"
+	"dias/internal/dfs"
+	"dias/internal/simtime"
+)
+
+// Record is one key-value datum flowing through a job.
+type Record struct {
+	Key   string
+	Value any
+}
+
+// Partition is an ordered slice of records processed by a single task.
+type Partition []Record
+
+// Dataset is a partitioned collection, the RDD analogue.
+type Dataset []Partition
+
+// Records returns the total record count.
+func (d Dataset) Records() int {
+	var n int
+	for _, p := range d {
+		n += len(p)
+	}
+	return n
+}
+
+// StageKind distinguishes shuffle-producing stages from the final stage.
+type StageKind int
+
+const (
+	// ShuffleMap stages hash their task outputs into OutPartitions buckets
+	// consumed by dependent stages.
+	ShuffleMap StageKind = iota + 1
+	// Result stages deliver their task outputs to the driver.
+	Result
+)
+
+// TaskFunc transforms one input partition into output records.
+type TaskFunc func(in []Record) []Record
+
+// Stage describes one synchronization stage of a job.
+type Stage struct {
+	// Name labels the stage in diagnostics.
+	Name string
+	// Kind is ShuffleMap or Result.
+	Kind StageKind
+	// Deps lists parent stage indices. Stage 0 (no deps) reads the job
+	// input; dependent stages read the co-partitioned shuffle output of
+	// all parents.
+	Deps []int
+	// Compute transforms a task's input records; nil is the identity.
+	Compute TaskFunc
+	// OutPartitions is the shuffle fan-out of a ShuffleMap stage.
+	OutPartitions int
+	// PerRecordSec overrides CostModel.PerRecordSec for this stage's tasks
+	// when positive (map parsing and reduce aggregation cost differently).
+	PerRecordSec float64
+}
+
+// JobID identifies a submitted job within an Engine.
+type JobID uint64
+
+// Job is a runnable DAG over an input dataset.
+type Job struct {
+	// Name labels the job in diagnostics.
+	Name string
+	// Priority is the job's class (higher = more important); the engine
+	// does not act on it, the DiAS core does.
+	Priority int
+	// Input is the partitioned input of stage 0; one task per partition.
+	Input Dataset
+	// InputPath optionally names a dfs file whose i-th block backs input
+	// partition i; executed stage-0 tasks then pay the block fetch time,
+	// dropped ones do not.
+	InputPath string
+	// Stages in topological order (Deps reference lower indices only).
+	// Exactly one stage must be a Result stage, and it must be last.
+	Stages []Stage
+	// SizeBytes is the logical input size used by cost and setup models.
+	SizeBytes int64
+}
+
+// Validate checks the DAG shape.
+func (j *Job) Validate() error {
+	if len(j.Stages) == 0 {
+		return errors.New("engine: job has no stages")
+	}
+	for i, s := range j.Stages {
+		for _, d := range s.Deps {
+			if d < 0 || d >= i {
+				return fmt.Errorf("engine: stage %d depends on %d (must be a lower index)", i, d)
+			}
+			if j.Stages[d].Kind != ShuffleMap {
+				return fmt.Errorf("engine: stage %d depends on non-ShuffleMap stage %d", i, d)
+			}
+		}
+		switch s.Kind {
+		case ShuffleMap:
+			if s.OutPartitions <= 0 {
+				return fmt.Errorf("engine: ShuffleMap stage %d has %d out partitions", i, s.OutPartitions)
+			}
+			if i == len(j.Stages)-1 {
+				return errors.New("engine: last stage must be a Result stage")
+			}
+		case Result:
+			if i != len(j.Stages)-1 {
+				return fmt.Errorf("engine: Result stage %d is not last", i)
+			}
+		default:
+			return fmt.Errorf("engine: stage %d has unknown kind %d", i, s.Kind)
+		}
+		if len(s.Deps) > 1 {
+			b := j.Stages[s.Deps[0]].OutPartitions
+			for _, d := range s.Deps[1:] {
+				if j.Stages[d].OutPartitions != b {
+					return fmt.Errorf("engine: stage %d parents disagree on partitions (%d vs %d)",
+						i, b, j.Stages[d].OutPartitions)
+				}
+			}
+		}
+	}
+	if len(j.Input) == 0 {
+		return errors.New("engine: job has no input partitions")
+	}
+	return nil
+}
+
+// CostModel converts work into virtual task durations (at speed 1).
+type CostModel struct {
+	// TaskOverheadSec is the fixed scheduling/launch cost per task.
+	TaskOverheadSec float64
+	// PerRecordSec is the compute cost per input record.
+	PerRecordSec float64
+	// SetupBaseSec + SetupPerByte*effectiveBytes is the job's initial setup
+	// (the paper's overhead stage O, observed to depend on data size §4.3).
+	SetupBaseSec float64
+	SetupPerByte float64
+	// ShuffleBaseSec + ShufflePerRecordSec*records is the serial shuffle
+	// stage S between a ShuffleMap stage and its dependents.
+	ShuffleBaseSec      float64
+	ShufflePerRecordSec float64
+	// NoiseSigma is the lognormal σ applied to each task duration; zero
+	// disables noise.
+	NoiseSigma float64
+}
+
+// DefaultCostModel gives tasks on the order of a few seconds for a few
+// thousand records, yielding paper-scale (~100 s) jobs for 50-partition
+// inputs at base frequency.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		TaskOverheadSec:     0.3,
+		PerRecordSec:        0.002,
+		SetupBaseSec:        4.0,
+		SetupPerByte:        4e-9,
+		ShuffleBaseSec:      1.0,
+		ShufflePerRecordSec: 2e-5,
+		NoiseSigma:          0.08,
+	}
+}
+
+// FindMissingPartitions mirrors Spark's scheduler hook of the same name
+// (§3.3): given n partitions and a drop ratio theta it returns the indices
+// to actually compute, ⌈n(1-θ)⌉ of them chosen uniformly at random.
+func FindMissingPartitions(rng *rand.Rand, n int, theta float64) []int {
+	if theta < 0 {
+		theta = 0
+	}
+	if theta > 1 {
+		theta = 1
+	}
+	keep := int(math.Ceil(float64(n) * (1 - theta)))
+	if keep > n {
+		keep = n
+	}
+	idx := rng.Perm(n)[:keep]
+	// Keep deterministic per-rng but sorted for wave-order stability.
+	sortInts(idx)
+	return idx
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// Attempt summarises one execution attempt of a job (a completed run or an
+// evicted one).
+type Attempt struct {
+	StartedAt     simtime.Time
+	EndedAt       simtime.Time
+	SlotSeconds   float64 // machine time consumed by this attempt
+	TasksLaunched int
+	Evicted       bool
+}
+
+// StageStat is the per-stage profiling record exposed with each result,
+// the analogue of the task metrics the paper's profiling runs read from
+// Spark (§4.3).
+type StageStat struct {
+	Name          string
+	Kind          StageKind
+	TasksExecuted int
+	TasksDropped  int
+	// MeanTaskSec is the mean wall duration of executed tasks.
+	MeanTaskSec float64
+	// StartedAt/EndedAt bound the stage (EndedAt excludes the trailing
+	// shuffle delay).
+	StartedAt simtime.Time
+	EndedAt   simtime.Time
+}
+
+// Waves returns how many waves the stage needed on a cluster with the
+// given slot count.
+func (s StageStat) Waves(slots int) int {
+	if slots <= 0 || s.TasksExecuted == 0 {
+		return 0
+	}
+	return (s.TasksExecuted + slots - 1) / slots
+}
+
+// JobResult is delivered to the submitter when a job completes.
+type JobResult struct {
+	JobID  JobID
+	Name   string
+	Output []Record // concatenated Result-stage output
+	// Stages holds per-stage profiling stats, indexed like Job.Stages.
+	Stages []StageStat
+	// StartedAt/FinishedAt bound the final (successful) attempt.
+	StartedAt  simtime.Time
+	FinishedAt simtime.Time
+	// SlotSeconds is machine time consumed by the successful attempt.
+	SlotSeconds float64
+	// TasksTotal counts tasks before dropping; TasksExecuted after.
+	TasksTotal    int
+	TasksExecuted int
+	TasksDropped  int
+	// EffectiveDropRatio aggregates dropping across stages:
+	// 1 - executed/total.
+	EffectiveDropRatio float64
+}
+
+// SubmitOptions configures one submission.
+type SubmitOptions struct {
+	// DropRatios holds θ per stage (missing/short entries mean 0).
+	DropRatios []float64
+	// OnComplete is invoked in simulation context when the job finishes.
+	OnComplete func(JobResult)
+}
+
+// task is one unit of schedulable work.
+type task struct {
+	exec      *execution
+	stage     int
+	partition int
+	input     []Record
+
+	// speculative marks a backup copy of a straggling task; twin links the
+	// two copies of the same partition.
+	speculative bool
+	twin        *task
+
+	// Execution state while running.
+	slot          *cluster.Slot
+	remainingWork float64 // seconds at speed 1
+	startedAt     simtime.Time
+	lastUpdate    simtime.Time
+	event         simtime.EventID
+	running       bool
+}
+
+// execution is the engine-internal state of one job attempt.
+type execution struct {
+	id   JobID
+	job  *Job
+	opts SubmitOptions
+
+	startedAt simtime.Time
+	// outputs[s] is the shuffle output of stage s, bucketed.
+	outputs []Dataset
+	// resultOut accumulates Result-stage task outputs.
+	resultOut []Record
+	// pendingTasks[s] counts unfinished tasks of stage s.
+	pendingTasks []int
+	stageStarted []bool
+	stageDone    []bool
+
+	slotSeconds   float64
+	tasksTotal    int
+	tasksExecuted int
+	tasksDropped  int
+	launched      int
+	stageStats    []StageStat
+	stageTaskSecs []float64 // summed wall task durations per stage
+	// stageDurations collects winner task durations for straggler
+	// detection; donePartitions dedupes speculative twins.
+	stageDurations  [][]float64
+	donePartitions  []map[int]bool
+	specLaunched    int
+	pending         []*task // this job's runnable tasks, FIFO
+	inputBlockCache []dfs.Block
+
+	running map[*task]struct{}
+	done    bool
+	evicted bool
+}
+
+// SpeculationConfig enables Spark-style speculative execution: when a
+// stage is mostly done, tasks running far beyond the median duration get a
+// backup copy; the first finisher wins and the loser is cancelled.
+type SpeculationConfig struct {
+	// Enabled turns speculation on.
+	Enabled bool
+	// Multiplier is the straggler threshold relative to the median task
+	// duration of the stage (Spark default: 1.5).
+	Multiplier float64
+	// MinCompleted is the number of completed tasks in the stage required
+	// before speculating (avoids speculating on the first wave).
+	MinCompleted int
+}
+
+func (c SpeculationConfig) validate() error {
+	if !c.Enabled {
+		return nil
+	}
+	if c.Multiplier <= 1 {
+		return fmt.Errorf("engine: speculation multiplier %g must exceed 1", c.Multiplier)
+	}
+	if c.MinCompleted < 1 {
+		return fmt.Errorf("engine: speculation min completed %d", c.MinCompleted)
+	}
+	return nil
+}
+
+// Engine schedules jobs onto a cluster.
+type Engine struct {
+	sim  *simtime.Simulation
+	clu  *cluster.Cluster
+	fs   *dfs.FS // may be nil: no fetch costs
+	cost CostModel
+	rng  *rand.Rand
+
+	nextID JobID
+	execs  map[JobID]*execution
+	// execOrder lists live executions in submission order; task dispatch
+	// walks it FIFO, or round-robin under fair sharing.
+	execOrder []*execution
+	fairShare bool
+	spec      SpeculationConfig
+
+	wastedSlotSeconds    float64
+	completedJobs        int
+	evictions            int
+	speculativeLaunched  int
+	speculativeDiscarded int
+
+	tasksRetried           int
+	failureLostSlotSeconds float64
+}
+
+// New builds an engine bound to a simulation and cluster. fs may be nil
+// when input fetch times are irrelevant.
+func New(sim *simtime.Simulation, clu *cluster.Cluster, fs *dfs.FS, cost CostModel, seed int64) (*Engine, error) {
+	if sim == nil || clu == nil {
+		return nil, errors.New("engine: nil simulation or cluster")
+	}
+	e := &Engine{
+		sim:   sim,
+		clu:   clu,
+		fs:    fs,
+		cost:  cost,
+		rng:   rand.New(rand.NewSource(seed)),
+		execs: make(map[JobID]*execution),
+	}
+	clu.OnSpeedChange(e.rescaleRunning)
+	return e, nil
+}
+
+// SetFairSharing switches task dispatch between submission-order FIFO
+// (default, Spark's FIFO scheduler) and round-robin across live jobs
+// (Spark's FAIR scheduler, §2.4).
+func (e *Engine) SetFairSharing(on bool) { e.fairShare = on }
+
+// SetSpeculation configures speculative execution of stragglers.
+func (e *Engine) SetSpeculation(cfg SpeculationConfig) error {
+	if err := cfg.validate(); err != nil {
+		return err
+	}
+	e.spec = cfg
+	return nil
+}
+
+// SpeculativeLaunched returns the number of backup task copies started.
+func (e *Engine) SpeculativeLaunched() int { return e.speculativeLaunched }
+
+// SpeculativeDiscarded returns backup or original copies whose twin won.
+func (e *Engine) SpeculativeDiscarded() int { return e.speculativeDiscarded }
+
+// ActiveJobs returns the number of jobs currently executing.
+func (e *Engine) ActiveJobs() int { return len(e.execs) }
+
+// CompletedJobs returns the number of successfully completed jobs.
+func (e *Engine) CompletedJobs() int { return e.completedJobs }
+
+// Evictions returns the number of Kill calls that evicted live jobs.
+func (e *Engine) Evictions() int { return e.evictions }
+
+// WastedSlotSeconds returns machine time consumed by attempts that were
+// later evicted (the paper's resource-waste numerator).
+func (e *Engine) WastedSlotSeconds() float64 { return e.wastedSlotSeconds }
+
+// Submit starts executing a job. The returned JobID can be passed to Kill.
+func (e *Engine) Submit(job *Job, opts SubmitOptions) (JobID, error) {
+	if err := job.Validate(); err != nil {
+		return 0, err
+	}
+	for _, th := range opts.DropRatios {
+		if th < 0 || th > 1 {
+			return 0, fmt.Errorf("engine: drop ratio %g out of [0,1]", th)
+		}
+	}
+	e.nextID++
+	ex := &execution{
+		id:             e.nextID,
+		job:            job,
+		opts:           opts,
+		startedAt:      e.sim.Now(),
+		outputs:        make([]Dataset, len(job.Stages)),
+		pendingTasks:   make([]int, len(job.Stages)),
+		stageStarted:   make([]bool, len(job.Stages)),
+		stageDone:      make([]bool, len(job.Stages)),
+		stageStats:     make([]StageStat, len(job.Stages)),
+		stageTaskSecs:  make([]float64, len(job.Stages)),
+		stageDurations: make([][]float64, len(job.Stages)),
+		donePartitions: make([]map[int]bool, len(job.Stages)),
+		running:        make(map[*task]struct{}),
+	}
+	for si, st := range job.Stages {
+		ex.stageStats[si].Name = st.Name
+		ex.stageStats[si].Kind = st.Kind
+		ex.donePartitions[si] = make(map[int]bool)
+	}
+	if job.InputPath != "" && e.fs != nil {
+		if blocks, err := e.fs.Blocks(job.InputPath); err == nil {
+			ex.inputBlockCache = blocks
+		}
+	}
+	e.execOrder = append(e.execOrder, ex)
+	e.execs[ex.id] = ex
+	// Job setup (overhead stage O). Setup time shrinks with stage-0 drop,
+	// matching the paper's observation that overhead depends on data size.
+	theta0 := ex.drop(0)
+	setup := e.cost.SetupBaseSec + e.cost.SetupPerByte*float64(job.SizeBytes)*(1-theta0)
+	id := ex.id
+	e.sim.After(simtime.Duration(setup/e.clu.Speed()), func() {
+		// The job may have been evicted during setup.
+		if cur, ok := e.execs[id]; ok && cur == ex {
+			e.startReadyStages(ex)
+		}
+	})
+	return ex.id, nil
+}
+
+func (ex *execution) drop(stage int) float64 {
+	if stage < len(ex.opts.DropRatios) {
+		return ex.opts.DropRatios[stage]
+	}
+	return 0
+}
+
+// startReadyStages launches every not-yet-started stage whose parents are
+// all done.
+func (e *Engine) startReadyStages(ex *execution) {
+	for si := range ex.job.Stages {
+		if ex.stageStarted[si] {
+			continue
+		}
+		ready := true
+		for _, d := range ex.job.Stages[si].Deps {
+			if !ex.stageDone[d] {
+				ready = false
+				break
+			}
+		}
+		if ready {
+			e.startStage(ex, si)
+		}
+	}
+}
+
+// stageInput materialises the input partitions of a stage.
+func (ex *execution) stageInput(si int) Dataset {
+	s := ex.job.Stages[si]
+	if len(s.Deps) == 0 {
+		return ex.job.Input
+	}
+	buckets := ex.job.Stages[s.Deps[0]].OutPartitions
+	in := make(Dataset, buckets)
+	for _, d := range s.Deps {
+		for b, part := range ex.outputs[d] {
+			in[b] = append(in[b], part...)
+		}
+	}
+	return in
+}
+
+func (e *Engine) startStage(ex *execution, si int) {
+	ex.stageStarted[si] = true
+	ex.stageStats[si].StartedAt = e.sim.Now()
+	in := ex.stageInput(si)
+	n := len(in)
+	ex.tasksTotal += n
+	selected := FindMissingPartitions(e.rng, n, ex.drop(si))
+	ex.tasksDropped += n - len(selected)
+	ex.stageStats[si].TasksDropped = n - len(selected)
+	ex.pendingTasks[si] = len(selected)
+	if s := ex.job.Stages[si]; s.Kind == ShuffleMap {
+		ex.outputs[si] = make(Dataset, s.OutPartitions)
+	}
+	if len(selected) == 0 {
+		e.finishStage(ex, si)
+		return
+	}
+	for _, p := range selected {
+		t := &task{exec: ex, stage: si, partition: p, input: in[p]}
+		ex.pending = append(ex.pending, t)
+	}
+	e.dispatch()
+}
+
+// nextExec picks the execution to serve next: first-with-work in
+// submission order (FIFO), or — under fair sharing, like Spark's FAIR
+// scheduler — the job currently holding the fewest slots, ties broken by
+// submission order.
+func (e *Engine) nextExec() *execution {
+	if !e.fairShare {
+		for _, ex := range e.execOrder {
+			if len(ex.pending) > 0 {
+				return ex
+			}
+		}
+		return nil
+	}
+	var best *execution
+	for _, ex := range e.execOrder {
+		if len(ex.pending) == 0 {
+			continue
+		}
+		if best == nil || len(ex.running) < len(best.running) {
+			best = ex
+		}
+	}
+	return best
+}
+
+// acquireFor picks a slot for t, preferring nodes holding the task's
+// input block (data locality) and falling back to any free slot (the
+// remote read is priced by taskWork).
+func (e *Engine) acquireFor(t *task) (*cluster.Slot, bool) {
+	if t.stage == 0 && e.fs != nil && t.partition < len(t.exec.inputBlockCache) {
+		b := t.exec.inputBlockCache[t.partition]
+		if s, ok := e.clu.AcquireMatching(func(node int) bool { return e.fs.IsLocal(b, node) }); ok {
+			return s, true
+		}
+	}
+	return e.clu.Acquire()
+}
+
+// dispatch starts queued tasks while slots are free.
+func (e *Engine) dispatch() {
+	for {
+		ex := e.nextExec()
+		if ex == nil {
+			return
+		}
+		t := ex.pending[0]
+		slot, ok := e.acquireFor(t)
+		if !ok {
+			return
+		}
+		ex.pending = ex.pending[1:]
+		e.startTask(t, slot)
+	}
+}
+
+// taskWork returns the task's duration in seconds at speed 1.
+func (e *Engine) taskWork(t *task) float64 {
+	perRecord := e.cost.PerRecordSec
+	if s := t.exec.job.Stages[t.stage].PerRecordSec; s > 0 {
+		perRecord = s
+	}
+	work := e.cost.TaskOverheadSec + perRecord*float64(len(t.input))
+	// Stage-0 tasks backed by a dfs file pay the block fetch, priced by
+	// the locality of the slot they landed on.
+	if t.stage == 0 && e.fs != nil && t.partition < len(t.exec.inputBlockCache) {
+		work += e.fs.ReadTime(t.exec.inputBlockCache[t.partition], t.slot.Node).Seconds()
+	}
+	if e.cost.NoiseSigma > 0 {
+		work *= math.Exp(e.cost.NoiseSigma * e.rng.NormFloat64())
+	}
+	return work
+}
+
+func (e *Engine) startTask(t *task, slot *cluster.Slot) {
+	t.slot = slot
+	t.running = true
+	t.startedAt = e.sim.Now()
+	t.lastUpdate = e.sim.Now()
+	t.remainingWork = e.taskWork(t)
+	t.exec.launched++
+	t.exec.running[t] = struct{}{}
+	e.scheduleCompletion(t)
+}
+
+func (e *Engine) scheduleCompletion(t *task) {
+	d := simtime.Duration(t.remainingWork / e.clu.Speed())
+	t.event = e.sim.After(d, func() { e.completeTask(t) })
+}
+
+// rescaleRunning reacts to DVFS speed changes: consumed work is credited at
+// the old speed and the completion event is rescheduled at the new one.
+func (e *Engine) rescaleRunning(oldSpeed, newSpeed float64) {
+	now := e.sim.Now()
+	for _, ex := range e.execs {
+		for t := range ex.running {
+			elapsed := now.Sub(t.lastUpdate).Seconds()
+			t.remainingWork -= elapsed * oldSpeed
+			if t.remainingWork < 0 {
+				t.remainingWork = 0
+			}
+			ex.slotSeconds += elapsed // wall occupancy of the finished segment
+			t.lastUpdate = now
+			e.sim.Cancel(t.event)
+			e.scheduleCompletion(t)
+		}
+	}
+}
+
+func (e *Engine) completeTask(t *task) {
+	ex := t.exec
+	now := e.sim.Now()
+	// Wall occupancy since the last rescale point; earlier segments were
+	// accrued in rescaleRunning when lastUpdate advanced.
+	ex.slotSeconds += now.Sub(t.lastUpdate).Seconds()
+	t.running = false
+	delete(ex.running, t)
+	e.clu.Release(t.slot)
+
+	// A speculative twin may already have delivered this partition; the
+	// loser's work is discarded (its occupancy was still real).
+	if ex.donePartitions[t.stage][t.partition] {
+		e.speculativeDiscarded++
+		e.dispatch()
+		return
+	}
+	ex.donePartitions[t.stage][t.partition] = true
+	e.cancelTwin(t)
+
+	duration := now.Sub(t.startedAt).Seconds()
+	ex.tasksExecuted++
+	ex.stageStats[t.stage].TasksExecuted++
+	ex.stageTaskSecs[t.stage] += duration
+	ex.stageDurations[t.stage] = append(ex.stageDurations[t.stage], duration)
+
+	s := ex.job.Stages[t.stage]
+	var out []Record
+	if s.Compute != nil {
+		out = s.Compute(t.input)
+	} else {
+		out = t.input
+	}
+	switch s.Kind {
+	case ShuffleMap:
+		buckets := ex.outputs[t.stage]
+		for _, r := range out {
+			b := bucketOf(r.Key, len(buckets))
+			buckets[b] = append(buckets[b], r)
+		}
+	case Result:
+		ex.resultOut = append(ex.resultOut, out...)
+	}
+
+	ex.pendingTasks[t.stage]--
+	if ex.pendingTasks[t.stage] == 0 {
+		e.finishStage(ex, t.stage)
+	} else if e.spec.Enabled {
+		e.maybeSpeculate(ex, t.stage)
+	}
+	e.dispatch()
+}
+
+// cancelTwin aborts the other copy of a just-finished partition, whether
+// running or still queued.
+func (e *Engine) cancelTwin(t *task) {
+	twin := t.twin
+	if twin == nil {
+		return
+	}
+	ex := t.exec
+	if twin.running {
+		e.sim.Cancel(twin.event)
+		ex.slotSeconds += e.sim.Now().Sub(twin.lastUpdate).Seconds()
+		twin.running = false
+		delete(ex.running, twin)
+		e.clu.Release(twin.slot)
+		e.speculativeDiscarded++
+		return
+	}
+	for i, q := range ex.pending {
+		if q == twin {
+			ex.pending = append(ex.pending[:i], ex.pending[i+1:]...)
+			e.speculativeDiscarded++
+			return
+		}
+	}
+}
+
+// maybeSpeculate launches backup copies for stragglers of a stage: running
+// tasks whose elapsed time exceeds Multiplier x the median completed
+// duration, once MinCompleted tasks of the stage have finished.
+func (e *Engine) maybeSpeculate(ex *execution, stage int) {
+	durs := ex.stageDurations[stage]
+	if len(durs) < e.spec.MinCompleted {
+		return
+	}
+	med := median(durs)
+	if med <= 0 {
+		return
+	}
+	threshold := e.spec.Multiplier * med
+	now := e.sim.Now()
+	for t := range ex.running {
+		if t.stage != stage || t.twin != nil || t.speculative {
+			continue
+		}
+		if now.Sub(t.startedAt).Seconds() <= threshold {
+			continue
+		}
+		backup := &task{
+			exec: ex, stage: stage, partition: t.partition,
+			input: t.input, speculative: true, twin: t,
+		}
+		t.twin = backup
+		// Backups jump the queue: they chase an already-late partition.
+		ex.pending = append([]*task{backup}, ex.pending...)
+		e.speculativeLaunched++
+	}
+}
+
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := make([]float64, len(xs))
+	copy(cp, xs)
+	sortFloats(cp)
+	return cp[len(cp)/2]
+}
+
+func sortFloats(xs []float64) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// finishStage fires the serial shuffle delay (stage S of the §4 model) and
+// then unblocks dependent stages, or completes the job after the Result
+// stage.
+func (e *Engine) finishStage(ex *execution, si int) {
+	ex.stageStats[si].EndedAt = e.sim.Now()
+	if n := ex.stageStats[si].TasksExecuted; n > 0 {
+		ex.stageStats[si].MeanTaskSec = ex.stageTaskSecs[si] / float64(n)
+	}
+	s := ex.job.Stages[si]
+	if s.Kind == Result {
+		ex.stageDone[si] = true
+		e.completeJob(ex)
+		return
+	}
+	shuffled := ex.outputs[si].Records()
+	delay := e.cost.ShuffleBaseSec + e.cost.ShufflePerRecordSec*float64(shuffled)
+	id := ex.id
+	e.sim.After(simtime.Duration(delay/e.clu.Speed()), func() {
+		if cur, ok := e.execs[id]; ok && cur == ex {
+			ex.stageDone[si] = true
+			e.startReadyStages(ex)
+		}
+	})
+}
+
+func (e *Engine) completeJob(ex *execution) {
+	ex.done = true
+	delete(e.execs, ex.id)
+	e.removeFromOrder(ex)
+	e.completedJobs++
+	res := JobResult{
+		JobID:         ex.id,
+		Name:          ex.job.Name,
+		Output:        ex.resultOut,
+		Stages:        ex.stageStats,
+		StartedAt:     ex.startedAt,
+		FinishedAt:    e.sim.Now(),
+		SlotSeconds:   ex.slotSeconds,
+		TasksTotal:    ex.tasksTotal,
+		TasksExecuted: ex.tasksExecuted,
+		TasksDropped:  ex.tasksDropped,
+	}
+	if ex.tasksTotal > 0 {
+		res.EffectiveDropRatio = 1 - float64(ex.tasksExecuted)/float64(ex.tasksTotal)
+	}
+	if ex.opts.OnComplete != nil {
+		ex.opts.OnComplete(res)
+	}
+}
+
+// Kill evicts a live job: queued tasks are discarded, running tasks are
+// aborted (their consumed time becomes waste) and the attempt is returned.
+// It fails if the job is not live.
+func (e *Engine) Kill(id JobID) (Attempt, error) {
+	ex, ok := e.execs[id]
+	if !ok {
+		return Attempt{}, fmt.Errorf("engine: kill job %d: not running", id)
+	}
+	now := e.sim.Now()
+	// Abort running tasks; credit partial occupancy.
+	for t := range ex.running {
+		e.sim.Cancel(t.event)
+		ex.slotSeconds += now.Sub(t.lastUpdate).Seconds()
+		e.clu.Release(t.slot)
+		delete(ex.running, t)
+	}
+	// Discard this job's queued tasks.
+	ex.pending = nil
+	delete(e.execs, ex.id)
+	e.removeFromOrder(ex)
+	ex.evicted = true
+	e.evictions++
+	e.wastedSlotSeconds += ex.slotSeconds
+	att := Attempt{
+		StartedAt:     ex.startedAt,
+		EndedAt:       now,
+		SlotSeconds:   ex.slotSeconds,
+		TasksLaunched: ex.launched,
+		Evicted:       true,
+	}
+	e.dispatch() // freed slots may admit other jobs' tasks
+	return att, nil
+}
+
+// FailNode takes a worker node offline. Running tasks on its slots are
+// aborted and re-queued at the front of their job's pending list for
+// re-execution (Spark's task retry); the machine time they had consumed is
+// lost and accounted in FailureLostSlotSeconds. Shuffle outputs survive
+// failures: the simulated engine stores them driver-side, the analogue of
+// Spark with a replicated external shuffle service, so only in-flight task
+// work is re-executed.
+func (e *Engine) FailNode(node int) error {
+	if err := e.clu.FailNode(node); err != nil {
+		return err
+	}
+	now := e.sim.Now()
+	for _, ex := range e.execOrder {
+		var aborted []*task
+		for t := range ex.running {
+			if t.slot.Node == node {
+				aborted = append(aborted, t)
+			}
+		}
+		// Map iteration is unordered; sort so re-queue order (and thus the
+		// whole simulation) stays deterministic per seed.
+		sort.Slice(aborted, func(i, j int) bool {
+			a, b := aborted[i], aborted[j]
+			if a.stage != b.stage {
+				return a.stage < b.stage
+			}
+			if a.partition != b.partition {
+				return a.partition < b.partition
+			}
+			return !a.speculative && b.speculative
+		})
+		for _, t := range aborted {
+			e.sim.Cancel(t.event)
+			ex.slotSeconds += now.Sub(t.lastUpdate).Seconds()
+			e.failureLostSlotSeconds += now.Sub(t.startedAt).Seconds()
+			t.running = false
+			delete(ex.running, t)
+			e.clu.Release(t.slot) // node is down: slot stays out of the pool
+			t.slot = nil
+			t.remainingWork = 0
+			ex.pending = append([]*task{t}, ex.pending...)
+			e.tasksRetried++
+		}
+	}
+	// Remaining capacity may still admit the re-queued tasks.
+	e.dispatch()
+	return nil
+}
+
+// RepairNode brings a failed node back and dispatches onto its slots.
+func (e *Engine) RepairNode(node int) error {
+	if err := e.clu.RepairNode(node); err != nil {
+		return err
+	}
+	e.dispatch()
+	return nil
+}
+
+// TasksRetried returns how many task attempts were aborted by node
+// failures and re-queued.
+func (e *Engine) TasksRetried() int { return e.tasksRetried }
+
+// FailureLostSlotSeconds returns machine time consumed by task attempts
+// that node failures destroyed.
+func (e *Engine) FailureLostSlotSeconds() float64 { return e.failureLostSlotSeconds }
+
+// removeFromOrder drops an execution from the dispatch rotation.
+func (e *Engine) removeFromOrder(ex *execution) {
+	for i, cur := range e.execOrder {
+		if cur == ex {
+			e.execOrder = append(e.execOrder[:i], e.execOrder[i+1:]...)
+			return
+		}
+	}
+}
+
+func bucketOf(key string, n int) int {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(key))
+	return int(h.Sum32() % uint32(n))
+}

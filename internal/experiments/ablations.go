@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dias/internal/cluster"
+	"dias/internal/core"
+	"dias/internal/engine"
+	"dias/internal/metrics"
+	"dias/internal/workload"
+)
+
+// Ablations isolate the design choices DESIGN.md calls out. Each returns a
+// small comparison the bench harness prints.
+
+// AblationSprintTimeout compares sprint-timeout policies under the limited
+// budget: immediate sprinting versus the paper's timeout-based policy
+// versus no sprinting, on the Figure 11 workload.
+func AblationSprintTimeout(scale Scale) (*ComparisonFigure, error) {
+	if err := scale.validate(); err != nil {
+		return nil, err
+	}
+	cost := graphCostModel()
+	cluCfg := cluster.DefaultConfig()
+	job, err := graphJob("tc", scale.Seed+71, 300, 3, 60, 60, 600<<20)
+	if err != nil {
+		return nil, err
+	}
+	durs, _, err := profileSolo(job, nil, cost, cluCfg, 2, scale.Seed+72)
+	if err != nil {
+		return nil, err
+	}
+	exec := mean(durs)
+	totalRate, err := workload.CalibrateTotalRate([]float64{exec, exec}, []float64{0.7, 0.3}, 0.8)
+	if err != nil {
+		return nil, err
+	}
+	rates, err := workload.MixFromRatio([]float64{7, 3}, totalRate)
+	if err != nil {
+		return nil, err
+	}
+	jobs := []*engine.Job{job, job}
+	mk := func(timeout float64) core.Config {
+		cfg := core.PolicyNP(2)
+		cfg.Sprint = &core.SprintPolicy{
+			TimeoutSec:     []float64{-1, timeout},
+			BudgetJoules:   22000,
+			DrainWatts:     900,
+			ReplenishWatts: 90,
+		}
+		return cfg
+	}
+	scenarios := []struct {
+		name   string
+		policy core.Config
+	}{
+		{"NP-nosprint", core.PolicyNP(2)},
+		{"NPS-immediate", mk(0)},
+		{"NPS-timeout", mk(0.65 * exec)},
+	}
+	var results []metrics.ScenarioResult
+	for _, s := range scenarios {
+		sc := scenario{name: s.name, policy: s.policy, rates: rates, jobs: jobs, cost: cost, cluster: cluCfg, scale: scale}
+		r, err := sc.run()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", s.name, err)
+		}
+		results = append(results, r)
+	}
+	return &ComparisonFigure{
+		Title:    "Ablation: sprint-timeout policy under a limited budget",
+		Baseline: results[0],
+		Others:   results[1:],
+	}, nil
+}
+
+// AblationEvictionResume compares the paper's preemptive-repeat eviction
+// (re-execution from scratch) with hypothetical suspend/resume, isolating
+// how much of P's resource waste comes from repeating work. The simulated
+// engine cannot checkpoint jobs, so resume is approximated at the queue
+// level by the queueing package; here we quantify repeat's waste directly.
+func AblationEvictionResume(scale Scale) (metrics.ScenarioResult, error) {
+	if err := scale.validate(); err != nil {
+		return metrics.ScenarioResult{}, err
+	}
+	cost := textCostModel()
+	cluCfg := cluster.DefaultConfig()
+	setup := referenceSetup()
+	lowJob, err := textJob("low", scale.Seed+81, setup.lowPosts, setup.lowSize)
+	if err != nil {
+		return metrics.ScenarioResult{}, err
+	}
+	highJob, err := textJob("high", scale.Seed+82, setup.highPosts, setup.highSize)
+	if err != nil {
+		return metrics.ScenarioResult{}, err
+	}
+	lowDur, _, err := profileSolo(lowJob, nil, cost, cluCfg, 3, scale.Seed+83)
+	if err != nil {
+		return metrics.ScenarioResult{}, err
+	}
+	highDur, _, err := profileSolo(highJob, nil, cost, cluCfg, 3, scale.Seed+84)
+	if err != nil {
+		return metrics.ScenarioResult{}, err
+	}
+	totalRate, err := workload.CalibrateTotalRate([]float64{mean(lowDur), mean(highDur)}, []float64{0.9, 0.1}, setup.util)
+	if err != nil {
+		return metrics.ScenarioResult{}, err
+	}
+	rates, err := workload.MixFromRatio(setup.ratio, totalRate)
+	if err != nil {
+		return metrics.ScenarioResult{}, err
+	}
+	sc := scenario{
+		name:   "P-repeat",
+		policy: core.PolicyP(2),
+		rates:  rates,
+		jobs:   []*engine.Job{lowJob, highJob},
+		cost:   cost, cluster: cluCfg, scale: scale,
+	}
+	return sc.run()
+}
+
+// AblationDropTiming quantifies early dropping's fetch savings: the same
+// job with dfs-backed input at θ=0.5, where dropped stage-0 tasks skip
+// their block reads, versus θ=0 (the full fetch volume).
+type AblationDropTimingResult struct {
+	FullExecSec, DroppedExecSec float64
+}
+
+// AblationDropTiming runs the comparison.
+func AblationDropTiming(scale Scale) (*AblationDropTimingResult, error) {
+	if err := scale.validate(); err != nil {
+		return nil, err
+	}
+	cost := textCostModel()
+	cluCfg := cluster.DefaultConfig()
+	job, err := textJob("drop-timing", scale.Seed+91, 60, 900<<20)
+	if err != nil {
+		return nil, err
+	}
+	full, _, err := profileSolo(job, nil, cost, cluCfg, 3, scale.Seed+92)
+	if err != nil {
+		return nil, err
+	}
+	dropped, _, err := profileSolo(job, []float64{0.5}, cost, cluCfg, 3, scale.Seed+93)
+	if err != nil {
+		return nil, err
+	}
+	return &AblationDropTimingResult{
+		FullExecSec:    mean(full),
+		DroppedExecSec: mean(dropped),
+	}, nil
+}

@@ -1,0 +1,285 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§4.3 validation and §5): each FigureN function configures
+// the workload, runs the simulated stack under the paper's policies, and
+// returns the rows/series the paper plots. DESIGN.md maps each experiment
+// to its modules; EXPERIMENTS.md records paper-vs-measured outcomes.
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"dias/internal/analytics"
+	"dias/internal/cluster"
+	"dias/internal/core"
+	"dias/internal/engine"
+	"dias/internal/metrics"
+	"dias/internal/simtime"
+	"dias/internal/workload"
+)
+
+// Scale sizes an experiment run. Quick keeps benchmarks fast; Full is for
+// the dias-experiments CLI.
+type Scale struct {
+	// Jobs is the number of arrivals per scenario.
+	Jobs int
+	// WarmupFraction of completions excluded from statistics.
+	WarmupFraction float64
+	// Seed drives every RNG in the experiment.
+	Seed int64
+}
+
+// QuickScale is sized for go test / benchmarks.
+func QuickScale() Scale { return Scale{Jobs: 200, WarmupFraction: 0.1, Seed: 1} }
+
+// FullScale is sized for the CLI and EXPERIMENTS.md numbers.
+func FullScale() Scale { return Scale{Jobs: 900, WarmupFraction: 0.1, Seed: 1} }
+
+func (s Scale) validate() error {
+	if s.Jobs < 10 {
+		return fmt.Errorf("experiments: %d jobs is too few", s.Jobs)
+	}
+	if s.WarmupFraction < 0 || s.WarmupFraction >= 1 {
+		return fmt.Errorf("experiments: warmup fraction %g", s.WarmupFraction)
+	}
+	return nil
+}
+
+// textCostModel calibrates the cost model so text jobs land in the tens of
+// seconds at base frequency, paper-like shape: map-heavy stages, size-
+// dependent setup overhead, small serial shuffle.
+func textCostModel() engine.CostModel {
+	return engine.CostModel{
+		TaskOverheadSec:     0.3,
+		PerRecordSec:        0.1, // map stage: per post parsed
+		SetupBaseSec:        2,
+		SetupPerByte:        3e-9,
+		ShuffleBaseSec:      1,
+		ShufflePerRecordSec: 1e-4,
+		NoiseSigma:          0.06,
+	}
+}
+
+// reducePerRecordSec prices reduce-stage records (word-count pairs).
+const reducePerRecordSec = 0.002
+
+// graphCostModel calibrates triangle-count jobs.
+func graphCostModel() engine.CostModel {
+	return engine.CostModel{
+		TaskOverheadSec:     0.25,
+		PerRecordSec:        0.004,
+		SetupBaseSec:        2,
+		SetupPerByte:        3e-9,
+		ShuffleBaseSec:      0.5,
+		ShufflePerRecordSec: 2e-5,
+		NoiseSigma:          0.06,
+	}
+}
+
+// textJob builds a word-popularity job over a synthetic corpus.
+func textJob(name string, seed int64, posts int, sizeBytes int64) (*engine.Job, error) {
+	cfg := workload.DefaultCorpusConfig()
+	cfg.PostsPerPartition = posts
+	cfg.VocabSize = 800
+	cfg.TopicVocab = 40
+	rng := rand.New(rand.NewSource(seed))
+	corpus, err := workload.SynthesizeCorpus(rng, cfg)
+	if err != nil {
+		return nil, err
+	}
+	job := wordJobFromCorpus(name, corpus, sizeBytes)
+	return job, nil
+}
+
+// wordJobFromCorpus wires the analytics word-count stages with stage-
+// specific per-record costs.
+func wordJobFromCorpus(name string, corpus engine.Dataset, sizeBytes int64) *engine.Job {
+	job := analytics.WordPopularityJob(name, corpus, 10, sizeBytes)
+	job.Stages[1].PerRecordSec = reducePerRecordSec
+	return job
+}
+
+// scenario is one policy run over one workload.
+type scenario struct {
+	name    string
+	policy  core.Config
+	rates   []float64     // per-class Poisson rates (when proc is nil)
+	jobs    []*engine.Job // per-class job template (when source is nil)
+	cost    engine.CostModel
+	cluster cluster.Config
+	scale   Scale
+	// proc overrides the default Poisson mix built from rates (e.g. an
+	// MMAP source for bursty traffic or a trace replay).
+	proc workload.Process
+	// source overrides the fixed per-class templates (e.g. variable task
+	// counts per arrival).
+	source workload.JobSource
+	// failures, when non-nil, arms random node fail/repair cycles across
+	// the arrival window (HorizonSec is filled in from the stream).
+	failures *engine.FailureConfig
+	// deflator, when non-nil, builds a dynamic deflator bound to the
+	// scenario's simulation and installs it into the policy (the policy
+	// must then carry no static DropRatios).
+	deflator func(sim *simtime.Simulation) (core.Deflator, error)
+}
+
+// run executes the scenario to completion and aggregates results.
+func (sc scenario) run() (metrics.ScenarioResult, error) {
+	res, _, err := sc.runWithRecords()
+	return res, err
+}
+
+// runWithRecords is run plus the raw per-job records, for analyses beyond
+// the standard aggregates (e.g. slowdowns).
+func (sc scenario) runWithRecords() (metrics.ScenarioResult, []core.JobRecord, error) {
+	if err := sc.scale.validate(); err != nil {
+		return metrics.ScenarioResult{}, nil, err
+	}
+	if sc.proc == nil && len(sc.rates) != sc.policy.Classes {
+		return metrics.ScenarioResult{}, nil, errors.New("experiments: rate/class count mismatch")
+	}
+	if sc.source == nil && len(sc.jobs) != sc.policy.Classes {
+		return metrics.ScenarioResult{}, nil, errors.New("experiments: job/class count mismatch")
+	}
+	sim := simtime.New()
+	clu, err := cluster.New(sim, sc.cluster)
+	if err != nil {
+		return metrics.ScenarioResult{}, nil, err
+	}
+	eng, err := engine.New(sim, clu, nil, sc.cost, sc.scale.Seed)
+	if err != nil {
+		return metrics.ScenarioResult{}, nil, err
+	}
+	policy := sc.policy
+	if sc.deflator != nil {
+		d, err := sc.deflator(sim)
+		if err != nil {
+			return metrics.ScenarioResult{}, nil, fmt.Errorf("building deflator: %w", err)
+		}
+		policy.Deflator = d
+	}
+	sch, err := core.New(sim, clu, eng, policy)
+	if err != nil {
+		return metrics.ScenarioResult{}, nil, err
+	}
+	proc := sc.proc
+	if proc == nil {
+		pm, err := workload.NewPoissonMix(sc.rates)
+		if err != nil {
+			return metrics.ScenarioResult{}, nil, err
+		}
+		proc = pm
+	}
+	source := sc.source
+	if source == nil {
+		source = workload.FixedJobs(sc.jobs)
+	}
+	arrRng := rand.New(rand.NewSource(sc.scale.Seed + 7))
+	jobRng := rand.New(rand.NewSource(sc.scale.Seed + 13))
+	arrivals := workload.StreamOf(proc, arrRng, sc.scale.Jobs)
+	if sc.failures != nil {
+		fcfg := *sc.failures
+		if fcfg.HorizonSec == 0 {
+			// Cover the whole arrival window plus drain slack.
+			fcfg.HorizonSec = arrivals[len(arrivals)-1].At*1.1 + 300
+		}
+		if _, err := engine.NewFailureInjector(sim, eng, fcfg); err != nil {
+			return metrics.ScenarioResult{}, nil, fmt.Errorf("arming failure injector: %w", err)
+		}
+	}
+	var arriveErr error
+	for _, a := range arrivals {
+		a := a
+		job, err := source.Job(jobRng, a.Class)
+		if err != nil {
+			return metrics.ScenarioResult{}, nil, fmt.Errorf("building class-%d job: %w", a.Class, err)
+		}
+		sim.At(simtime.Time(a.At), func() {
+			if err := sch.Arrive(a.Class, job); err != nil && arriveErr == nil {
+				arriveErr = err
+			}
+		})
+	}
+	sim.Run()
+	if arriveErr != nil {
+		return metrics.ScenarioResult{}, nil, arriveErr
+	}
+	res := metrics.ScenarioResult{
+		Name:         sc.name,
+		PerClass:     metrics.Aggregate(sch.Records(), sc.policy.Classes, sc.scale.WarmupFraction),
+		EnergyJoules: clu.EnergyJoules(),
+		MakespanSec:  sim.Now().Seconds(),
+	}
+	useful := clu.BusySlotSeconds() - eng.WastedSlotSeconds()
+	if total := useful + eng.WastedSlotSeconds(); total > 0 {
+		res.ResourceWastePct = 100 * eng.WastedSlotSeconds() / total
+	}
+	return res, sch.Records(), nil
+}
+
+// profileSolo measures the solo execution time of a job under given drop
+// ratios: it runs `runs` copies back to back on an idle stack and returns
+// per-run durations plus the last run's full result (stage stats).
+func profileSolo(job *engine.Job, drops []float64, cost engine.CostModel, cluCfg cluster.Config, runs int, seed int64) ([]float64, engine.JobResult, error) {
+	sim := simtime.New()
+	clu, err := cluster.New(sim, cluCfg)
+	if err != nil {
+		return nil, engine.JobResult{}, err
+	}
+	eng, err := engine.New(sim, clu, nil, cost, seed)
+	if err != nil {
+		return nil, engine.JobResult{}, err
+	}
+	durations := make([]float64, 0, runs)
+	var last engine.JobResult
+	for i := 0; i < runs; i++ {
+		start := sim.Now()
+		done := false
+		_, err := eng.Submit(job, engine.SubmitOptions{
+			DropRatios: drops,
+			OnComplete: func(r engine.JobResult) {
+				durations = append(durations, r.FinishedAt.Sub(start).Seconds())
+				last = r
+				done = true
+			},
+		})
+		if err != nil {
+			return nil, engine.JobResult{}, err
+		}
+		sim.Run()
+		if !done {
+			return nil, engine.JobResult{}, errors.New("experiments: profiling job did not complete")
+		}
+	}
+	return durations, last, nil
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// ComparisonFigure is the common output shape of Figures 7-11: a
+// preemptive baseline in absolute terms plus relative differences.
+type ComparisonFigure struct {
+	Title    string
+	Baseline metrics.ScenarioResult
+	Others   []metrics.ScenarioResult
+}
+
+// String renders the figure as the paper lays it out.
+func (f *ComparisonFigure) String() string {
+	return f.Title + "\n" + metrics.FormatComparisonTable(f.Baseline, f.Others...)
+}
+
+// Comparisons returns the relative-difference rows.
+func (f *ComparisonFigure) Comparisons() []metrics.Comparison {
+	return metrics.Compare(f.Baseline, f.Others...)
+}

@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMotivationShape(t *testing.T) {
+	res, err := Motivation(extScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("%d rows, want 4", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.LowSlowdown < 1 || row.HighSlowdown < 1 {
+			t.Fatalf("slowdowns below 1 at util %.2f: %+v", row.Util, row)
+		}
+		if row.Ratio < 1 {
+			t.Errorf("util %.2f: low class slowed down less than high (%.2f)", row.Util, row.Ratio)
+		}
+	}
+	// The paper's two motivation claims, in shape: both the slowdown gap
+	// and the waste grow with load.
+	first, last := res.Rows[0], res.Rows[len(res.Rows)-1]
+	if last.Ratio <= first.Ratio {
+		t.Errorf("slowdown ratio did not grow with load: %.2f -> %.2f", first.Ratio, last.Ratio)
+	}
+	if last.Ratio < 1.5 {
+		t.Errorf("slowdown ratio at 90%% load %.2f, want the paper's multi-x gap", last.Ratio)
+	}
+	if last.WastePct <= 0 {
+		t.Error("no eviction waste at 90% load under P")
+	}
+	if last.Evictions == 0 {
+		t.Error("no evictions at 90% load under P")
+	}
+	if !strings.Contains(res.String(), "slowdown") {
+		t.Error("rendering lacks slowdown columns")
+	}
+}

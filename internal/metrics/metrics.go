@@ -1,0 +1,176 @@
+// Package metrics aggregates per-job records into the quantities the
+// paper reports: per-class mean and 95th-percentile response times, the
+// queueing/execution decomposition (Table 2), resource waste from
+// evictions (§5.1), and energy.
+package metrics
+
+import (
+	"fmt"
+	"strings"
+
+	"dias/internal/core"
+	"dias/internal/stats"
+)
+
+// ClassStats summarises the completed jobs of one priority class.
+type ClassStats struct {
+	Class int
+	Jobs  int
+	// Response/queue/exec times in seconds.
+	MeanResponseSec float64
+	P95ResponseSec  float64
+	MeanQueueSec    float64
+	MeanExecSec     float64
+	// Evictions suffered by this class's jobs.
+	Evictions int
+	// MeanEffectiveDrop averages the realised drop ratios.
+	MeanEffectiveDrop float64
+}
+
+// ScenarioResult is one policy's outcome on a workload.
+type ScenarioResult struct {
+	// Name is the paper label: P, NP, DA(0,20), DiAS(0,10), ...
+	Name     string
+	PerClass []ClassStats
+	// ResourceWastePct is machine time spent on evicted attempts over all
+	// machine time spent processing, in percent.
+	ResourceWastePct float64
+	// EnergyJoules is total cluster energy over the run.
+	EnergyJoules float64
+	// MakespanSec is the virtual time to drain the workload.
+	MakespanSec float64
+}
+
+// Aggregate folds job records into per-class statistics, skipping the
+// first warmupFraction of completions (transient).
+func Aggregate(records []core.JobRecord, classes int, warmupFraction float64) []ClassStats {
+	if warmupFraction < 0 {
+		warmupFraction = 0
+	}
+	if warmupFraction > 0.9 {
+		warmupFraction = 0.9
+	}
+	skip := int(float64(len(records)) * warmupFraction)
+	out := make([]ClassStats, classes)
+	samples := make([]*stats.Sample, classes)
+	queues := make([]*stats.Stream, classes)
+	execs := make([]*stats.Stream, classes)
+	drops := make([]*stats.Stream, classes)
+	for k := range out {
+		out[k].Class = k
+		samples[k] = &stats.Sample{}
+		queues[k] = &stats.Stream{}
+		execs[k] = &stats.Stream{}
+		drops[k] = &stats.Stream{}
+	}
+	for i, r := range records {
+		if i < skip {
+			continue
+		}
+		if r.Class < 0 || r.Class >= classes {
+			continue
+		}
+		k := r.Class
+		out[k].Jobs++
+		out[k].Evictions += r.Evictions
+		samples[k].Add(r.ResponseSec)
+		queues[k].Add(r.QueueSec)
+		execs[k].Add(r.ExecSec)
+		drops[k].Add(r.EffectiveDropRatio)
+	}
+	for k := range out {
+		out[k].MeanResponseSec = samples[k].Mean()
+		out[k].P95ResponseSec = samples[k].Percentile(95)
+		out[k].MeanQueueSec = queues[k].Mean()
+		out[k].MeanExecSec = execs[k].Mean()
+		out[k].MeanEffectiveDrop = drops[k].Mean()
+	}
+	return out
+}
+
+// Comparison is one scenario's per-class relative difference against a
+// baseline, the "Difference [%]" axis of Figures 7-11 (negative =
+// improvement).
+type Comparison struct {
+	Name string
+	// MeanDiffPct[k] and TailDiffPct[k] are relative changes of class k's
+	// mean and 95th-percentile response versus the baseline.
+	MeanDiffPct []float64
+	TailDiffPct []float64
+	// EnergyDiffPct compares total energy (Figure 11c).
+	EnergyDiffPct float64
+	// ResourceWastePct of this scenario (absolute, not relative).
+	ResourceWastePct float64
+}
+
+// Compare computes the paper-style relative differences of each scenario
+// against the baseline.
+func Compare(baseline ScenarioResult, others ...ScenarioResult) []Comparison {
+	out := make([]Comparison, 0, len(others))
+	for _, o := range others {
+		c := Comparison{
+			Name:             o.Name,
+			MeanDiffPct:      make([]float64, len(o.PerClass)),
+			TailDiffPct:      make([]float64, len(o.PerClass)),
+			EnergyDiffPct:    stats.RelativeChange(baseline.EnergyJoules, o.EnergyJoules),
+			ResourceWastePct: o.ResourceWastePct,
+		}
+		for k := range o.PerClass {
+			if k < len(baseline.PerClass) {
+				c.MeanDiffPct[k] = stats.RelativeChange(baseline.PerClass[k].MeanResponseSec, o.PerClass[k].MeanResponseSec)
+				c.TailDiffPct[k] = stats.RelativeChange(baseline.PerClass[k].P95ResponseSec, o.PerClass[k].P95ResponseSec)
+			}
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// classLabel names classes the way the paper does (index = priority,
+// higher = more important).
+func classLabel(k, classes int) string {
+	switch {
+	case classes == 2:
+		return [2]string{"Low", "High"}[k]
+	case classes == 3:
+		return [3]string{"Low", "Middle", "High"}[k]
+	default:
+		return fmt.Sprintf("Class%d", k)
+	}
+}
+
+// FormatComparisonTable renders the baseline's absolute numbers and each
+// scenario's relative differences, mirroring the layout of Figures 7-11.
+func FormatComparisonTable(baseline ScenarioResult, others ...ScenarioResult) string {
+	var b strings.Builder
+	classes := len(baseline.PerClass)
+	fmt.Fprintf(&b, "%-12s baseline (absolute response times, waste %.1f%%)\n", baseline.Name, baseline.ResourceWastePct)
+	for k := classes - 1; k >= 0; k-- {
+		cs := baseline.PerClass[k]
+		fmt.Fprintf(&b, "  %-7s mean %9.2fs   p95 %9.2fs   (n=%d)\n",
+			classLabel(k, classes), cs.MeanResponseSec, cs.P95ResponseSec, cs.Jobs)
+	}
+	for _, c := range Compare(baseline, others...) {
+		fmt.Fprintf(&b, "%-12s vs %s (waste %.1f%%, energy %+.1f%%)\n", c.Name, baseline.Name, c.ResourceWastePct, c.EnergyDiffPct)
+		for k := classes - 1; k >= 0; k-- {
+			fmt.Fprintf(&b, "  %-7s mean %+8.1f%%   p95 %+8.1f%%\n",
+				classLabel(k, classes), c.MeanDiffPct[k], c.TailDiffPct[k])
+		}
+	}
+	return b.String()
+}
+
+// FormatDecompositionTable renders Table 2: mean queueing and execution
+// times per class for a set of scenarios.
+func FormatDecompositionTable(results ...ScenarioResult) string {
+	var b strings.Builder
+	b.WriteString("Policy        Class    Queue [s]    Exec [s]\n")
+	for _, r := range results {
+		for k := len(r.PerClass) - 1; k >= 0; k-- {
+			cs := r.PerClass[k]
+			fmt.Fprintf(&b, "%-13s %-7s %9.1f  %10.1f\n",
+				r.Name, classLabel(k, len(r.PerClass)), cs.MeanQueueSec, cs.MeanExecSec)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,140 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"dias/internal/core"
+)
+
+func recs() []core.JobRecord {
+	return []core.JobRecord{
+		{Class: 0, ResponseSec: 100, QueueSec: 70, ExecSec: 30, Evictions: 1, EffectiveDropRatio: 0.2},
+		{Class: 1, ResponseSec: 20, QueueSec: 5, ExecSec: 15},
+		{Class: 0, ResponseSec: 200, QueueSec: 150, ExecSec: 50, EffectiveDropRatio: 0.2},
+		{Class: 1, ResponseSec: 40, QueueSec: 10, ExecSec: 30},
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	cs := Aggregate(recs(), 2, 0)
+	if cs[0].Jobs != 2 || cs[1].Jobs != 2 {
+		t.Fatalf("job counts %d/%d", cs[0].Jobs, cs[1].Jobs)
+	}
+	if math.Abs(cs[0].MeanResponseSec-150) > 1e-9 {
+		t.Fatalf("low mean = %g", cs[0].MeanResponseSec)
+	}
+	if math.Abs(cs[0].MeanQueueSec-110) > 1e-9 || math.Abs(cs[0].MeanExecSec-40) > 1e-9 {
+		t.Fatalf("decomposition %g/%g", cs[0].MeanQueueSec, cs[0].MeanExecSec)
+	}
+	if cs[0].Evictions != 1 {
+		t.Fatalf("evictions = %d", cs[0].Evictions)
+	}
+	if math.Abs(cs[0].MeanEffectiveDrop-0.2) > 1e-9 {
+		t.Fatalf("drop = %g", cs[0].MeanEffectiveDrop)
+	}
+	// p95 with two samples interpolates near the max.
+	if cs[1].P95ResponseSec < 35 || cs[1].P95ResponseSec > 40 {
+		t.Fatalf("p95 = %g", cs[1].P95ResponseSec)
+	}
+}
+
+func TestAggregateWarmup(t *testing.T) {
+	cs := Aggregate(recs(), 2, 0.5) // skip first two records
+	if cs[0].Jobs != 1 || cs[1].Jobs != 1 {
+		t.Fatalf("warmup skip wrong: %d/%d", cs[0].Jobs, cs[1].Jobs)
+	}
+	if math.Abs(cs[0].MeanResponseSec-200) > 1e-9 {
+		t.Fatalf("low mean after warmup = %g", cs[0].MeanResponseSec)
+	}
+	// Out-of-range warmup fractions are clamped, not fatal.
+	_ = Aggregate(recs(), 2, -1)
+	_ = Aggregate(recs(), 2, 5)
+}
+
+func TestAggregateIgnoresForeignClasses(t *testing.T) {
+	rs := append(recs(), core.JobRecord{Class: 9, ResponseSec: 1e9})
+	cs := Aggregate(rs, 2, 0)
+	if cs[0].Jobs != 2 || cs[1].Jobs != 2 {
+		t.Fatal("foreign class leaked into stats")
+	}
+}
+
+func baseline() ScenarioResult {
+	return ScenarioResult{
+		Name: "P",
+		PerClass: []ClassStats{
+			{Class: 0, MeanResponseSec: 200, P95ResponseSec: 400},
+			{Class: 1, MeanResponseSec: 20, P95ResponseSec: 50},
+		},
+		ResourceWastePct: 4,
+		EnergyJoules:     1000,
+	}
+}
+
+func TestCompare(t *testing.T) {
+	da := ScenarioResult{
+		Name: "DA(0,20)",
+		PerClass: []ClassStats{
+			{Class: 0, MeanResponseSec: 70, P95ResponseSec: 140},
+			{Class: 1, MeanResponseSec: 22, P95ResponseSec: 45},
+		},
+		EnergyJoules: 800,
+	}
+	cs := Compare(baseline(), da)
+	if len(cs) != 1 {
+		t.Fatalf("%d comparisons", len(cs))
+	}
+	c := cs[0]
+	if math.Abs(c.MeanDiffPct[0]+65) > 1e-9 {
+		t.Fatalf("low mean diff = %g, want -65", c.MeanDiffPct[0])
+	}
+	if math.Abs(c.MeanDiffPct[1]-10) > 1e-9 {
+		t.Fatalf("high mean diff = %g, want +10", c.MeanDiffPct[1])
+	}
+	if math.Abs(c.TailDiffPct[0]+65) > 1e-9 {
+		t.Fatalf("low tail diff = %g", c.TailDiffPct[0])
+	}
+	if math.Abs(c.EnergyDiffPct+20) > 1e-9 {
+		t.Fatalf("energy diff = %g, want -20", c.EnergyDiffPct)
+	}
+}
+
+func TestFormatComparisonTable(t *testing.T) {
+	other := baseline()
+	other.Name = "NP"
+	other.ResourceWastePct = 0
+	out := FormatComparisonTable(baseline(), other)
+	for _, want := range []string{"P", "NP", "High", "Low", "mean", "p95", "waste"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFormatDecompositionTable(t *testing.T) {
+	r := baseline()
+	r.PerClass[0].MeanQueueSec = 378.9
+	r.PerClass[0].MeanExecSec = 148.5
+	out := FormatDecompositionTable(r)
+	if !strings.Contains(out, "Queue") || !strings.Contains(out, "Exec") {
+		t.Fatalf("missing headers:\n%s", out)
+	}
+	if !strings.Contains(out, "378.9") {
+		t.Fatalf("missing value:\n%s", out)
+	}
+}
+
+func TestClassLabels(t *testing.T) {
+	three := ScenarioResult{
+		Name:     "P",
+		PerClass: []ClassStats{{Class: 0}, {Class: 1}, {Class: 2}},
+	}
+	out := FormatComparisonTable(three)
+	for _, want := range []string{"Low", "Middle", "High"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("three-class table missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"dias/internal/core"
+	"dias/internal/stats"
+)
+
+// Slowdown metrics reproduce the measurement the paper's motivation builds
+// on (§1, §2.1): the latency slowdown of a job is its end-to-end response
+// time divided by the execution time of its successful attempt (i.e.
+// excluding time lost to evictions), and production traces show the lowest
+// priority suffering ~3x the slowdown of high priorities under preemptive
+// scheduling.
+
+// SlowdownStats summarises one class's slowdowns.
+type SlowdownStats struct {
+	Class int
+	Jobs  int
+	// MeanSlowdown and P95Slowdown are response/exec ratios (>= 1).
+	MeanSlowdown float64
+	P95Slowdown  float64
+}
+
+// Slowdowns computes per-class slowdown statistics from job records,
+// skipping the first warmupFraction of completions.
+func Slowdowns(records []core.JobRecord, classes int, warmupFraction float64) []SlowdownStats {
+	if warmupFraction < 0 {
+		warmupFraction = 0
+	}
+	if warmupFraction > 0.9 {
+		warmupFraction = 0.9
+	}
+	skip := int(float64(len(records)) * warmupFraction)
+	out := make([]SlowdownStats, classes)
+	samples := make([]*stats.Sample, classes)
+	for k := range out {
+		out[k].Class = k
+		samples[k] = &stats.Sample{}
+	}
+	for i, r := range records {
+		if i < skip || r.Class < 0 || r.Class >= classes || r.ExecSec <= 0 {
+			continue
+		}
+		out[r.Class].Jobs++
+		samples[r.Class].Add(r.ResponseSec / r.ExecSec)
+	}
+	for k := range out {
+		out[k].MeanSlowdown = samples[k].Mean()
+		out[k].P95Slowdown = samples[k].Percentile(95)
+	}
+	return out
+}
+
+// SlowdownRatio returns the mean slowdown of the lowest class divided by
+// that of the highest — the paper's headline "3x" motivation number. It
+// returns 0 when either class has no jobs.
+func SlowdownRatio(slowdowns []SlowdownStats) float64 {
+	if len(slowdowns) < 2 {
+		return 0
+	}
+	low, high := slowdowns[0], slowdowns[len(slowdowns)-1]
+	if low.Jobs == 0 || high.Jobs == 0 || high.MeanSlowdown <= 0 {
+		return 0
+	}
+	return low.MeanSlowdown / high.MeanSlowdown
+}
+
+// WriteJSON streams scenario results as pretty-printed JSON, for piping
+// experiment output into external plotting tools.
+func WriteJSON(w io.Writer, results ...ScenarioResult) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		return fmt.Errorf("metrics: encoding results: %w", err)
+	}
+	return nil
+}
+
+// ReadJSON parses results written by WriteJSON.
+func ReadJSON(r io.Reader) ([]ScenarioResult, error) {
+	var out []ScenarioResult
+	if err := json.NewDecoder(r).Decode(&out); err != nil {
+		return nil, fmt.Errorf("metrics: decoding results: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,256 @@
+// Package mmap implements Marked Markovian Arrival Processes with K
+// classes — MMAP[K] — the arrival model of the paper's queueing analysis
+// (§4). An MMAP[K] is parameterized by K+1 matrices (D0, D1, ..., DK):
+// D0 holds the transition rates without arrivals (and the diagonal), Dk
+// the rates that produce a class-k arrival, and D = Σ Dk must be the
+// generator of an irreducible Markov chain.
+//
+// The marked Poisson process (the simplest member, used by the paper's
+// experiments) and Markov-modulated processes (bursty traffic) are
+// provided as constructors. Samplers plug into the queueing simulator.
+package mmap
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"dias/internal/matrix"
+)
+
+// MMAP is a validated marked Markovian arrival process.
+type MMAP struct {
+	d0    *matrix.Matrix
+	marks []*matrix.Matrix // D1..DK
+	order int
+	k     int
+}
+
+// New validates and builds an MMAP[K] from D0 and D1..DK.
+func New(d0 *matrix.Matrix, marks ...*matrix.Matrix) (*MMAP, error) {
+	if d0 == nil || len(marks) == 0 {
+		return nil, errors.New("mmap: need D0 and at least one marked matrix")
+	}
+	n := d0.Rows()
+	if d0.Cols() != n {
+		return nil, fmt.Errorf("mmap: D0 is %dx%d", d0.Rows(), d0.Cols())
+	}
+	for k, dk := range marks {
+		if dk == nil || dk.Rows() != n || dk.Cols() != n {
+			return nil, fmt.Errorf("mmap: D%d has wrong shape", k+1)
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if dk.At(i, j) < 0 {
+					return nil, fmt.Errorf("mmap: D%d[%d][%d] = %g negative", k+1, i, j, dk.At(i, j))
+				}
+			}
+		}
+	}
+	// D0 off-diagonals nonnegative, diagonal negative, rows of D sum to 0.
+	for i := 0; i < n; i++ {
+		var row float64
+		for j := 0; j < n; j++ {
+			v := d0.At(i, j)
+			if i != j && v < 0 {
+				return nil, fmt.Errorf("mmap: D0[%d][%d] = %g negative", i, j, v)
+			}
+			if i == j && v > 1e-12 {
+				return nil, fmt.Errorf("mmap: D0 diagonal [%d] = %g positive", i, v)
+			}
+			row += v
+		}
+		for _, dk := range marks {
+			for j := 0; j < n; j++ {
+				row += dk.At(i, j)
+			}
+		}
+		if row > 1e-9 || row < -1e-9 {
+			return nil, fmt.Errorf("mmap: row %d of D sums to %g, want 0", i, row)
+		}
+	}
+	cp := make([]*matrix.Matrix, len(marks))
+	for i, dk := range marks {
+		cp[i] = dk.Clone()
+	}
+	return &MMAP{d0: d0.Clone(), marks: cp, order: n, k: len(marks)}, nil
+}
+
+// Classes returns K, the number of marked classes.
+func (m *MMAP) Classes() int { return m.k }
+
+// Order returns the number of phases of the modulating chain.
+func (m *MMAP) Order() int { return m.order }
+
+// generator returns D = D0 + ΣDk.
+func (m *MMAP) generator() *matrix.Matrix {
+	d := m.d0.Clone()
+	for _, dk := range m.marks {
+		d = matrix.Add(d, dk)
+	}
+	return d
+}
+
+// StationaryPhase returns the stationary distribution of the modulating
+// chain D.
+func (m *MMAP) StationaryPhase() ([]float64, error) {
+	pi, err := matrix.StationaryVector(m.generator())
+	if err != nil {
+		return nil, fmt.Errorf("mmap: %w", err)
+	}
+	return pi, nil
+}
+
+// Rates returns the stationary arrival rate of each class:
+// λk = π·Dk·1.
+func (m *MMAP) Rates() ([]float64, error) {
+	pi, err := m.StationaryPhase()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, m.k)
+	for k, dk := range m.marks {
+		out[k] = matrix.Dot(matrix.VecMul(pi, dk), matrix.Ones(m.order))
+	}
+	return out, nil
+}
+
+// TotalRate returns the aggregate stationary arrival rate.
+func (m *MMAP) TotalRate() (float64, error) {
+	rates, err := m.Rates()
+	if err != nil {
+		return 0, err
+	}
+	var sum float64
+	for _, r := range rates {
+		sum += r
+	}
+	return sum, nil
+}
+
+// Source is a stateful arrival sampler for one MMAP realization.
+type Source struct {
+	m     *MMAP
+	phase int
+}
+
+// NewSource starts a sampler in the stationary phase distribution.
+func (m *MMAP) NewSource(rng *rand.Rand) (*Source, error) {
+	pi, err := m.StationaryPhase()
+	if err != nil {
+		return nil, err
+	}
+	u := rng.Float64()
+	phase := m.order - 1
+	var cum float64
+	for i, p := range pi {
+		cum += p
+		if u < cum {
+			phase = i
+			break
+		}
+	}
+	return &Source{m: m, phase: phase}, nil
+}
+
+// Next draws the gap to the next arrival and its class (0-based).
+// The modulating chain evolves through hidden (D0) transitions until a
+// marked transition fires.
+func (s *Source) Next(rng *rand.Rand) (gap float64, class int) {
+	m := s.m
+	for {
+		// Total outflow from the current phase.
+		exit := -m.d0.At(s.phase, s.phase)
+		if exit <= 0 {
+			// Defensive: an absorbing phase would deadlock; restart from 0.
+			s.phase = 0
+			continue
+		}
+		gap += rng.ExpFloat64() / exit
+		// Choose the transition proportionally to rates.
+		u := rng.Float64() * exit
+		var cum float64
+		for j := 0; j < m.order; j++ {
+			if j == s.phase {
+				continue
+			}
+			cum += m.d0.At(s.phase, j)
+			if u < cum {
+				s.phase = j
+				goto next
+			}
+		}
+		for k, dk := range m.marks {
+			for j := 0; j < m.order; j++ {
+				cum += dk.At(s.phase, j)
+				if u < cum {
+					s.phase = j
+					return gap, k
+				}
+			}
+		}
+		// Numerical slack: attribute to the last class, stay in phase.
+		return gap, m.k - 1
+	next:
+	}
+}
+
+// MarkedPoisson builds the simplest MMAP[K]: independent Poisson streams
+// with the given per-class rates (the paper's experimental setting).
+func MarkedPoisson(rates []float64) (*MMAP, error) {
+	if len(rates) == 0 {
+		return nil, errors.New("mmap: no rates")
+	}
+	var total float64
+	for k, r := range rates {
+		if r < 0 {
+			return nil, fmt.Errorf("mmap: rate[%d] = %g", k, r)
+		}
+		total += r
+	}
+	if total <= 0 {
+		return nil, errors.New("mmap: zero total rate")
+	}
+	d0 := matrix.New(1, 1, []float64{-total})
+	marks := make([]*matrix.Matrix, len(rates))
+	for k, r := range rates {
+		marks[k] = matrix.New(1, 1, []float64{r})
+	}
+	return New(d0, marks...)
+}
+
+// MMPP2 builds a two-phase Markov-modulated marked Poisson process:
+// the chain alternates between a "calm" and a "bursty" phase with switch
+// rates r01 (calm->bursty) and r10 (bursty->calm); class-k arrivals occur
+// at calmRates[k] in the calm phase and burstRates[k] in the bursty one.
+// This models the time-varying arrival intensities the paper's traces
+// exhibit (§2.2).
+func MMPP2(r01, r10 float64, calmRates, burstRates []float64) (*MMAP, error) {
+	if r01 <= 0 || r10 <= 0 {
+		return nil, fmt.Errorf("mmap: switch rates %g/%g", r01, r10)
+	}
+	if len(calmRates) != len(burstRates) || len(calmRates) == 0 {
+		return nil, fmt.Errorf("mmap: %d calm vs %d burst rates", len(calmRates), len(burstRates))
+	}
+	k := len(calmRates)
+	var calmTotal, burstTotal float64
+	for i := 0; i < k; i++ {
+		if calmRates[i] < 0 || burstRates[i] < 0 {
+			return nil, fmt.Errorf("mmap: negative rate for class %d", i)
+		}
+		calmTotal += calmRates[i]
+		burstTotal += burstRates[i]
+	}
+	d0 := matrix.New(2, 2, []float64{
+		-(calmTotal + r01), r01,
+		r10, -(burstTotal + r10),
+	})
+	marks := make([]*matrix.Matrix, k)
+	for i := 0; i < k; i++ {
+		marks[i] = matrix.New(2, 2, []float64{
+			calmRates[i], 0,
+			0, burstRates[i],
+		})
+	}
+	return New(d0, marks...)
+}

@@ -1,0 +1,247 @@
+package mmap
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dias/internal/matrix"
+)
+
+func TestMarkedPoissonValidation(t *testing.T) {
+	if _, err := MarkedPoisson(nil); err == nil {
+		t.Fatal("empty rates accepted")
+	}
+	if _, err := MarkedPoisson([]float64{-1}); err == nil {
+		t.Fatal("negative rate accepted")
+	}
+	if _, err := MarkedPoisson([]float64{0, 0}); err == nil {
+		t.Fatal("zero rates accepted")
+	}
+}
+
+func TestMarkedPoissonRates(t *testing.T) {
+	m, err := MarkedPoisson([]float64{1.8, 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Classes() != 2 || m.Order() != 1 {
+		t.Fatalf("classes=%d order=%d", m.Classes(), m.Order())
+	}
+	rates, err := m.Rates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rates[0]-1.8) > 1e-12 || math.Abs(rates[1]-0.2) > 1e-12 {
+		t.Fatalf("rates = %v", rates)
+	}
+	total, err := m.TotalRate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(total-2) > 1e-12 {
+		t.Fatalf("total = %g", total)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	good0 := matrix.New(1, 1, []float64{-2})
+	good1 := matrix.New(1, 1, []float64{2})
+	if _, err := New(good0, good1); err != nil {
+		t.Fatalf("valid MMAP rejected: %v", err)
+	}
+	cases := []struct {
+		name  string
+		d0    *matrix.Matrix
+		marks []*matrix.Matrix
+	}{
+		{"nil d0", nil, []*matrix.Matrix{good1}},
+		{"no marks", good0, nil},
+		{"shape mismatch", good0, []*matrix.Matrix{matrix.Zeros(2, 2)}},
+		{"negative mark", good0, []*matrix.Matrix{matrix.New(1, 1, []float64{-2})}},
+		{"rows not zero", matrix.New(1, 1, []float64{-3}), []*matrix.Matrix{good1}},
+		{"positive d0 diagonal", matrix.New(1, 1, []float64{2}), []*matrix.Matrix{matrix.New(1, 1, []float64{-2})}},
+	}
+	for _, c := range cases {
+		if _, err := New(c.d0, c.marks...); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+	// Negative off-diagonal in D0.
+	d0 := matrix.New(2, 2, []float64{-1, -1, 0, -2})
+	d1 := matrix.New(2, 2, []float64{1, 1, 1, 1})
+	if _, err := New(d0, d1); err == nil {
+		t.Error("negative off-diagonal accepted")
+	}
+}
+
+func TestMarkedPoissonSampling(t *testing.T) {
+	m, err := MarkedPoisson([]float64{3, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	src, err := m.NewSource(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 60000
+	var gapSum float64
+	counts := [2]int{}
+	for i := 0; i < n; i++ {
+		gap, k := src.Next(rng)
+		gapSum += gap
+		counts[k]++
+	}
+	if got := gapSum / n; math.Abs(got-0.25) > 0.01 {
+		t.Fatalf("mean gap = %g, want 0.25", got)
+	}
+	if frac := float64(counts[0]) / n; math.Abs(frac-0.75) > 0.01 {
+		t.Fatalf("class-0 fraction = %g, want 0.75", frac)
+	}
+}
+
+func TestMMPP2Validation(t *testing.T) {
+	if _, err := MMPP2(0, 1, []float64{1}, []float64{2}); err == nil {
+		t.Fatal("zero switch rate accepted")
+	}
+	if _, err := MMPP2(1, 1, []float64{1}, []float64{2, 3}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := MMPP2(1, 1, []float64{-1}, []float64{2}); err == nil {
+		t.Fatal("negative rate accepted")
+	}
+}
+
+func TestMMPP2StationaryRates(t *testing.T) {
+	// Symmetric switching: half the time calm (rate 1), half bursty
+	// (rate 9): stationary class rate = 5.
+	m, err := MMPP2(0.5, 0.5, []float64{1}, []float64{9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rates, err := m.Rates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rates[0]-5) > 1e-9 {
+		t.Fatalf("rate = %g, want 5", rates[0])
+	}
+	pi, err := m.StationaryPhase()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pi[0]-0.5) > 1e-9 {
+		t.Fatalf("pi = %v, want [0.5 0.5]", pi)
+	}
+}
+
+func TestMMPP2SamplingMatchesStationaryRate(t *testing.T) {
+	m, err := MMPP2(0.2, 0.6, []float64{0.5, 0.1}, []float64{4, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := m.TotalRate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	src, err := m.NewSource(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 80000
+	var total float64
+	for i := 0; i < n; i++ {
+		gap, _ := src.Next(rng)
+		total += gap
+	}
+	got := n / total // empirical arrival rate
+	if math.Abs(got-want)/want > 0.03 {
+		t.Fatalf("empirical rate %g vs stationary %g", got, want)
+	}
+}
+
+func TestMMPP2IsBursty(t *testing.T) {
+	// Slow switching + very different intensities => gap SCV well above 1
+	// (the Poisson value). This is what distinguishes MMPPs from Poisson.
+	m, err := MMPP2(0.02, 0.02, []float64{0.2}, []float64{8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	src, err := m.NewSource(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 60000
+	var sum, sum2 float64
+	for i := 0; i < n; i++ {
+		gap, _ := src.Next(rng)
+		sum += gap
+		sum2 += gap * gap
+	}
+	mean := sum / n
+	variance := sum2/n - mean*mean
+	scv := variance / (mean * mean)
+	if scv < 1.5 {
+		t.Fatalf("gap scv = %g, want >> 1 for a bursty MMPP", scv)
+	}
+}
+
+// Property: for random marked Poisson rates, the stationary class rates
+// equal the inputs.
+func TestPropertyMarkedPoissonRates(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 1 + rng.Intn(4)
+		rates := make([]float64, k)
+		for i := range rates {
+			rates[i] = rng.Float64() + 0.05
+		}
+		m, err := MarkedPoisson(rates)
+		if err != nil {
+			return false
+		}
+		got, err := m.Rates()
+		if err != nil {
+			return false
+		}
+		for i := range rates {
+			if math.Abs(got[i]-rates[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: MMPP2 stationary rates are convex combinations of calm and
+// burst intensities with the stationary phase weights.
+func TestPropertyMMPP2Rates(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r01 := rng.Float64() + 0.05
+		r10 := rng.Float64() + 0.05
+		calm := []float64{rng.Float64() * 2}
+		burst := []float64{rng.Float64()*5 + 2}
+		m, err := MMPP2(r01, r10, calm, burst)
+		if err != nil {
+			return false
+		}
+		got, err := m.Rates()
+		if err != nil {
+			return false
+		}
+		p0 := r10 / (r01 + r10) // stationary calm probability
+		want := p0*calm[0] + (1-p0)*burst[0]
+		return math.Abs(got[0]-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,440 @@
+package phdist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dias/internal/matrix"
+)
+
+func mustMean(t *testing.T, p *PH) float64 {
+	t.Helper()
+	m, err := p.Mean()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func mustSCV(t *testing.T, p *PH) float64 {
+	t.Helper()
+	s, err := p.SCV()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestExponentialMoments(t *testing.T) {
+	p, err := Exponential(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := mustMean(t, p); math.Abs(m-0.5) > 1e-12 {
+		t.Fatalf("mean = %g, want 0.5", m)
+	}
+	m2, err := p.Moment(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m2-0.5) > 1e-12 { // E[X²] = 2/λ² = 0.5
+		t.Fatalf("second moment = %g, want 0.5", m2)
+	}
+	if s := mustSCV(t, p); math.Abs(s-1) > 1e-12 {
+		t.Fatalf("scv = %g, want 1", s)
+	}
+}
+
+func TestErlangMoments(t *testing.T) {
+	p, err := Erlang(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := mustMean(t, p); math.Abs(m-2) > 1e-12 {
+		t.Fatalf("mean = %g, want 2", m)
+	}
+	if s := mustSCV(t, p); math.Abs(s-0.25) > 1e-12 {
+		t.Fatalf("scv = %g, want 0.25", s)
+	}
+}
+
+func TestExponentialCDF(t *testing.T) {
+	p, err := Exponential(1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{0, 0.1, 0.5, 1, 2, 5} {
+		want := 1 - math.Exp(-1.5*x)
+		if got := p.CDF(x); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("CDF(%g) = %g, want %g", x, got, want)
+		}
+	}
+	if got := p.CDF(-1); got != 0 {
+		t.Fatalf("CDF(-1) = %g", got)
+	}
+}
+
+func TestErlangCDF(t *testing.T) {
+	// Erlang(2, λ): F(t) = 1 - e^{-λt}(1+λt).
+	p, err := Erlang(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{0.1, 0.5, 1, 2} {
+		want := 1 - math.Exp(-3*x)*(1+3*x)
+		if got := p.CDF(x); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("CDF(%g) = %g, want %g", x, got, want)
+		}
+	}
+}
+
+func TestHyperExponential(t *testing.T) {
+	p, err := HyperExponential([]float64{0.4, 0.6}, []float64{1, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.4/1 + 0.6/5
+	if m := mustMean(t, p); math.Abs(m-want) > 1e-12 {
+		t.Fatalf("mean = %g, want %g", m, want)
+	}
+	if s := mustSCV(t, p); s <= 1 {
+		t.Fatalf("scv = %g, want > 1", s)
+	}
+	if _, err := HyperExponential([]float64{0.5, 0.4}, []float64{1, 2}); err == nil {
+		t.Fatal("expected error for weights not summing to 1")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	cases := []struct {
+		name  string
+		alpha []float64
+		a     *matrix.Matrix
+	}{
+		{"dim mismatch", []float64{1}, matrix.Zeros(2, 2)},
+		{"negative alpha", []float64{-0.5, 1.5}, matrix.New(2, 2, []float64{-1, 0, 0, -1})},
+		{"alpha mass >1", []float64{0.9, 0.9}, matrix.New(2, 2, []float64{-1, 0, 0, -1})},
+		{"positive diagonal", []float64{1}, matrix.New(1, 1, []float64{2})},
+		{"negative off-diagonal", []float64{1, 0}, matrix.New(2, 2, []float64{-1, -1, 0, -1})},
+		{"positive row sum", []float64{1, 0}, matrix.New(2, 2, []float64{-1, 3, 0, -1})},
+	}
+	for _, c := range cases {
+		if _, err := New(c.alpha, c.a); err == nil {
+			t.Errorf("%s: no error", c.name)
+		}
+	}
+}
+
+func TestAtomAtZero(t *testing.T) {
+	// alpha mass 0.7: P(X=0) = 0.3.
+	p, err := New([]float64{0.7}, matrix.New(1, 1, []float64{-1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.CDF(0); math.Abs(got-0.3) > 1e-12 {
+		t.Fatalf("CDF(0) = %g, want 0.3", got)
+	}
+	if m := mustMean(t, p); math.Abs(m-0.7) > 1e-12 {
+		t.Fatalf("mean = %g, want 0.7", m)
+	}
+}
+
+func TestConvolve(t *testing.T) {
+	x, err := Exponential(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, err := Exponential(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z := Convolve(x, y) // Erlang(2,1)
+	if m := mustMean(t, z); math.Abs(m-2) > 1e-12 {
+		t.Fatalf("mean = %g, want 2", m)
+	}
+	if s := mustSCV(t, z); math.Abs(s-0.5) > 1e-12 {
+		t.Fatalf("scv = %g, want 0.5", s)
+	}
+	e2, err := Erlang(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tt := range []float64{0.3, 1, 3} {
+		if got, want := z.CDF(tt), e2.CDF(tt); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("CDF(%g) = %g, want %g", tt, got, want)
+		}
+	}
+}
+
+func TestConvolveWithAtom(t *testing.T) {
+	// X has atom 0.5 at zero: E[X+Y] = 0.5·E[exp(1)] + E[exp(2)].
+	x, err := New([]float64{0.5}, matrix.New(1, 1, []float64{-1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, err := Exponential(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z := Convolve(x, y)
+	if m := mustMean(t, z); math.Abs(m-1.0) > 1e-12 {
+		t.Fatalf("mean = %g, want 1.0", m)
+	}
+}
+
+func TestConvolveAll(t *testing.T) {
+	e, err := Exponential(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z, err := ConvolveAll(e, e, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := mustMean(t, z); math.Abs(m-3) > 1e-12 {
+		t.Fatalf("mean = %g, want 3", m)
+	}
+	if _, err := ConvolveAll(); err == nil {
+		t.Fatal("expected error for empty ConvolveAll")
+	}
+}
+
+func TestMixture(t *testing.T) {
+	fast, err := Exponential(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := Exponential(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mix, err := Mixture([]float64{0.3, 0.7}, []*PH{fast, slow})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.3*0.1 + 0.7*1.0
+	if m := mustMean(t, mix); math.Abs(m-want) > 1e-12 {
+		t.Fatalf("mean = %g, want %g", m, want)
+	}
+	if _, err := Mixture([]float64{0.5}, []*PH{fast, slow}); err == nil {
+		t.Fatal("expected error for length mismatch")
+	}
+}
+
+func TestScaleTime(t *testing.T) {
+	p, err := Erlang(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := p.ScaleTime(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := mustMean(t, q); math.Abs(m-6) > 1e-12 { // 1.5 * 4
+		t.Fatalf("mean = %g, want 6", m)
+	}
+	// SCV is scale-invariant.
+	if s0, s1 := mustSCV(t, p), mustSCV(t, q); math.Abs(s0-s1) > 1e-12 {
+		t.Fatalf("scv changed under scaling: %g vs %g", s0, s1)
+	}
+	if _, err := p.ScaleTime(0); err == nil {
+		t.Fatal("expected error for nonpositive scale")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	p, err := Exponential(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []float64{0.1, 0.5, 0.95} {
+		want := -math.Log(1-q) / 2
+		got, err := p.Quantile(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-want) > 1e-6 {
+			t.Fatalf("Quantile(%g) = %g, want %g", q, got, want)
+		}
+	}
+	if _, err := p.Quantile(1); err == nil {
+		t.Fatal("expected error for q=1")
+	}
+}
+
+func TestSampleMatchesMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	p, err := Erlang(3, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 20000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += p.Sample(rng)
+	}
+	got := sum / n
+	want := mustMean(t, p)
+	if math.Abs(got-want)/want > 0.03 {
+		t.Fatalf("sample mean %g, analytic %g", got, want)
+	}
+}
+
+func TestSampleHyperExp(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	p, err := HyperExponential([]float64{0.2, 0.8}, []float64{0.5, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 30000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += p.Sample(rng)
+	}
+	got := sum / n
+	want := mustMean(t, p)
+	if math.Abs(got-want)/want > 0.04 {
+		t.Fatalf("sample mean %g, analytic %g", got, want)
+	}
+}
+
+func TestFitMeanSCV(t *testing.T) {
+	cases := []struct{ mean, scv float64 }{
+		{1, 1}, {2, 0.5}, {5, 0.33}, {3, 0.2}, {1, 2}, {10, 8}, {0.5, 1.0000001},
+	}
+	for _, c := range cases {
+		p, err := FitMeanSCV(c.mean, c.scv)
+		if err != nil {
+			t.Fatalf("FitMeanSCV(%g,%g): %v", c.mean, c.scv, err)
+		}
+		if m := mustMean(t, p); math.Abs(m-c.mean)/c.mean > 1e-6 {
+			t.Fatalf("FitMeanSCV(%g,%g) mean = %g", c.mean, c.scv, m)
+		}
+		gotSCV := mustSCV(t, p)
+		tol := 1e-6
+		if c.scv < 0.02 { // near-deterministic branch is capped at order 64
+			tol = 0.02
+		}
+		if math.Abs(gotSCV-c.scv) > tol && math.Abs(gotSCV-c.scv)/c.scv > tol {
+			t.Fatalf("FitMeanSCV(%g,%g) scv = %g", c.mean, c.scv, gotSCV)
+		}
+	}
+	if _, err := FitMeanSCV(0, 1); err == nil {
+		t.Fatal("expected error for zero mean")
+	}
+}
+
+func TestFitNearDeterministic(t *testing.T) {
+	p, err := FitMeanSCV(2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := mustMean(t, p); math.Abs(m-2) > 1e-9 {
+		t.Fatalf("mean = %g", m)
+	}
+	if s := mustSCV(t, p); s > 0.02 {
+		t.Fatalf("scv = %g, want near 0", s)
+	}
+}
+
+func TestAccessorsCopy(t *testing.T) {
+	p, err := Exponential(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := p.Alpha()
+	a[0] = 99
+	if p.Alpha()[0] != 1 {
+		t.Fatal("Alpha aliases internal state")
+	}
+	g := p.Generator()
+	g.Set(0, 0, 99)
+	if p.Generator().At(0, 0) != -1 {
+		t.Fatal("Generator aliases internal state")
+	}
+}
+
+// Property: convolution means add; mixture means are convex combinations.
+func TestPropertyClosureMeans(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r1 := 0.1 + rng.Float64()*5
+		r2 := 0.1 + rng.Float64()*5
+		k := 1 + rng.Intn(4)
+		x, err := Erlang(k, r1)
+		if err != nil {
+			return false
+		}
+		y, err := Exponential(r2)
+		if err != nil {
+			return false
+		}
+		mx, _ := x.Mean()
+		my, _ := y.Mean()
+		conv := Convolve(x, y)
+		mc, err := conv.Mean()
+		if err != nil || math.Abs(mc-(mx+my)) > 1e-8 {
+			return false
+		}
+		w := rng.Float64()
+		mix, err := Mixture([]float64{w, 1 - w}, []*PH{x, y})
+		if err != nil {
+			return false
+		}
+		mm, err := mix.Mean()
+		return err == nil && math.Abs(mm-(w*mx+(1-w)*my)) < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: CDF is monotone nondecreasing and bounded in [0,1].
+func TestPropertyCDFMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mean := 0.5 + rng.Float64()*4
+		scv := 0.2 + rng.Float64()*3
+		p, err := FitMeanSCV(mean, scv)
+		if err != nil {
+			return false
+		}
+		prev := -1.0
+		for x := 0.0; x <= mean*5; x += mean / 4 {
+			c := p.CDF(x)
+			if c < prev-1e-9 || c < 0 || c > 1 {
+				return false
+			}
+			prev = c
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkCDFErlang8(b *testing.B) {
+	p, err := Erlang(8, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.CDF(3.7)
+	}
+}
+
+func BenchmarkSample(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	p, err := Erlang(4, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Sample(rng)
+	}
+}

@@ -1,0 +1,245 @@
+// Package simtime provides a deterministic discrete-event simulation kernel.
+//
+// All DiAS experiments run on virtual time: a Simulation owns a clock and a
+// priority queue of scheduled events. Events scheduled for the same instant
+// fire in scheduling order, which keeps runs bit-for-bit reproducible.
+//
+// Time is represented as seconds in a float64-backed type. The simulation
+// never reads the wall clock.
+package simtime
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is an absolute instant on the virtual clock, in seconds since the
+// start of the simulation.
+type Time float64
+
+// Duration is a span of virtual time, in seconds.
+type Duration float64
+
+// Common durations.
+const (
+	Millisecond Duration = 1e-3
+	Second      Duration = 1
+	Minute      Duration = 60
+	Hour        Duration = 3600
+)
+
+// Add returns the instant d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the span from u to t.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Seconds returns the time as a float64 number of seconds.
+func (t Time) Seconds() float64 { return float64(t) }
+
+// Seconds returns the duration as a float64 number of seconds.
+func (d Duration) Seconds() float64 { return float64(d) }
+
+// String formats the time as seconds with millisecond precision.
+func (t Time) String() string { return fmt.Sprintf("%.3fs", float64(t)) }
+
+// String formats the duration as seconds with millisecond precision.
+func (d Duration) String() string { return fmt.Sprintf("%.3fs", float64(d)) }
+
+// EventID identifies a scheduled event so it can be cancelled.
+// The zero EventID is never issued.
+type EventID uint64
+
+// event is a pending callback on the simulation timeline.
+type event struct {
+	id   EventID
+	at   Time
+	seq  uint64 // tie-breaker: FIFO among events at the same instant
+	fn   func()
+	heap int // index in the heap, -1 once popped or cancelled
+}
+
+// eventQueue implements heap.Interface ordered by (at, seq).
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].heap = i
+	q[j].heap = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev := x.(*event)
+	ev.heap = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.heap = -1
+	*q = old[:n-1]
+	return ev
+}
+
+// Simulation is a single-threaded discrete-event simulator.
+// The zero value is not usable; call New.
+type Simulation struct {
+	now     Time
+	queue   eventQueue
+	events  map[EventID]*event
+	nextID  EventID
+	nextSeq uint64
+	stopped bool
+}
+
+// New returns an empty simulation with the clock at zero.
+func New() *Simulation {
+	return &Simulation{events: make(map[EventID]*event)}
+}
+
+// Now returns the current virtual time.
+func (s *Simulation) Now() Time { return s.now }
+
+// At schedules fn to run at instant t. Scheduling in the past (before Now)
+// panics: it indicates a logic error in the caller.
+func (s *Simulation) At(t Time, fn func()) EventID {
+	if t < s.now {
+		panic(fmt.Sprintf("simtime: scheduling event at %v before now %v", t, s.now))
+	}
+	if fn == nil {
+		panic("simtime: nil event callback")
+	}
+	s.nextID++
+	s.nextSeq++
+	ev := &event{id: s.nextID, at: t, seq: s.nextSeq, fn: fn}
+	s.events[ev.id] = ev
+	heap.Push(&s.queue, ev)
+	return ev.id
+}
+
+// After schedules fn to run d after the current time. Negative durations
+// are clamped to zero.
+func (s *Simulation) After(d Duration, fn func()) EventID {
+	if d < 0 {
+		d = 0
+	}
+	return s.At(s.now.Add(d), fn)
+}
+
+// Cancel removes a pending event. It reports whether the event was still
+// pending (false if it already fired, was cancelled, or never existed).
+func (s *Simulation) Cancel(id EventID) bool {
+	ev, ok := s.events[id]
+	if !ok {
+		return false
+	}
+	delete(s.events, id)
+	heap.Remove(&s.queue, ev.heap)
+	return true
+}
+
+// Pending returns the number of events waiting to fire.
+func (s *Simulation) Pending() int { return len(s.queue) }
+
+// Stop makes the currently executing Run return after the current event's
+// callback finishes. Pending events stay queued.
+func (s *Simulation) Stop() { s.stopped = true }
+
+// step fires the earliest pending event. It reports false when the queue is
+// empty.
+func (s *Simulation) step() bool {
+	if len(s.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&s.queue).(*event)
+	delete(s.events, ev.id)
+	s.now = ev.at
+	ev.fn()
+	return true
+}
+
+// Run fires events until the queue drains or Stop is called.
+func (s *Simulation) Run() {
+	s.stopped = false
+	for !s.stopped && s.step() {
+	}
+}
+
+// RunUntil fires events with timestamps <= t, then advances the clock to t.
+// Events scheduled after t stay pending.
+func (s *Simulation) RunUntil(t Time) {
+	s.stopped = false
+	for !s.stopped && len(s.queue) > 0 && s.queue[0].at <= t {
+		s.step()
+	}
+	if !s.stopped && t > s.now {
+		s.now = t
+	}
+}
+
+// RunFor runs the simulation for a span of virtual time from the current
+// instant.
+func (s *Simulation) RunFor(d Duration) { s.RunUntil(s.now.Add(d)) }
+
+// NextEventTime returns the timestamp of the earliest pending event, or
+// (0, false) when the queue is empty.
+func (s *Simulation) NextEventTime() (Time, bool) {
+	if len(s.queue) == 0 {
+		return 0, false
+	}
+	return s.queue[0].at, true
+}
+
+// Timer is a restartable one-shot timer bound to a Simulation, analogous to
+// time.Timer. The zero value is not usable; call NewTimer.
+type Timer struct {
+	sim *Simulation
+	id  EventID
+	set bool
+}
+
+// NewTimer returns a stopped timer bound to sim.
+func NewTimer(sim *Simulation) *Timer { return &Timer{sim: sim} }
+
+// Reset schedules fn to fire d from now, cancelling any pending firing.
+func (t *Timer) Reset(d Duration, fn func()) {
+	t.Stop()
+	t.id = t.sim.After(d, func() {
+		t.set = false
+		fn()
+	})
+	t.set = true
+}
+
+// Stop cancels the pending firing, if any. It reports whether a firing was
+// cancelled.
+func (t *Timer) Stop() bool {
+	if !t.set {
+		return false
+	}
+	t.set = false
+	return t.sim.Cancel(t.id)
+}
+
+// Active reports whether the timer has a pending firing.
+func (t *Timer) Active() bool { return t.set }
+
+// IsFinite reports whether t is a usable instant (not NaN or ±Inf).
+// Simulation entry points use it to validate externally supplied times.
+func IsFinite[T ~float64](t T) bool {
+	f := float64(t)
+	return !math.IsNaN(f) && !math.IsInf(f, 0)
+}

@@ -1,0 +1,201 @@
+// Package trace records scheduler-level events (arrivals, dispatches,
+// evictions, sprint transitions, completions) on the virtual timeline and
+// exports them as JSON lines — the equivalent of the cluster traces the
+// paper's motivation analyses (§2.1) and handy for debugging policies.
+package trace
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"dias/internal/simtime"
+)
+
+// Kind enumerates event types.
+type Kind int
+
+// Event kinds, in rough lifecycle order.
+const (
+	Arrival Kind = iota + 1
+	Dispatch
+	Evict
+	SprintStart
+	SprintStop
+	Complete
+)
+
+var kindNames = map[Kind]string{
+	Arrival:     "arrival",
+	Dispatch:    "dispatch",
+	Evict:       "evict",
+	SprintStart: "sprint-start",
+	SprintStop:  "sprint-stop",
+	Complete:    "complete",
+}
+
+// String returns the wire name of the kind.
+func (k Kind) String() string {
+	if n, ok := kindNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// MarshalJSON encodes the kind as its wire name.
+func (k Kind) MarshalJSON() ([]byte, error) {
+	n, ok := kindNames[k]
+	if !ok {
+		return nil, fmt.Errorf("trace: unknown kind %d", int(k))
+	}
+	return json.Marshal(n)
+}
+
+// UnmarshalJSON decodes a wire name.
+func (k *Kind) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	for kk, n := range kindNames {
+		if n == s {
+			*k = kk
+			return nil
+		}
+	}
+	return fmt.Errorf("trace: unknown kind %q", s)
+}
+
+// Event is one timeline entry.
+type Event struct {
+	At    float64 `json:"at"` // virtual seconds
+	Kind  Kind    `json:"kind"`
+	Job   string  `json:"job,omitempty"`
+	Class int     `json:"class"`
+	// Detail carries kind-specific context (e.g. the evictor's name).
+	Detail string `json:"detail,omitempty"`
+}
+
+// Log accumulates events in timestamp order. The zero value is usable.
+type Log struct {
+	events []Event
+}
+
+// Record appends an event at the given virtual time.
+func (l *Log) Record(at simtime.Time, kind Kind, job string, class int, detail string) {
+	l.events = append(l.events, Event{
+		At: at.Seconds(), Kind: kind, Job: job, Class: class, Detail: detail,
+	})
+}
+
+// Len returns the number of recorded events.
+func (l *Log) Len() int { return len(l.events) }
+
+// Events returns a copy of the log.
+func (l *Log) Events() []Event {
+	out := make([]Event, len(l.events))
+	copy(out, l.events)
+	return out
+}
+
+// Filter returns the events of one kind, preserving order.
+func (l *Log) Filter(kind Kind) []Event {
+	var out []Event
+	for _, e := range l.events {
+		if e.Kind == kind {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// JobTimeline returns all events of one job, in order.
+func (l *Log) JobTimeline(job string) []Event {
+	var out []Event
+	for _, e := range l.events {
+		if e.Job == job {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// WriteJSONL streams the log as JSON lines.
+func (l *Log) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, e := range l.events {
+		if err := enc.Encode(e); err != nil {
+			return fmt.Errorf("trace: encoding event: %w", err)
+		}
+	}
+	return nil
+}
+
+// ReadJSONL parses a JSON-lines trace back into a Log.
+func ReadJSONL(r io.Reader) (*Log, error) {
+	dec := json.NewDecoder(r)
+	l := &Log{}
+	for {
+		var e Event
+		if err := dec.Decode(&e); err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return nil, fmt.Errorf("trace: decoding event: %w", err)
+		}
+		l.events = append(l.events, e)
+	}
+	return l, nil
+}
+
+// Stats summarises a log: per-kind counts and per-class eviction counts.
+type Stats struct {
+	ByKind           map[Kind]int
+	EvictionsByClass map[int]int
+}
+
+// Summarize computes aggregate statistics.
+func (l *Log) Summarize() Stats {
+	s := Stats{ByKind: map[Kind]int{}, EvictionsByClass: map[int]int{}}
+	for _, e := range l.events {
+		s.ByKind[e.Kind]++
+		if e.Kind == Evict {
+			s.EvictionsByClass[e.Class]++
+		}
+	}
+	return s
+}
+
+// SprintSeconds returns the total sprinting time recorded by paired
+// sprint-start / sprint-stop events. An unpaired trailing start counts up
+// to horizon.
+func (l *Log) SprintSeconds(horizon float64) float64 {
+	// Events are recorded in time order, but be defensive: sort a copy.
+	evs := l.Filter(SprintStart)
+	stops := l.Filter(SprintStop)
+	all := append(evs, stops...)
+	sort.SliceStable(all, func(i, j int) bool { return all[i].At < all[j].At })
+	var total float64
+	var openAt float64
+	open := false
+	for _, e := range all {
+		switch e.Kind {
+		case SprintStart:
+			if !open {
+				open = true
+				openAt = e.At
+			}
+		case SprintStop:
+			if open {
+				total += e.At - openAt
+				open = false
+			}
+		}
+	}
+	if open && horizon > openAt {
+		total += horizon - openAt
+	}
+	return total
+}

@@ -1,0 +1,122 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func sampleLog() *Log {
+	l := &Log{}
+	l.Record(0, Arrival, "j1", 0, "")
+	l.Record(0, Dispatch, "j1", 0, "")
+	l.Record(5, Arrival, "j2", 1, "")
+	l.Record(5, Evict, "j1", 0, "preempted-by-j2")
+	l.Record(5, Dispatch, "j2", 1, "")
+	l.Record(6, SprintStart, "j2", 1, "")
+	l.Record(9, SprintStop, "j2", 1, "job-left-engine")
+	l.Record(9, Complete, "j2", 1, "")
+	l.Record(9, Dispatch, "j1", 0, "")
+	l.Record(20, Complete, "j1", 0, "")
+	return l
+}
+
+func TestRecordAndFilter(t *testing.T) {
+	l := sampleLog()
+	if l.Len() != 10 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	if got := len(l.Filter(Dispatch)); got != 3 {
+		t.Fatalf("%d dispatches", got)
+	}
+	if got := len(l.Filter(Evict)); got != 1 {
+		t.Fatalf("%d evictions", got)
+	}
+	tl := l.JobTimeline("j1")
+	if len(tl) != 5 {
+		t.Fatalf("j1 timeline has %d events", len(tl))
+	}
+	if tl[0].Kind != Arrival || tl[len(tl)-1].Kind != Complete {
+		t.Fatalf("timeline ends = %v ... %v", tl[0].Kind, tl[len(tl)-1].Kind)
+	}
+}
+
+func TestEventsCopy(t *testing.T) {
+	l := sampleLog()
+	evs := l.Events()
+	evs[0].Job = "mutated"
+	if l.Events()[0].Job != "j1" {
+		t.Fatal("Events aliases internal storage")
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	l := sampleLog()
+	var buf bytes.Buffer
+	if err := l.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"kind":"evict"`) {
+		t.Fatalf("missing wire kind:\n%s", buf.String())
+	}
+	back, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != l.Len() {
+		t.Fatalf("round trip lost events: %d vs %d", back.Len(), l.Len())
+	}
+	for i, e := range back.Events() {
+		if e != l.Events()[i] {
+			t.Fatalf("event %d changed: %+v vs %+v", i, e, l.Events()[i])
+		}
+	}
+}
+
+func TestReadJSONLBadInput(t *testing.T) {
+	if _, err := ReadJSONL(strings.NewReader("{not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := ReadJSONL(strings.NewReader(`{"at":1,"kind":"bogus","class":0}`)); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := sampleLog().Summarize()
+	if s.ByKind[Dispatch] != 3 || s.ByKind[Complete] != 2 {
+		t.Fatalf("counts = %v", s.ByKind)
+	}
+	if s.EvictionsByClass[0] != 1 {
+		t.Fatalf("evictions by class = %v", s.EvictionsByClass)
+	}
+}
+
+func TestSprintSeconds(t *testing.T) {
+	l := sampleLog()
+	if got := l.SprintSeconds(100); math.Abs(got-3) > 1e-12 {
+		t.Fatalf("sprint seconds = %g, want 3", got)
+	}
+	// Unpaired trailing start counts up to the horizon.
+	l2 := &Log{}
+	l2.Record(10, SprintStart, "j", 1, "")
+	if got := l2.SprintSeconds(25); math.Abs(got-15) > 1e-12 {
+		t.Fatalf("open sprint = %g, want 15", got)
+	}
+	if got := (&Log{}).SprintSeconds(100); got != 0 {
+		t.Fatalf("empty log sprint = %g", got)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	if Arrival.String() != "arrival" || Complete.String() != "complete" {
+		t.Fatal("unexpected names")
+	}
+	if Kind(99).String() == "" {
+		t.Fatal("unknown kind empty")
+	}
+	if _, err := Kind(99).MarshalJSON(); err == nil {
+		t.Fatal("marshalling unknown kind succeeded")
+	}
+}

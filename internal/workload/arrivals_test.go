@@ -1,0 +1,221 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dias/internal/mmap"
+	"dias/internal/simtime"
+	"dias/internal/trace"
+)
+
+func TestStreamOfMatchesPoissonStream(t *testing.T) {
+	pm, err := NewPoissonMix([]float64{0.9, 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := pm.Stream(rand.New(rand.NewSource(5)), 50)
+	b := StreamOf(pm, rand.New(rand.NewSource(5)), 50)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("arrival %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestMMAPSourceSatisfiesProcess(t *testing.T) {
+	m, err := mmap.MarkedPoisson([]float64{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	src, err := m.NewSource(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var p Process = src // compile-time + runtime check
+	arr := StreamOf(p, rng, 4000)
+	var high int
+	for i, a := range arr {
+		if a.Class < 0 || a.Class > 1 {
+			t.Fatalf("arrival %d class %d", i, a.Class)
+		}
+		if a.Class == 1 {
+			high++
+		}
+	}
+	frac := float64(high) / float64(len(arr))
+	if frac < 0.70 || frac > 0.80 {
+		t.Errorf("class-1 fraction %.3f, want ~0.75", frac)
+	}
+}
+
+func TestReplayPreservesGapsAndCycles(t *testing.T) {
+	seq := []Arrival{{At: 1, Class: 0}, {At: 3, Class: 1}, {At: 3.5, Class: 0}}
+	r, err := NewReplay(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	wantGaps := []float64{1, 2, 0.5, 1, 2, 0.5} // two full cycles
+	wantClass := []int{0, 1, 0, 0, 1, 0}
+	for i := range wantGaps {
+		gap, class := r.Next(nil)
+		if math.Abs(gap-wantGaps[i]) > 1e-12 || class != wantClass[i] {
+			t.Fatalf("step %d: gap %g class %d, want %g/%d", i, gap, class, wantGaps[i], wantClass[i])
+		}
+	}
+	// Cumulative times across a cycle boundary keep increasing.
+	arr := StreamOf(mustReplay(t, seq), nil, 7)
+	for i := 1; i < len(arr); i++ {
+		if arr[i].At < arr[i-1].At {
+			t.Fatalf("time went backwards at %d: %g < %g", i, arr[i].At, arr[i-1].At)
+		}
+	}
+}
+
+func mustReplay(t *testing.T, seq []Arrival) *Replay {
+	t.Helper()
+	r, err := NewReplay(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestNewReplayRejectsBadSequences(t *testing.T) {
+	cases := map[string][]Arrival{
+		"empty":        nil,
+		"unsorted":     {{At: 2}, {At: 1}},
+		"negativeTime": {{At: -1}},
+		"negClass":     {{At: 1, Class: -2}},
+	}
+	for name, seq := range cases {
+		if _, err := NewReplay(seq); err == nil {
+			t.Errorf("%s: no error", name)
+		}
+	}
+}
+
+func TestFromTraceLogRoundTrip(t *testing.T) {
+	var l trace.Log
+	l.Record(simtime.Time(2), trace.Arrival, "a", 1, "")
+	l.Record(simtime.Time(2.5), trace.Dispatch, "a", 1, "")
+	l.Record(simtime.Time(4), trace.Arrival, "b", 0, "")
+	l.Record(simtime.Time(9), trace.Complete, "a", 1, "")
+	arr := FromTraceLog(&l)
+	if len(arr) != 2 {
+		t.Fatalf("got %d arrivals, want 2", len(arr))
+	}
+	if arr[0] != (Arrival{At: 2, Class: 1}) || arr[1] != (Arrival{At: 4, Class: 0}) {
+		t.Fatalf("arrivals %+v", arr)
+	}
+	if _, err := NewReplay(arr); err != nil {
+		t.Fatalf("trace arrivals should replay: %v", err)
+	}
+}
+
+func TestRescale(t *testing.T) {
+	arr := []Arrival{{At: 1, Class: 0}, {At: 2, Class: 1}}
+	out, err := Rescale(arr, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].At != 0.5 || out[1].At != 1 {
+		t.Fatalf("rescaled %+v", out)
+	}
+	if arr[0].At != 1 {
+		t.Fatal("rescale mutated its input")
+	}
+	if _, err := Rescale(arr, 0); err == nil {
+		t.Fatal("factor 0 accepted")
+	}
+	if _, err := Rescale(arr, -1); err == nil {
+		t.Fatal("negative factor accepted")
+	}
+}
+
+func TestEmpiricalBootstrapPreservesMarginals(t *testing.T) {
+	// Build a ground-truth stream, bootstrap from it, compare mean gap and
+	// class mix.
+	pm, err := NewPoissonMix([]float64{0.3, 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	base := pm.Stream(rng, 3000)
+	emp, err := NewEmpirical(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMean := 1.0 / pm.TotalRate()
+	if got := emp.MeanGap(); math.Abs(got-wantMean)/wantMean > 0.1 {
+		t.Errorf("mean gap %g, want ~%g", got, wantMean)
+	}
+	mix := emp.ClassMix()
+	if len(mix) != 2 {
+		t.Fatalf("mix %v", mix)
+	}
+	if math.Abs(mix[0]-0.75) > 0.05 {
+		t.Errorf("class-0 mix %g, want ~0.75", mix[0])
+	}
+	// Resampled stream keeps the same mean rate.
+	out := StreamOf(emp, rng, 3000)
+	gotRate := float64(len(out)) / out[len(out)-1].At
+	if math.Abs(gotRate-pm.TotalRate())/pm.TotalRate() > 0.1 {
+		t.Errorf("bootstrap rate %g, want ~%g", gotRate, pm.TotalRate())
+	}
+}
+
+func TestNewEmpiricalRejectsBadInput(t *testing.T) {
+	if _, err := NewEmpirical(nil); err == nil {
+		t.Fatal("empty accepted")
+	}
+	if _, err := NewEmpirical([]Arrival{{At: 3}, {At: 1}}); err == nil {
+		t.Fatal("unsorted accepted")
+	}
+}
+
+// Property: for any valid recorded sequence, replaying it through StreamOf
+// reproduces the original absolute arrival times in the first cycle.
+func TestReplayFirstCycleIdentityProperty(t *testing.T) {
+	f := func(raw []uint16, classesRaw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 64 {
+			raw = raw[:64]
+		}
+		arr := make([]Arrival, len(raw))
+		var tcum float64
+		for i, g := range raw {
+			tcum += float64(g) / 100
+			class := 0
+			if i < len(classesRaw) {
+				class = int(classesRaw[i]) % 3
+			}
+			arr[i] = Arrival{At: tcum, Class: class}
+		}
+		r, err := NewReplay(arr)
+		if err != nil {
+			return false
+		}
+		got := StreamOf(r, nil, len(arr))
+		for i := range arr {
+			if math.Abs(got[i].At-arr[i].At) > 1e-9*(1+arr[i].At) || got[i].Class != arr[i].Class {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

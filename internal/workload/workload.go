@@ -1,0 +1,286 @@
+// Package workload synthesises the paper's inputs and arrival processes
+// (§5.1): per-topic text corpora standing in for the StackExchange dumps,
+// scale-free graphs standing in for the Google web graph, and Poisson job
+// streams with configurable priority mixes and system loads.
+//
+// Everything is driven by caller-owned seeded RNGs, keeping experiments
+// deterministic.
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"dias/internal/analytics"
+	"dias/internal/engine"
+)
+
+// --- Text corpora --------------------------------------------------------
+
+// CorpusConfig shapes a synthetic per-topic corpus.
+type CorpusConfig struct {
+	// Partitions is the number of input partitions (RDD partitions; the
+	// paper splits each dataset into 50).
+	Partitions int
+	// PostsPerPartition controls the data volume.
+	PostsPerPartition int
+	// WordsPerPost is the mean post length.
+	WordsPerPost int
+	// VocabSize is the global vocabulary size.
+	VocabSize int
+	// ZipfS is the Zipf exponent of word frequencies (>1).
+	ZipfS float64
+	// TopicSkew in [0,1] is the fraction of words drawn from a
+	// partition-local topic vocabulary instead of the global one. Higher
+	// skew means partitions differ more, so dropping tasks loses more
+	// accuracy — this knob reproduces the Figure 6 error curve.
+	TopicSkew float64
+	// TopicVocab is the size of each partition's topic slice.
+	TopicVocab int
+}
+
+// DefaultCorpusConfig mirrors the paper's setup at laptop scale: 50
+// partitions per dataset with moderately topic-skewed Zipf text.
+func DefaultCorpusConfig() CorpusConfig {
+	return CorpusConfig{
+		Partitions:        50,
+		PostsPerPartition: 60,
+		WordsPerPost:      12,
+		VocabSize:         2000,
+		ZipfS:             1.3,
+		TopicSkew:         0.35,
+		TopicVocab:        50,
+	}
+}
+
+func (c CorpusConfig) validate() error {
+	switch {
+	case c.Partitions <= 0 || c.PostsPerPartition <= 0 || c.WordsPerPost <= 0:
+		return fmt.Errorf("workload: corpus shape %d/%d/%d must be positive",
+			c.Partitions, c.PostsPerPartition, c.WordsPerPost)
+	case c.VocabSize <= 1 || c.TopicVocab <= 1:
+		return fmt.Errorf("workload: vocab sizes %d/%d too small", c.VocabSize, c.TopicVocab)
+	case c.ZipfS <= 1:
+		return fmt.Errorf("workload: zipf exponent %g must exceed 1", c.ZipfS)
+	case c.TopicSkew < 0 || c.TopicSkew > 1:
+		return fmt.Errorf("workload: topic skew %g out of [0,1]", c.TopicSkew)
+	}
+	return nil
+}
+
+// SynthesizeCorpus builds a partitioned corpus of posts. Each partition
+// leans toward its own topic vocabulary, so word counts vary across
+// partitions and task dropping incurs a measurable accuracy loss.
+func SynthesizeCorpus(rng *rand.Rand, cfg CorpusConfig) (engine.Dataset, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	global := rand.NewZipf(rng, cfg.ZipfS, 1, uint64(cfg.VocabSize-1))
+	topic := rand.NewZipf(rng, cfg.ZipfS, 1, uint64(cfg.TopicVocab-1))
+	ds := make(engine.Dataset, cfg.Partitions)
+	var sb strings.Builder
+	for p := 0; p < cfg.Partitions; p++ {
+		// Each partition's topic occupies a distinct vocabulary slice.
+		topicBase := (p * cfg.TopicVocab) % cfg.VocabSize
+		for q := 0; q < cfg.PostsPerPartition; q++ {
+			sb.Reset()
+			for w := 0; w < cfg.WordsPerPost; w++ {
+				var id uint64
+				if rng.Float64() < cfg.TopicSkew {
+					id = uint64(topicBase) + topic.Uint64()
+				} else {
+					id = global.Uint64()
+				}
+				if w > 0 {
+					sb.WriteByte(' ')
+				}
+				sb.WriteString("w")
+				sb.WriteString(strconv.FormatUint(id%uint64(cfg.VocabSize), 10))
+			}
+			ds[p] = append(ds[p], engine.Record{
+				Key:   "post-" + strconv.Itoa(p) + "-" + strconv.Itoa(q),
+				Value: sb.String(),
+			})
+		}
+	}
+	return ds, nil
+}
+
+// --- Graphs --------------------------------------------------------------
+
+// GraphConfig shapes a synthetic scale-free graph.
+type GraphConfig struct {
+	// Nodes is the vertex count.
+	Nodes int
+	// EdgesPerNode is the preferential-attachment out-degree m.
+	EdgesPerNode int
+}
+
+// DefaultGraphConfig is a laptop-scale stand-in for the Google web graph
+// (875k nodes / 5.1M edges in the paper): the same heavy-tailed degree
+// shape at ~1000x smaller size.
+func DefaultGraphConfig() GraphConfig {
+	return GraphConfig{Nodes: 900, EdgesPerNode: 5}
+}
+
+// SynthesizeGraph grows a Barabási–Albert preferential-attachment graph:
+// new vertices attach m edges to existing vertices with probability
+// proportional to degree, yielding the power-law degree distribution of
+// web graphs.
+func SynthesizeGraph(rng *rand.Rand, cfg GraphConfig) ([]analytics.Edge, error) {
+	if cfg.Nodes < 3 || cfg.EdgesPerNode < 1 || cfg.EdgesPerNode >= cfg.Nodes {
+		return nil, fmt.Errorf("workload: graph config %+v invalid", cfg)
+	}
+	m := cfg.EdgesPerNode
+	edges := make([]analytics.Edge, 0, cfg.Nodes*m)
+	// Repeated-endpoint list implements degree-proportional sampling.
+	var endpoints []int64
+	// Seed with a small clique on m+1 vertices.
+	for u := 0; u <= m; u++ {
+		for v := u + 1; v <= m; v++ {
+			edges = append(edges, analytics.Edge{U: int64(u), V: int64(v)})
+			endpoints = append(endpoints, int64(u), int64(v))
+		}
+	}
+	for v := m + 1; v < cfg.Nodes; v++ {
+		chosen := make(map[int64]bool, m)
+		for len(chosen) < m {
+			t := endpoints[rng.Intn(len(endpoints))]
+			if t != int64(v) {
+				chosen[t] = true
+			}
+		}
+		for t := range chosen {
+			edges = append(edges, analytics.Edge{U: int64(v), V: t})
+			endpoints = append(endpoints, int64(v), t)
+		}
+	}
+	return edges, nil
+}
+
+// --- Arrival processes ---------------------------------------------------
+
+// Arrival is one job arrival in a stream.
+type Arrival struct {
+	// At is the arrival time in seconds from stream start.
+	At float64
+	// Class is the priority class index (higher = higher priority).
+	Class int
+}
+
+// PoissonMix generates a superposed Poisson stream: exponential gaps at the
+// total rate, each arrival labeled class k with probability rate_k/total.
+// This is the marked Poisson special case of the paper's MMAP[K] (§4).
+type PoissonMix struct {
+	rates []float64
+	total float64
+}
+
+// NewPoissonMix builds a mixed Poisson arrival process from per-class
+// rates (jobs per second; index = class).
+func NewPoissonMix(rates []float64) (*PoissonMix, error) {
+	if len(rates) == 0 {
+		return nil, errors.New("workload: no arrival rates")
+	}
+	var total float64
+	for k, r := range rates {
+		if r < 0 {
+			return nil, fmt.Errorf("workload: rate[%d] = %g negative", k, r)
+		}
+		total += r
+	}
+	if total <= 0 {
+		return nil, errors.New("workload: all arrival rates zero")
+	}
+	cp := make([]float64, len(rates))
+	copy(cp, rates)
+	return &PoissonMix{rates: cp, total: total}, nil
+}
+
+// TotalRate returns the aggregate arrival rate.
+func (p *PoissonMix) TotalRate() float64 { return p.total }
+
+// Rates returns a copy of the per-class rates.
+func (p *PoissonMix) Rates() []float64 {
+	out := make([]float64, len(p.rates))
+	copy(out, p.rates)
+	return out
+}
+
+// Next draws the gap to the next arrival and its class.
+func (p *PoissonMix) Next(rng *rand.Rand) (gap float64, class int) {
+	gap = rng.ExpFloat64() / p.total
+	u := rng.Float64() * p.total
+	var cum float64
+	for k, r := range p.rates {
+		cum += r
+		if u < cum {
+			return gap, k
+		}
+	}
+	return gap, len(p.rates) - 1
+}
+
+// Stream materialises the first n arrivals of the process.
+func (p *PoissonMix) Stream(rng *rand.Rand, n int) []Arrival {
+	out := make([]Arrival, 0, n)
+	var t float64
+	for i := 0; i < n; i++ {
+		gap, k := p.Next(rng)
+		t += gap
+		out = append(out, Arrival{At: t, Class: k})
+	}
+	return out
+}
+
+// MixFromRatio converts a priority ratio (e.g. 9:1 low:high as []float64{9,1},
+// index = class) and a total rate into per-class rates.
+func MixFromRatio(ratio []float64, totalRate float64) ([]float64, error) {
+	if len(ratio) == 0 || totalRate <= 0 {
+		return nil, fmt.Errorf("workload: ratio %v total %g", ratio, totalRate)
+	}
+	var sum float64
+	for k, w := range ratio {
+		if w < 0 {
+			return nil, fmt.Errorf("workload: ratio[%d] = %g negative", k, w)
+		}
+		sum += w
+	}
+	if sum <= 0 {
+		return nil, errors.New("workload: zero ratio weights")
+	}
+	out := make([]float64, len(ratio))
+	for k, w := range ratio {
+		out[k] = totalRate * w / sum
+	}
+	return out, nil
+}
+
+// CalibrateTotalRate returns the total arrival rate that loads a
+// one-job-at-a-time engine to targetUtil, given each class's mean solo
+// execution time and the class mix (fractions summing to 1):
+// util = λ_total · Σ_k frac_k · E[S_k].
+func CalibrateTotalRate(meanExecSec []float64, mix []float64, targetUtil float64) (float64, error) {
+	if len(meanExecSec) != len(mix) || len(mix) == 0 {
+		return 0, fmt.Errorf("workload: %d exec means vs %d mix entries", len(meanExecSec), len(mix))
+	}
+	if targetUtil <= 0 || targetUtil >= 1 {
+		return 0, fmt.Errorf("workload: target utilization %g out of (0,1)", targetUtil)
+	}
+	var mixSum, weighted float64
+	for k := range mix {
+		if mix[k] < 0 || meanExecSec[k] <= 0 {
+			return 0, fmt.Errorf("workload: class %d mix %g exec %g", k, mix[k], meanExecSec[k])
+		}
+		mixSum += mix[k]
+		weighted += mix[k] * meanExecSec[k]
+	}
+	if mixSum <= 0 || weighted <= 0 {
+		return 0, errors.New("workload: degenerate mix")
+	}
+	weighted /= mixSum
+	return targetUtil / weighted, nil
+}

@@ -1,0 +1,90 @@
+package dias_test
+
+import (
+	"testing"
+
+	"dias"
+	"dias/internal/analytics"
+	"dias/internal/core"
+	"dias/internal/engine"
+	"dias/internal/workload"
+)
+
+func stackJobs(t *testing.T) []*engine.Job {
+	t.Helper()
+	corpus := make(engine.Dataset, 10)
+	for p := range corpus {
+		corpus[p] = engine.Partition{{Key: "w", Value: "hello world"}}
+	}
+	low := analytics.WordPopularityJob("low", corpus, 4, 100<<20)
+	high := analytics.WordPopularityJob("high", corpus, 4, 50<<20)
+	return []*engine.Job{low, high}
+}
+
+func TestStackSubmitStream(t *testing.T) {
+	stack, err := dias.NewStack(dias.StackConfig{
+		Policy: core.PolicyDA([]float64{0.2, 0}),
+		Seed:   1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mix, err := workload.NewPoissonMix([]float64{0.05, 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := stackJobs(t)
+	if err := stack.SubmitStream(mix, workload.FixedJobs(jobs), 30, 7); err != nil {
+		t.Fatal(err)
+	}
+	stack.Run()
+	recs := stack.Records()
+	if len(recs) != 30 {
+		t.Fatalf("%d records, want 30", len(recs))
+	}
+	var lowDropped bool
+	for _, r := range recs {
+		if r.Class == 0 && r.EffectiveDropRatio > 0 {
+			lowDropped = true
+		}
+		if r.Class == 1 && r.EffectiveDropRatio > 0 {
+			t.Fatal("high-priority job was deflated under DA(0,20)")
+		}
+	}
+	if !lowDropped {
+		t.Fatal("no low-priority job was deflated")
+	}
+	if stack.SubmitStream(nil, workload.FixedJobs(jobs), 1, 1) == nil {
+		t.Fatal("nil process accepted")
+	}
+}
+
+func TestStackInjectFailures(t *testing.T) {
+	stack, err := dias.NewStack(dias.StackConfig{Policy: core.PolicyNP(2), Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stack.InjectFailures(engine.FailureConfig{
+		MTTFSec: 200, MTTRSec: 30, HorizonSec: 2000, Seed: 5,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	mix, err := workload.NewPoissonMix([]float64{0.05, 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stack.SubmitStream(mix, workload.FixedJobs(stackJobs(t)), 40, 9); err != nil {
+		t.Fatal(err)
+	}
+	stack.Run()
+	if got := len(stack.Records()); got != 40 {
+		t.Fatalf("%d records, want 40: failures must not lose jobs", got)
+	}
+	if stack.Cluster.DownNodes() != 0 {
+		t.Fatal("nodes left down after drain")
+	}
+	// Bad config surfaces.
+	if stack.InjectFailures(engine.FailureConfig{}) == nil {
+		t.Fatal("zero config accepted")
+	}
+}
