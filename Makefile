@@ -1,0 +1,36 @@
+# Single source of the build/test/bench commands: CI (.github/workflows/
+# ci.yml) and humans invoke the same targets.
+
+GO ?= go
+
+.PHONY: build test test-short bench fmt fmt-check vet experiments
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The CI fast lane: tests shrink their workloads under -short.
+test-short:
+	$(GO) test -short ./...
+
+# Benchmark the figure harness (short workloads; drop -short for the full
+# per-figure numbers).
+bench:
+	$(GO) test -short -run '^$$' -bench=. -benchmem .
+
+# Format in place.
+fmt:
+	gofmt -w .
+
+# Fail if any file needs formatting (used by CI).
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "needs gofmt:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+# Regenerate every figure in parallel and write BENCH_results.json.
+experiments:
+	$(GO) run ./cmd/dias-experiments -bench-out BENCH_results.json

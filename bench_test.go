@@ -10,14 +10,54 @@
 package dias_test
 
 import (
+	"context"
+	"fmt"
 	"testing"
 
 	"dias/internal/experiments"
+	"dias/internal/runner"
 )
 
-// benchScale keeps per-iteration work bounded for testing.B.
+// benchScale keeps per-iteration work bounded for testing.B; -short
+// shrinks the arrival count further for the CI fast lane.
 func benchScale() experiments.Scale {
-	return experiments.Scale{Jobs: 120, WarmupFraction: 0.1, Seed: 1}
+	s := experiments.Scale{Jobs: 120, WarmupFraction: 0.1, Seed: 1}
+	if testing.Short() {
+		s.Jobs = 40
+	}
+	return s
+}
+
+// skipIfShort drops the graph-backed benchmarks from the -short lane;
+// their jobs are ~10x heavier per arrival than the text figures.
+func skipIfShort(b *testing.B) {
+	b.Helper()
+	if testing.Short() {
+		b.Skip("heavy graph figure; run without -short")
+	}
+}
+
+// BenchmarkFigureSetRunner is the runner-backed path: it regenerates a
+// representative figure set as one concurrent grid through internal/runner.
+// Each figure runs its inner grid on a single worker so the cross-figure
+// pool is the only source of parallelism — total concurrency stays at
+// min(figures, cores) rather than oversubscribing every core per figure.
+func BenchmarkFigureSetRunner(b *testing.B) {
+	sc := benchScale()
+	sc.Workers = 1
+	tasks := []runner.Task[fmt.Stringer]{
+		func(context.Context) (fmt.Stringer, error) { return experiments.Motivation(sc) },
+		func(context.Context) (fmt.Stringer, error) { return experiments.Figure7(sc) },
+		func(context.Context) (fmt.Stringer, error) { return experiments.Figure9(sc) },
+		func(context.Context) (fmt.Stringer, error) { return experiments.ExtensionVariableSizes(sc) },
+	}
+	pool := runner.New(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := runner.Map(context.Background(), pool, tasks); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 func BenchmarkFigure4(b *testing.B) {
@@ -85,6 +125,7 @@ func BenchmarkFigure9(b *testing.B) {
 }
 
 func BenchmarkFigure10(b *testing.B) {
+	skipIfShort(b)
 	sc := benchScale()
 	sc.Jobs = 80
 	for i := 0; i < b.N; i++ {
@@ -95,6 +136,7 @@ func BenchmarkFigure10(b *testing.B) {
 }
 
 func BenchmarkFigure11a(b *testing.B) {
+	skipIfShort(b)
 	sc := benchScale()
 	sc.Jobs = 80
 	for i := 0; i < b.N; i++ {
@@ -107,6 +149,7 @@ func BenchmarkFigure11a(b *testing.B) {
 }
 
 func BenchmarkFigure11b(b *testing.B) {
+	skipIfShort(b)
 	sc := benchScale()
 	sc.Jobs = 80
 	for i := 0; i < b.N; i++ {
@@ -119,6 +162,7 @@ func BenchmarkFigure11b(b *testing.B) {
 }
 
 func BenchmarkFigure11c(b *testing.B) {
+	skipIfShort(b)
 	sc := benchScale()
 	sc.Jobs = 80
 	for i := 0; i < b.N; i++ {
@@ -131,6 +175,7 @@ func BenchmarkFigure11c(b *testing.B) {
 }
 
 func BenchmarkTable2(b *testing.B) {
+	skipIfShort(b)
 	sc := benchScale()
 	sc.Jobs = 80
 	for i := 0; i < b.N; i++ {
@@ -143,6 +188,7 @@ func BenchmarkTable2(b *testing.B) {
 }
 
 func BenchmarkAblationSprintTimeout(b *testing.B) {
+	skipIfShort(b)
 	sc := benchScale()
 	sc.Jobs = 80
 	for i := 0; i < b.N; i++ {

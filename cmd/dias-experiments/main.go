@@ -1,128 +1,250 @@
 // dias-experiments regenerates the paper's tables and figures.
 //
-//	dias-experiments [-fig 4|5|6|7|8|9|10|11|table2|ablations|extensions|all] [-jobs N] [-seed S]
+//	dias-experiments [-fig 4|5|6|7|8|9|10|11|table2|ablations|extensions|all]
+//	                 [-jobs N] [-seed S] [-workers W] [-replicas R]
+//	                 [-bench-out BENCH_results.json]
 //
 // Output is the textual form of each figure: baseline absolutes plus
-// relative differences, exactly the quantities the paper plots.
+// relative differences, exactly the quantities the paper plots. Every
+// figure fans its independent simulation runs (scenario × policy × seed)
+// across the worker pool; -replicas repeats each figure under consecutive
+// seeds and reports mean ± 95% CI aggregates. The run also writes a
+// machine-readable benchmark report (per-figure wall-clock, per-class
+// latency/waste/energy, seed list, git SHA) so the perf trajectory is
+// tracked across PRs; see README.md for the schema.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
+	"runtime"
+	"strings"
+	"time"
 
 	"dias/internal/experiments"
+	"dias/internal/metrics"
+	"dias/internal/runner"
 )
 
 func main() {
 	fig := flag.String("fig", "all", "figure to regenerate: motivation,4,5,6,7,8,9,10,11,table2,ablations,extensions,all")
 	jobs := flag.Int("jobs", 0, "arrivals per scenario (0 = full scale)")
 	seed := flag.Int64("seed", 1, "experiment seed")
+	workers := flag.Int("workers", 0, "concurrent simulation runs per figure (0 = one per CPU core)")
+	replicas := flag.Int("replicas", 1, "seed replicas per figure (seeds seed..seed+R-1)")
+	benchOut := flag.String("bench-out", "BENCH_results.json", "write the machine-readable benchmark report here (empty = skip)")
 	flag.Parse()
 
 	scale := experiments.FullScale()
 	scale.Seed = *seed
+	scale.Workers = *workers
 	if *jobs > 0 {
 		scale.Jobs = *jobs
 	}
-	if err := run(*fig, scale); err != nil {
+	if *replicas < 1 {
+		*replicas = 1
+	}
+	if err := run(*fig, scale, *replicas, *benchOut); err != nil {
 		fmt.Fprintln(os.Stderr, "dias-experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(fig string, scale experiments.Scale) error {
-	all := fig == "all"
-	graphScale := scale
-	if graphScale.Jobs > 300 {
-		graphScale.Jobs = 300 // graph jobs are ~10x heavier per arrival
+// benchReport is the BENCH_results.json payload.
+type benchReport struct {
+	SchemaVersion     int            `json:"schema_version"`
+	GeneratedAt       string         `json:"generated_at"`
+	GitSHA            string         `json:"git_sha"`
+	GoVersion         string         `json:"go_version"`
+	Workers           int            `json:"workers"`
+	Seeds             []int64        `json:"seeds"`
+	JobsPerScenario   int            `json:"jobs_per_scenario"`
+	TotalWallClockSec float64        `json:"total_wall_clock_sec"`
+	Figures           []figureReport `json:"figures"`
+}
+
+type figureReport struct {
+	Name         string  `json:"name"`
+	WallClockSec float64 `json:"wall_clock_sec"`
+	// Scenarios holds the per-scenario mean ± 95% CI aggregates across the
+	// seed replicas, for figures that expose scenario grids (7-11, the
+	// ablation and extension comparisons). Model-validation figures (4-6)
+	// report wall-clock only.
+	Scenarios []runner.Summary `json:"scenarios,omitempty"`
+}
+
+// figureOutput is one figure's rendered text plus its scenario results
+// (nil for figures without a scenario grid).
+type figureOutput struct {
+	text      fmt.Stringer
+	scenarios []metrics.ScenarioResult
+}
+
+// comp flattens a comparison figure into its scenario results.
+func comp(f *experiments.ComparisonFigure) []metrics.ScenarioResult {
+	return append([]metrics.ScenarioResult{f.Baseline}, f.Others...)
+}
+
+// relabel suffixes scenario names so steps that bundle several sub-figures
+// (8's variants, 11's budgets, the extension sets) stay unique by name in
+// the benchmark report — name is the only identifier runner.Summary carries.
+func relabel(suffix string, rs []metrics.ScenarioResult) []metrics.ScenarioResult {
+	out := make([]metrics.ScenarioResult, len(rs))
+	for i, s := range rs {
+		s.Name += suffix
+		out[i] = s
 	}
+	return out
+}
+
+// plain adapts a figure without a scenario grid to the step signature.
+func plain[T fmt.Stringer](fn func(experiments.Scale) (T, error)) func(experiments.Scale) (figureOutput, error) {
+	return func(sc experiments.Scale) (figureOutput, error) {
+		r, err := fn(sc)
+		return figureOutput{text: r}, err
+	}
+}
+
+func run(fig string, scale experiments.Scale, replicas int, benchOut string) error {
+	all := fig == "all"
 	type step struct {
 		name string
-		fn   func() (fmt.Stringer, error)
+		fn   func(experiments.Scale) (figureOutput, error)
 	}
 	steps := []step{
-		{"motivation", func() (fmt.Stringer, error) { return experiments.Motivation(scale) }},
-		{"4", func() (fmt.Stringer, error) { return experiments.Figure4(scale) }},
-		{"5", func() (fmt.Stringer, error) { return experiments.Figure5(scale) }},
-		{"6", func() (fmt.Stringer, error) { return experiments.Figure6(scale) }},
-		{"7", func() (fmt.Stringer, error) { return experiments.Figure7(scale) }},
-		{"8", func() (fmt.Stringer, error) {
+		{"motivation", plain(experiments.Motivation)},
+		{"4", plain(experiments.Figure4)},
+		{"5", plain(experiments.Figure5)},
+		{"6", plain(experiments.Figure6)},
+		{"7", func(sc experiments.Scale) (figureOutput, error) {
+			r, err := experiments.Figure7(sc)
+			if err != nil {
+				return figureOutput{}, err
+			}
+			return figureOutput{text: r, scenarios: comp(r)}, nil
+		}},
+		{"8", func(sc experiments.Scale) (figureOutput, error) {
 			var out multi
+			var scens []metrics.ScenarioResult
 			for _, v := range []experiments.Figure8Variant{
 				experiments.Figure8EqualSizes, experiments.Figure8MoreHigh, experiments.Figure8HalfLoad,
 			} {
-				r, err := experiments.Figure8(v, scale)
+				r, err := experiments.Figure8(v, sc)
 				if err != nil {
-					return nil, err
+					return figureOutput{}, err
 				}
 				out = append(out, r)
+				scens = append(scens, relabel("-"+string(v), comp(r))...)
 			}
-			return out, nil
+			return figureOutput{text: out, scenarios: scens}, nil
 		}},
-		{"9", func() (fmt.Stringer, error) { return experiments.Figure9(scale) }},
-		{"10", func() (fmt.Stringer, error) { return experiments.Figure10(graphScale) }},
-		{"11", func() (fmt.Stringer, error) { return experiments.Figure11(graphScale) }},
-		{"table2", func() (fmt.Stringer, error) {
-			r, err := experiments.Figure11(graphScale)
+		{"9", func(sc experiments.Scale) (figureOutput, error) {
+			r, err := experiments.Figure9(sc)
 			if err != nil {
-				return nil, err
+				return figureOutput{}, err
 			}
-			return stringer(r.Table2()), nil
+			return figureOutput{text: r, scenarios: comp(r)}, nil
 		}},
-		{"ablations", func() (fmt.Stringer, error) {
+		{"10", func(sc experiments.Scale) (figureOutput, error) {
+			r, err := experiments.Figure10(graphScale(sc))
+			if err != nil {
+				return figureOutput{}, err
+			}
+			return figureOutput{text: r, scenarios: comp(r)}, nil
+		}},
+		{"11", func(sc experiments.Scale) (figureOutput, error) {
+			r, err := experiments.Figure11(graphScale(sc))
+			if err != nil {
+				return figureOutput{}, err
+			}
+			scens := append([]metrics.ScenarioResult{r.Limited.Baseline, r.NPS},
+				relabel("-limited", r.Limited.Others)...)
+			scens = append(scens, relabel("-unlimited", r.Unlimited.Others)...)
+			return figureOutput{text: r, scenarios: scens}, nil
+		}},
+		{"table2", func(sc experiments.Scale) (figureOutput, error) {
+			r, err := experiments.Figure11(graphScale(sc))
+			if err != nil {
+				return figureOutput{}, err
+			}
+			return figureOutput{text: stringer(r.Table2())}, nil
+		}},
+		{"ablations", func(sc experiments.Scale) (figureOutput, error) {
 			var out multi
-			st, err := experiments.AblationSprintTimeout(graphScale)
+			var scens []metrics.ScenarioResult
+			st, err := experiments.AblationSprintTimeout(graphScale(sc))
 			if err != nil {
-				return nil, err
+				return figureOutput{}, err
 			}
 			out = append(out, st)
-			ml, err := experiments.AblationModelLevel(scale)
+			scens = append(scens, comp(st)...)
+			ml, err := experiments.AblationModelLevel(sc)
 			if err != nil {
-				return nil, err
+				return figureOutput{}, err
 			}
 			out = append(out, ml)
-			dt, err := experiments.AblationDropTiming(scale)
+			dt, err := experiments.AblationDropTiming(sc)
 			if err != nil {
-				return nil, err
+				return figureOutput{}, err
 			}
 			out = append(out, stringer(fmt.Sprintf(
 				"Ablation: early drop timing\n  full exec %.1fs, theta=0.5 exec %.1fs (%.0f%% saved)\n",
 				dt.FullExecSec, dt.DroppedExecSec, 100*(1-dt.DroppedExecSec/dt.FullExecSec))))
-			er, err := experiments.AblationEvictionResume(scale)
+			er, err := experiments.AblationEvictionResume(sc)
 			if err != nil {
-				return nil, err
+				return figureOutput{}, err
 			}
 			out = append(out, stringer(fmt.Sprintf(
 				"Ablation: preemptive-repeat eviction\n  resource waste %.1f%% of machine time\n",
 				er.ResourceWastePct)))
-			return out, nil
+			scens = append(scens, er)
+			return figureOutput{text: out, scenarios: scens}, nil
 		}},
-		{"extensions", func() (fmt.Stringer, error) {
+		{"extensions", func(sc experiments.Scale) (figureOutput, error) {
 			var out multi
-			b, err := experiments.ExtensionBursty(scale)
+			var scens []metrics.ScenarioResult
+			b, err := experiments.ExtensionBursty(sc)
 			if err != nil {
-				return nil, err
+				return figureOutput{}, err
 			}
 			out = append(out, b)
-			v, err := experiments.ExtensionVariableSizes(scale)
+			scens = append(scens, relabel("-poisson", comp(b.Poisson))...)
+			scens = append(scens, relabel("-bursty", comp(b.Bursty))...)
+			v, err := experiments.ExtensionVariableSizes(sc)
 			if err != nil {
-				return nil, err
+				return figureOutput{}, err
 			}
 			out = append(out, v)
-			f, err := experiments.ExtensionFailures(scale)
+			scens = append(scens, relabel("-varsize", comp(v))...)
+			f, err := experiments.ExtensionFailures(sc)
 			if err != nil {
-				return nil, err
+				return figureOutput{}, err
 			}
 			out = append(out, f)
-			a, err := experiments.ExtensionAdaptive(scale)
+			scens = append(scens, relabel("-failures", comp(f))...)
+			a, err := experiments.ExtensionAdaptive(sc)
 			if err != nil {
-				return nil, err
+				return figureOutput{}, err
 			}
 			out = append(out, a)
-			return out, nil
+			return figureOutput{text: out, scenarios: scens}, nil
 		}},
 	}
+	seeds := runner.Seeds(scale.Seed, replicas)
+	report := benchReport{
+		SchemaVersion:   1,
+		GeneratedAt:     time.Now().UTC().Format(time.RFC3339),
+		GitSHA:          gitSHA(),
+		GoVersion:       runtime.Version(),
+		Workers:         runner.New(scale.Workers).Workers(),
+		Seeds:           seeds,
+		JobsPerScenario: scale.Jobs,
+	}
+	start := time.Now()
 	ran := false
 	for _, s := range steps {
 		if !all && s.name != fig {
@@ -132,16 +254,105 @@ func run(fig string, scale experiments.Scale) error {
 		if all && s.name == "table2" {
 			continue
 		}
-		out, err := s.fn()
+		figStart := time.Now()
+		sc0 := scale
+		sc0.Seed = seeds[0]
+		first, err := s.fn(sc0)
 		if err != nil {
-			return fmt.Errorf("figure %s: %w", s.name, err)
+			return fmt.Errorf("figure %s (seed %d): %w", s.name, seeds[0], err)
 		}
-		fmt.Println(out.String())
+		fmt.Println(first.text.String())
 		fmt.Println()
+		perSeed := [][]metrics.ScenarioResult{first.scenarios}
+		// Replicas beyond the first only feed the aggregates; figures
+		// without a scenario grid (motivation, 4-6, table2) have nothing
+		// to aggregate, so they run once regardless of -replicas. The
+		// replica loop itself is serial (pool of one): each figure already
+		// fans its own grid across every core.
+		if len(first.scenarios) > 0 && len(seeds) > 1 {
+			rest, err := runner.Replicated(context.Background(), runner.New(1), seeds[1:],
+				func(_ context.Context, sd int64) ([]metrics.ScenarioResult, error) {
+					sc := scale
+					sc.Seed = sd
+					out, err := s.fn(sc)
+					if err != nil {
+						return nil, err
+					}
+					return out.scenarios, nil
+				})
+			if err != nil {
+				return fmt.Errorf("figure %s replicas: %w", s.name, err)
+			}
+			perSeed = append(perSeed, rest...)
+		}
+		fr := figureReport{Name: s.name, WallClockSec: time.Since(figStart).Seconds()}
+		if len(first.scenarios) > 0 {
+			repSeeds := seeds[:len(perSeed)]
+			sums, err := runner.SummarizeAll(repSeeds, perSeed)
+			if err != nil {
+				return fmt.Errorf("figure %s: aggregating replicas: %w", s.name, err)
+			}
+			fr.Scenarios = sums
+			if len(repSeeds) > 1 {
+				printAggregates(s.name, sums)
+			}
+		}
+		report.Figures = append(report.Figures, fr)
 		ran = true
 	}
 	if !ran {
 		return fmt.Errorf("unknown figure %q", fig)
+	}
+	report.TotalWallClockSec = time.Since(start).Seconds()
+	if benchOut != "" {
+		if err := writeReport(benchOut, &report); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "dias-experiments: wrote %s (%.1fs total)\n", benchOut, report.TotalWallClockSec)
+	}
+	return nil
+}
+
+// graphScale caps arrivals for the graph figures, whose jobs are ~10x
+// heavier per arrival.
+func graphScale(sc experiments.Scale) experiments.Scale {
+	if sc.Jobs > 300 {
+		sc.Jobs = 300
+	}
+	return sc
+}
+
+// gitSHA stamps the report with the commit being measured.
+func gitSHA() string {
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// printAggregates renders the replica mean ± CI of each scenario's
+// low/high-class response.
+func printAggregates(name string, sums []runner.Summary) {
+	fmt.Printf("figure %s replica aggregates (%d seeds, mean ± 95%% CI):\n", name, len(sums[0].Seeds))
+	for _, s := range sums {
+		fmt.Printf("  %-16s", s.Name)
+		for _, c := range s.PerClass {
+			fmt.Printf("  class%d %8.1f ± %5.1fs", c.Class, c.MeanResponseSec.Mean, c.MeanResponseSec.CI95)
+		}
+		fmt.Printf("  waste %.1f%%\n", s.ResourceWastePct.Mean)
+	}
+	fmt.Println()
+}
+
+func writeReport(path string, r *benchReport) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Errorf("encoding benchmark report: %w", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("writing benchmark report: %w", err)
 	}
 	return nil
 }

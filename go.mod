@@ -1,0 +1,3 @@
+module dias
+
+go 1.24

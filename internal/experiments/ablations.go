@@ -1,12 +1,13 @@
 package experiments
 
 import (
-	"fmt"
+	"context"
 
 	"dias/internal/cluster"
 	"dias/internal/core"
 	"dias/internal/engine"
 	"dias/internal/metrics"
+	"dias/internal/runner"
 	"dias/internal/workload"
 )
 
@@ -50,7 +51,7 @@ func AblationSprintTimeout(scale Scale) (*ComparisonFigure, error) {
 		}
 		return cfg
 	}
-	scenarios := []struct {
+	variants := []struct {
 		name   string
 		policy core.Config
 	}{
@@ -58,14 +59,13 @@ func AblationSprintTimeout(scale Scale) (*ComparisonFigure, error) {
 		{"NPS-immediate", mk(0)},
 		{"NPS-timeout", mk(0.65 * exec)},
 	}
-	var results []metrics.ScenarioResult
-	for _, s := range scenarios {
-		sc := scenario{name: s.name, policy: s.policy, rates: rates, jobs: jobs, cost: cost, cluster: cluCfg, scale: scale}
-		r, err := sc.run()
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", s.name, err)
-		}
-		results = append(results, r)
+	scs := make([]scenario, len(variants))
+	for i, v := range variants {
+		scs[i] = scenario{name: v.name, policy: v.policy, rates: rates, jobs: jobs, cost: cost, cluster: cluCfg, scale: scale}
+	}
+	results, err := runScenarios(scs)
+	if err != nil {
+		return nil, err
 	}
 	return &ComparisonFigure{
 		Title:    "Ablation: sprint-timeout policy under a limited budget",
@@ -138,16 +138,32 @@ func AblationDropTiming(scale Scale) (*AblationDropTimingResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	full, _, err := profileSolo(job, nil, cost, cluCfg, 3, scale.Seed+92)
-	if err != nil {
-		return nil, err
+	// The full and dropped profiles are independent runs over the same
+	// immutable job; fan them out as a two-task grid.
+	profiles := []struct {
+		drops []float64
+		seed  int64
+	}{
+		{nil, scale.Seed + 92},
+		{[]float64{0.5}, scale.Seed + 93},
 	}
-	dropped, _, err := profileSolo(job, []float64{0.5}, cost, cluCfg, 3, scale.Seed+93)
+	tasks := make([]runner.Task[float64], len(profiles))
+	for i := range profiles {
+		p := profiles[i]
+		tasks[i] = func(context.Context) (float64, error) {
+			durs, _, err := profileSolo(job, p.drops, cost, cluCfg, 3, p.seed)
+			if err != nil {
+				return 0, err
+			}
+			return mean(durs), nil
+		}
+	}
+	execs, err := runner.Map(context.Background(), scale.pool(), tasks)
 	if err != nil {
 		return nil, err
 	}
 	return &AblationDropTimingResult{
-		FullExecSec:    mean(full),
-		DroppedExecSec: mean(dropped),
+		FullExecSec:    execs[0],
+		DroppedExecSec: execs[1],
 	}, nil
 }

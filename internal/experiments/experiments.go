@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -15,6 +16,7 @@ import (
 	"dias/internal/core"
 	"dias/internal/engine"
 	"dias/internal/metrics"
+	"dias/internal/runner"
 	"dias/internal/simtime"
 	"dias/internal/workload"
 )
@@ -28,6 +30,11 @@ type Scale struct {
 	WarmupFraction float64
 	// Seed drives every RNG in the experiment.
 	Seed int64
+	// Workers bounds the concurrency of the independent simulation runs
+	// inside one figure; 0 uses one worker per CPU core. Results are
+	// bit-identical at any worker count because every run seeds its own
+	// RNGs and owns its whole simulated stack.
+	Workers int
 }
 
 // QuickScale is sized for go test / benchmarks.
@@ -43,8 +50,14 @@ func (s Scale) validate() error {
 	if s.WarmupFraction < 0 || s.WarmupFraction >= 1 {
 		return fmt.Errorf("experiments: warmup fraction %g", s.WarmupFraction)
 	}
+	if s.Workers < 0 {
+		return fmt.Errorf("experiments: %d workers", s.Workers)
+	}
 	return nil
 }
+
+// pool builds the worker pool a figure uses to fan out its run grid.
+func (s Scale) pool() *runner.Pool { return runner.New(s.Workers) }
 
 // textCostModel calibrates the cost model so text jobs land in the tens of
 // seconds at base frequency, paper-like shape: map-heavy stages, size-
@@ -216,6 +229,48 @@ func (sc scenario) runWithRecords() (metrics.ScenarioResult, []core.JobRecord, e
 		res.ResourceWastePct = 100 * eng.WastedSlotSeconds() / total
 	}
 	return res, sch.Records(), nil
+}
+
+// scenarioOutcome pairs a scenario's aggregates with its raw records.
+type scenarioOutcome struct {
+	res     metrics.ScenarioResult
+	records []core.JobRecord
+}
+
+// runScenarios executes independent scenarios concurrently on the scale's
+// worker pool, returning results in input order. Scenarios share only
+// immutable state (job templates, policy configs, cost models), so the
+// concurrent results are bit-identical to the old serial loop.
+func runScenarios(scs []scenario) ([]metrics.ScenarioResult, error) {
+	outs, err := runScenariosRecords(scs)
+	if err != nil {
+		return nil, err
+	}
+	results := make([]metrics.ScenarioResult, len(outs))
+	for i, o := range outs {
+		results[i] = o.res
+	}
+	return results, nil
+}
+
+// runScenariosRecords is runScenarios plus each scenario's raw per-job
+// records.
+func runScenariosRecords(scs []scenario) ([]scenarioOutcome, error) {
+	if len(scs) == 0 {
+		return nil, nil
+	}
+	tasks := make([]runner.Task[scenarioOutcome], len(scs))
+	for i := range scs {
+		sc := scs[i]
+		tasks[i] = func(context.Context) (scenarioOutcome, error) {
+			res, rec, err := sc.runWithRecords()
+			if err != nil {
+				return scenarioOutcome{}, fmt.Errorf("%s: %w", sc.name, err)
+			}
+			return scenarioOutcome{res: res, records: rec}, nil
+		}
+	}
+	return runner.Map(context.Background(), scs[0].scale.pool(), tasks)
 }
 
 // profileSolo measures the solo execution time of a job under given drop

@@ -7,8 +7,15 @@ import (
 
 // testScale keeps integration tests quick while still exercising queueing
 // dynamics. Shape assertions are tolerant: they check signs and ordering,
-// not magnitudes.
-func testScale() Scale { return Scale{Jobs: 120, WarmupFraction: 0.1, Seed: 3} }
+// not magnitudes. Under -short the arrival count drops further so the CI
+// fast lane finishes in seconds.
+func testScale() Scale {
+	s := Scale{Jobs: 120, WarmupFraction: 0.1, Seed: 3}
+	if testing.Short() {
+		s.Jobs = 60
+	}
+	return s
+}
 
 func TestScaleValidation(t *testing.T) {
 	if err := (Scale{Jobs: 1}).validate(); err == nil {

@@ -14,7 +14,6 @@ import (
 	"dias/internal/cluster"
 	"dias/internal/core"
 	"dias/internal/engine"
-	"dias/internal/metrics"
 	"math/rand"
 
 	"dias/internal/mmap"
@@ -111,9 +110,9 @@ func ExtensionBursty(scale Scale) (*ExtensionBurstyResult, error) {
 		{"DA(0,20)", core.PolicyDA([]float64{0.2, 0})},
 	}
 	runSet := func(title string, bursty bool) (*ComparisonFigure, error) {
-		results := make([]metrics.ScenarioResult, 0, len(policies))
+		scs := make([]scenario, len(policies))
 		for pi, p := range policies {
-			sc := scenario{
+			scs[pi] = scenario{
 				name: p.name, policy: p.policy, rates: rates,
 				jobs: jobs, cost: cost, cluster: cluCfg, scale: scale,
 			}
@@ -125,13 +124,12 @@ func ExtensionBursty(scale Scale) (*ExtensionBurstyResult, error) {
 				if err != nil {
 					return nil, err
 				}
-				sc.proc = proc
+				scs[pi].proc = proc
 			}
-			res, err := sc.run()
-			if err != nil {
-				return nil, fmt.Errorf("%s: %w", p.name, err)
-			}
-			results = append(results, res)
+		}
+		results, err := runScenarios(scs)
+		if err != nil {
+			return nil, err
 		}
 		return &ComparisonFigure{Title: title, Baseline: results[0], Others: results[1:]}, nil
 	}
@@ -208,17 +206,16 @@ func ExtensionVariableSizes(scale Scale) (*ComparisonFigure, error) {
 		{"DA(0,10)", core.PolicyDA([]float64{0.1, 0})},
 		{"DA(0,20)", core.PolicyDA([]float64{0.2, 0})},
 	}
-	results := make([]metrics.ScenarioResult, 0, len(policies))
-	for _, p := range policies {
-		sc := scenario{
+	scs := make([]scenario, len(policies))
+	for i, p := range policies {
+		scs[i] = scenario{
 			name: p.name, policy: p.policy, rates: rates,
 			cost: cost, cluster: cluCfg, scale: scale, source: source,
 		}
-		res, err := sc.run()
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", p.name, err)
-		}
-		results = append(results, res)
+	}
+	results, err := runScenarios(scs)
+	if err != nil {
+		return nil, err
 	}
 	return &ComparisonFigure{
 		Title:    "Extension: variable low-priority job sizes (uniform task counts)",
@@ -271,7 +268,7 @@ func ExtensionFailures(scale Scale) (*ComparisonFigure, error) {
 	// One node down at a time on average ~1/6 of the time:
 	// 10 nodes x (MTTR 60 / MTTF 3600).
 	faults := &engine.FailureConfig{MTTFSec: 3600, MTTRSec: 60, Seed: scale.Seed + 145}
-	scenarios := []struct {
+	variants := []struct {
 		name     string
 		policy   core.Config
 		failures *engine.FailureConfig
@@ -281,18 +278,17 @@ func ExtensionFailures(scale Scale) (*ComparisonFigure, error) {
 		{"DA(0,20)", core.PolicyDA([]float64{0.2, 0}), nil},
 		{"DA(0,20)-faulty", core.PolicyDA([]float64{0.2, 0}), faults},
 	}
-	var results []metrics.ScenarioResult
-	for _, s := range scenarios {
-		sc := scenario{
-			name: s.name, policy: s.policy, rates: rates,
+	scs := make([]scenario, len(variants))
+	for i, v := range variants {
+		scs[i] = scenario{
+			name: v.name, policy: v.policy, rates: rates,
 			jobs: jobs, cost: cost, cluster: cluCfg, scale: scale,
-			failures: s.failures,
+			failures: v.failures,
 		}
-		r, err := sc.run()
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", s.name, err)
-		}
-		results = append(results, r)
+	}
+	results, err := runScenarios(scs)
+	if err != nil {
+		return nil, err
 	}
 	return &ComparisonFigure{
 		Title:    "Extension: node failures (MTTF 1h, MTTR 60s per node)",
@@ -416,7 +412,7 @@ func ExtensionAdaptive(scale Scale) (*AdaptiveResult, error) {
 		lastCtl = ctl
 		return ctl, nil
 	}
-	scenarios := []struct {
+	variants := []struct {
 		name     string
 		policy   core.Config
 		deflator func(*simtime.Simulation) (core.Deflator, error)
@@ -425,25 +421,29 @@ func ExtensionAdaptive(scale Scale) (*AdaptiveResult, error) {
 		{"DA(0,20)", core.PolicyDA([]float64{0.2, 0}), nil},
 		{"Adaptive", core.PolicyNP(2), mkAdaptive},
 	}
-	out := &AdaptiveResult{}
-	for _, s := range scenarios {
+	scs := make([]scenario, len(variants))
+	for i, v := range variants {
 		// A fresh replay per scenario: Replay is stateful.
 		rp, err := workload.NewReplay(arrivals)
 		if err != nil {
 			return nil, err
 		}
-		sc := scenario{
-			name: s.name, policy: s.policy,
+		scs[i] = scenario{
+			name: v.name, policy: v.policy,
 			jobs: []*engine.Job{lowJob, highJob},
 			cost: cost, cluster: cluCfg, scale: scale,
-			proc: rp, deflator: s.deflator,
+			proc: rp, deflator: v.deflator,
 		}
-		res, err := sc.run()
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", s.name, err)
-		}
+	}
+	results, err := runScenarios(scs)
+	if err != nil {
+		return nil, err
+	}
+	out := &AdaptiveResult{}
+	for i, v := range variants {
+		res := results[i]
 		out.Rows = append(out.Rows, AdaptiveRow{
-			Name:        s.name,
+			Name:        v.name,
 			LowMeanSec:  res.PerClass[0].MeanResponseSec,
 			LowP95Sec:   res.PerClass[0].P95ResponseSec,
 			HighMeanSec: res.PerClass[1].MeanResponseSec,

@@ -9,9 +9,20 @@ import (
 	"dias/internal/workload"
 )
 
-func extScale() Scale { return Scale{Jobs: 90, WarmupFraction: 0.1, Seed: 3} }
+// extScale sizes the extension tests; -short drops the arrival count
+// further for the CI fast lane.
+func extScale() Scale {
+	s := Scale{Jobs: 90, WarmupFraction: 0.1, Seed: 3}
+	if testing.Short() {
+		s.Jobs = 60
+	}
+	return s
+}
 
 func TestExtensionBurstyShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bursty queueing needs the longer arrival stream")
+	}
 	res, err := ExtensionBursty(extScale())
 	if err != nil {
 		t.Fatal(err)
@@ -120,6 +131,9 @@ func TestExtensionFailuresShape(t *testing.T) {
 }
 
 func TestExtensionAdaptiveShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("needs the full arrival stream for the controller to act")
+	}
 	sc := extScale()
 	sc.Jobs = 120 // enough post-step jobs for the controller to act
 	res, err := ExtensionAdaptive(sc)

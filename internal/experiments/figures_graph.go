@@ -79,17 +79,16 @@ func Figure10(scale Scale) (*ComparisonFigure, error) {
 			},
 		})
 	}
-	results := make([]metrics.ScenarioResult, 0, len(policies))
-	for _, p := range policies {
-		sc := scenario{
+	scs := make([]scenario, len(policies))
+	for i, p := range policies {
+		scs[i] = scenario{
 			name: p.name, policy: p.policy, rates: rates,
 			jobs: jobs, cost: cost, cluster: cluCfg, scale: scale,
 		}
-		res, err := sc.run()
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", p.name, err)
-		}
-		results = append(results, res)
+	}
+	results, err := runScenarios(scs)
+	if err != nil {
+		return nil, err
 	}
 	return &ComparisonFigure{
 		Title:    "Figure 10: differential approximation on triangle count",
@@ -186,50 +185,39 @@ func Figure11(scale Scale) (*Figure11Result, error) {
 		return cfg
 	}
 
-	run := func(name string, policy core.Config) (metrics.ScenarioResult, error) {
-		sc := scenario{
+	npsCfg := core.PolicyNP(2)
+	npsCfg.Sprint = limitedSprint()
+	// All six runs (P, NPS, limited/unlimited DiAS at θ=0.1/0.2) are
+	// independent; fan them out as one grid. Each scenario carries its own
+	// SprintPolicy instance, so concurrent runs share no budget state.
+	mk := func(name string, policy core.Config) scenario {
+		return scenario{
 			name: name, policy: policy, rates: rates,
 			jobs: jobs, cost: cost, cluster: cluCfg, scale: scale,
 		}
-		return sc.run()
 	}
-
-	baseline, err := run("P", core.PolicyP(2))
+	results, err := runScenarios([]scenario{
+		mk("P", core.PolicyP(2)),
+		mk("NPS", npsCfg),
+		mk("DiAS(0,10)", mkDiAS(0.1, limitedSprint())),
+		mk("DiAS(0,20)", mkDiAS(0.2, limitedSprint())),
+		mk("DiAS(0,10)", mkDiAS(0.1, unlimitedSprint())),
+		mk("DiAS(0,20)", mkDiAS(0.2, unlimitedSprint())),
+	})
 	if err != nil {
 		return nil, err
 	}
-	npsCfg := core.PolicyNP(2)
-	npsCfg.Sprint = limitedSprint()
-	nps, err := run("NPS", npsCfg)
-	if err != nil {
-		return nil, err
-	}
-	ltd10, err := run("DiAS(0,10)", mkDiAS(0.1, limitedSprint()))
-	if err != nil {
-		return nil, err
-	}
-	ltd20, err := run("DiAS(0,20)", mkDiAS(0.2, limitedSprint()))
-	if err != nil {
-		return nil, err
-	}
-	unl10, err := run("DiAS(0,10)", mkDiAS(0.1, unlimitedSprint()))
-	if err != nil {
-		return nil, err
-	}
-	unl20, err := run("DiAS(0,20)", mkDiAS(0.2, unlimitedSprint()))
-	if err != nil {
-		return nil, err
-	}
+	baseline, nps := results[0], results[1]
 	return &Figure11Result{
 		Limited: &ComparisonFigure{
 			Title:    "Figure 11a: full DiAS, limited sprinting",
 			Baseline: baseline,
-			Others:   []metrics.ScenarioResult{ltd10, ltd20},
+			Others:   []metrics.ScenarioResult{results[2], results[3]},
 		},
 		Unlimited: &ComparisonFigure{
 			Title:    "Figure 11b: full DiAS, unlimited sprinting",
 			Baseline: baseline,
-			Others:   []metrics.ScenarioResult{unl10, unl20},
+			Others:   []metrics.ScenarioResult{results[4], results[5]},
 		},
 		NPS: nps,
 	}, nil

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -9,10 +10,10 @@ import (
 	"dias/internal/cluster"
 	"dias/internal/core"
 	"dias/internal/engine"
-	"dias/internal/metrics"
 	"dias/internal/model"
 	"dias/internal/phdist"
 	"dias/internal/queueing"
+	"dias/internal/runner"
 	"dias/internal/stats"
 	"dias/internal/workload"
 )
@@ -140,7 +141,9 @@ func (w *waveModelFromProfile) processingPH(theta float64) (*phdist.PH, error) {
 	return cfg.ProcessingTime()
 }
 
-// Figure4 runs the validation.
+// Figure4 runs the validation. The per-dataset profiling runs and the
+// (dataset × theta) observation runs are two independent grids, each fanned
+// out on the scale's worker pool.
 func Figure4(scale Scale) (*Figure4Result, error) {
 	if err := scale.validate(); err != nil {
 		return nil, err
@@ -155,45 +158,79 @@ func Figure4(scale Scale) (*Figure4Result, error) {
 		{"126", 40, 473 << 20},
 		{"147", 80, 1117 << 20},
 	}
-	out := &Figure4Result{MeanErrPct: make(map[string]float64)}
-	for di, ds := range datasets {
-		job, err := textJob("fig4-"+ds.label, scale.Seed+int64(di)*100, ds.posts, ds.size)
-		if err != nil {
-			return nil, err
+	pool := scale.pool()
+	type dsProfile struct {
+		job *engine.Job
+		wm  *waveModelFromProfile
+	}
+	profTasks := make([]runner.Task[dsProfile], len(datasets))
+	for di := range datasets {
+		di, ds := di, datasets[di]
+		profTasks[di] = func(context.Context) (dsProfile, error) {
+			job, err := textJob("fig4-"+ds.label, scale.Seed+int64(di)*100, ds.posts, ds.size)
+			if err != nil {
+				return dsProfile{}, err
+			}
+			wm, err := profileWaveModel(job, cost, cluCfg, scale.Seed+int64(di)*1000)
+			if err != nil {
+				return dsProfile{}, err
+			}
+			return dsProfile{job: job, wm: wm}, nil
 		}
-		wm, err := profileWaveModel(job, cost, cluCfg, scale.Seed+int64(di)*1000)
-		if err != nil {
-			return nil, err
+	}
+	profiles, err := runner.Map(context.Background(), pool, profTasks)
+	if err != nil {
+		return nil, err
+	}
+	thetas := []float64{0, 0.2, 0.4, 0.6, 0.8}
+	type cell struct{ di, ti int }
+	cells := make([]cell, 0, len(datasets)*len(thetas))
+	for di := range datasets {
+		for ti := range thetas {
+			cells = append(cells, cell{di, ti})
 		}
-		var errSum float64
-		var n int
-		for _, theta := range []float64{0, 0.2, 0.4, 0.6, 0.8} {
+	}
+	rowTasks := make([]runner.Task[Figure4Row], len(cells))
+	for i := range cells {
+		c := cells[i]
+		rowTasks[i] = func(context.Context) (Figure4Row, error) {
+			theta := thetas[c.ti]
 			var drops []float64
 			if theta > 0 {
 				drops = []float64{theta}
 			}
-			durs, _, err := profileSolo(job, drops, cost, cluCfg, 5, scale.Seed+int64(di)*1000+int64(theta*100))
+			durs, _, err := profileSolo(profiles[c.di].job, drops, cost, cluCfg, 5,
+				scale.Seed+int64(c.di)*1000+int64(theta*100))
 			if err != nil {
-				return nil, err
+				return Figure4Row{}, err
 			}
 			obs := mean(durs)
-			ph, err := wm.processingPH(theta)
+			ph, err := profiles[c.di].wm.processingPH(theta)
 			if err != nil {
-				return nil, err
+				return Figure4Row{}, err
 			}
 			pred, err := ph.Mean()
 			if err != nil {
-				return nil, err
+				return Figure4Row{}, err
 			}
-			errPct := analytics.RelativeErrorPct(obs, pred)
-			out.Rows = append(out.Rows, Figure4Row{
-				Dataset: ds.label, Theta: theta,
-				ObservedSec: obs, PredictedSec: pred, ErrPct: errPct,
-			})
-			errSum += errPct
-			n++
+			return Figure4Row{
+				Dataset: datasets[c.di].label, Theta: theta,
+				ObservedSec: obs, PredictedSec: pred,
+				ErrPct: analytics.RelativeErrorPct(obs, pred),
+			}, nil
 		}
-		out.MeanErrPct[ds.label] = errSum / float64(n)
+	}
+	rows, err := runner.Map(context.Background(), pool, rowTasks)
+	if err != nil {
+		return nil, err
+	}
+	out := &Figure4Result{Rows: rows, MeanErrPct: make(map[string]float64)}
+	for di, ds := range datasets {
+		var errSum float64
+		for ti := range thetas {
+			errSum += rows[di*len(thetas)+ti].ErrPct
+		}
+		out.MeanErrPct[ds.label] = errSum / float64(len(thetas))
 	}
 	return out, nil
 }
@@ -269,11 +306,12 @@ func Figure5(scale Scale) (*Figure5Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := &Figure5Result{}
-	var errSum float64
-	var n int
-	for _, theta := range []float64{0, 0.2, 0.4, 0.6, 0.8} {
-		sc := scenario{
+	// One queueing scenario per theta; the runs are independent, so the
+	// whole sweep fans out on the worker pool.
+	thetas := []float64{0, 0.2, 0.4, 0.6, 0.8}
+	scs := make([]scenario, len(thetas))
+	for i, theta := range thetas {
+		scs[i] = scenario{
 			name:    fmt.Sprintf("DA(0,%.0f)", theta*100),
 			policy:  core.PolicyDA([]float64{theta, 0}),
 			rates:   rates,
@@ -282,10 +320,16 @@ func Figure5(scale Scale) (*Figure5Result, error) {
 			cluster: cluCfg,
 			scale:   scale,
 		}
-		obs, err := sc.run()
-		if err != nil {
-			return nil, err
-		}
+	}
+	observed, err := runScenarios(scs)
+	if err != nil {
+		return nil, err
+	}
+	out := &Figure5Result{}
+	var errSum float64
+	var n int
+	for ti, theta := range thetas {
+		obs := observed[ti]
 		lowPH, err := lowModel.processingPH(theta)
 		if err != nil {
 			return nil, err
@@ -371,33 +415,65 @@ func Figure6(scale Scale) (*Figure6Result, error) {
 	cluCfg := cluster.DefaultConfig()
 	const datasets = 4
 	thetas := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8}
-	sums := make([]float64, len(thetas))
+	pool := scale.pool()
+	// Phase 1: per-dataset exact counts from a no-drop run.
+	type exactRun struct {
+		job   *engine.Job
+		exact map[string]float64
+	}
+	exactTasks := make([]runner.Task[exactRun], datasets)
 	for d := 0; d < datasets; d++ {
-		cfg := workload.DefaultCorpusConfig()
-		cfg.PostsPerPartition = 50
-		rng := rand.New(rand.NewSource(scale.Seed + int64(d)*31))
-		corpus, err := workload.SynthesizeCorpus(rng, cfg)
-		if err != nil {
-			return nil, err
-		}
-		job := wordJobFromCorpus(fmt.Sprintf("fig6-%d", d), corpus, 512<<20)
-		// Exact counts from a no-drop run.
-		exact, err := wordCountsForDrop(job, nil, cost, cluCfg, scale.Seed)
-		if err != nil {
-			return nil, err
-		}
-		for ti, theta := range thetas {
-			approx, err := wordCountsForDrop(job, []float64{theta}, cost, cluCfg, scale.Seed+int64(ti))
+		d := d
+		exactTasks[d] = func(context.Context) (exactRun, error) {
+			cfg := workload.DefaultCorpusConfig()
+			cfg.PostsPerPartition = 50
+			rng := rand.New(rand.NewSource(scale.Seed + int64(d)*31))
+			corpus, err := workload.SynthesizeCorpus(rng, cfg)
 			if err != nil {
-				return nil, err
+				return exactRun{}, err
+			}
+			job := wordJobFromCorpus(fmt.Sprintf("fig6-%d", d), corpus, 512<<20)
+			exact, err := wordCountsForDrop(job, nil, cost, cluCfg, scale.Seed)
+			if err != nil {
+				return exactRun{}, err
+			}
+			return exactRun{job: job, exact: exact}, nil
+		}
+	}
+	exacts, err := runner.Map(context.Background(), pool, exactTasks)
+	if err != nil {
+		return nil, err
+	}
+	// Phase 2: the dataset × theta grid of approximate runs.
+	type cell struct{ d, ti int }
+	cells := make([]cell, 0, datasets*len(thetas))
+	for d := 0; d < datasets; d++ {
+		for ti := range thetas {
+			cells = append(cells, cell{d, ti})
+		}
+	}
+	mapeTasks := make([]runner.Task[float64], len(cells))
+	for i := range cells {
+		c := cells[i]
+		mapeTasks[i] = func(context.Context) (float64, error) {
+			theta := thetas[c.ti]
+			approx, err := wordCountsForDrop(exacts[c.d].job, []float64{theta}, cost, cluCfg, scale.Seed+int64(c.ti))
+			if err != nil {
+				return 0, err
 			}
 			scaled := analytics.ScaleCounts(approx, 1-theta)
-			mape, err := analytics.WordAccuracyMAPE(exact, scaled, 100)
-			if err != nil {
-				return nil, err
-			}
-			sums[ti] += mape
+			return analytics.WordAccuracyMAPE(exacts[c.d].exact, scaled, 100)
 		}
+	}
+	mapes, err := runner.Map(context.Background(), pool, mapeTasks)
+	if err != nil {
+		return nil, err
+	}
+	// Accumulate in dataset-major order so sums stay bit-identical to the
+	// old serial loop.
+	sums := make([]float64, len(thetas))
+	for i, c := range cells {
+		sums[c.ti] += mapes[i]
 	}
 	out := &Figure6Result{}
 	for ti, theta := range thetas {
@@ -478,17 +554,16 @@ func runTwoClass(title string, setup twoClassSetup, scale Scale) (*ComparisonFig
 		{"DA(0,10)", core.PolicyDA([]float64{0.1, 0})},
 		{"DA(0,20)", core.PolicyDA([]float64{0.2, 0})},
 	}
-	results := make([]metrics.ScenarioResult, 0, len(policies))
-	for _, p := range policies {
-		sc := scenario{
+	scs := make([]scenario, len(policies))
+	for i, p := range policies {
+		scs[i] = scenario{
 			name: p.name, policy: p.policy, rates: rates,
 			jobs: jobs, cost: cost, cluster: cluCfg, scale: scale,
 		}
-		res, err := sc.run()
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", p.name, err)
-		}
-		results = append(results, res)
+	}
+	results, err := runScenarios(scs)
+	if err != nil {
+		return nil, err
 	}
 	return &ComparisonFigure{Title: title, Baseline: results[0], Others: results[1:]}, nil
 }
@@ -574,17 +649,16 @@ func Figure9(scale Scale) (*ComparisonFigure, error) {
 		{"DA(0,10,20)", core.PolicyDA([]float64{0.2, 0.1, 0})},
 		{"DA(0,20,40)", core.PolicyDA([]float64{0.4, 0.2, 0})},
 	}
-	results := make([]metrics.ScenarioResult, 0, len(policies))
-	for _, p := range policies {
-		sc := scenario{
+	scs := make([]scenario, len(policies))
+	for i, p := range policies {
+		scs[i] = scenario{
 			name: p.name, policy: p.policy, rates: rates,
 			jobs: jobs, cost: cost, cluster: cluCfg, scale: scale,
 		}
-		res, err := sc.run()
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", p.name, err)
-		}
-		results = append(results, res)
+	}
+	results, err := runScenarios(scs)
+	if err != nil {
+		return nil, err
 	}
 	return &ComparisonFigure{
 		Title:    "Figure 9: three-priority system",

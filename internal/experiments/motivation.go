@@ -75,8 +75,10 @@ func Motivation(scale Scale) (*MotivationResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := &MotivationResult{}
-	for _, util := range []float64{0.5, 0.7, 0.8, 0.9} {
+	// One scenario per load point; the sweep fans out on the worker pool.
+	utils := []float64{0.5, 0.7, 0.8, 0.9}
+	scs := make([]scenario, len(utils))
+	for i, util := range utils {
 		totalRate, err := workload.CalibrateTotalRate(
 			[]float64{mean(lowDur), mean(highDur)}, []float64{0.9, 0.1}, util)
 		if err != nil {
@@ -86,15 +88,19 @@ func Motivation(scale Scale) (*MotivationResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		sc := scenario{
+		scs[i] = scenario{
 			name: fmt.Sprintf("P@%.0f%%", 100*util), policy: core.PolicyP(2),
 			rates: rates, jobs: []*engine.Job{lowJob, highJob},
 			cost: cost, cluster: cluCfg, scale: scale,
 		}
-		res, rec, err := sc.runWithRecords()
-		if err != nil {
-			return nil, fmt.Errorf("util %.2f: %w", util, err)
-		}
+	}
+	outs, err := runScenariosRecords(scs)
+	if err != nil {
+		return nil, err
+	}
+	out := &MotivationResult{}
+	for i, util := range utils {
+		res, rec := outs[i].res, outs[i].records
 		sd := metrics.Slowdowns(rec, 2, scale.WarmupFraction)
 		out.Rows = append(out.Rows, MotivationRow{
 			Util:         util,

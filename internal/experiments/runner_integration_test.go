@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// The runner contract at the figure level: every run in a figure's grid
+// seeds its own RNGs and owns its simulated stack, so a fixed seed list
+// must produce bit-identical figures whether the grid executes on one
+// worker (the old serial path) or many.
+
+func invarianceScale() Scale {
+	s := Scale{Jobs: 40, WarmupFraction: 0.1, Seed: 5}
+	if testing.Short() {
+		s.Jobs = 20
+	}
+	return s
+}
+
+func TestFigure7WorkerCountInvariance(t *testing.T) {
+	serial := invarianceScale()
+	serial.Workers = 1
+	parallel := invarianceScale()
+	parallel.Workers = 8
+	want, err := Figure7(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Figure7(parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("figure 7 differs between 1 and 8 workers:\nserial:\n%s\nparallel:\n%s", want, got)
+	}
+}
+
+func TestMotivationWorkerCountInvariance(t *testing.T) {
+	serial := invarianceScale()
+	serial.Workers = 1
+	parallel := invarianceScale()
+	parallel.Workers = 4
+	want, err := Motivation(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Motivation(parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("motivation differs between 1 and 4 workers:\nserial:\n%s\nparallel:\n%s", want, got)
+	}
+}
+
+func TestFigure4WorkerCountInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("profiling-heavy")
+	}
+	serial := invarianceScale()
+	serial.Workers = 1
+	parallel := invarianceScale()
+	parallel.Workers = 8
+	want, err := Figure4(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Figure4(parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("figure 4 differs between 1 and 8 workers:\nserial:\n%s\nparallel:\n%s", want, got)
+	}
+}
+
+func TestScaleRejectsNegativeWorkers(t *testing.T) {
+	s := QuickScale()
+	s.Workers = -1
+	if err := s.validate(); err == nil {
+		t.Fatal("negative worker count accepted")
+	}
+}

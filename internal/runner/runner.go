@@ -1,0 +1,138 @@
+// Package runner fans independent simulation runs across a bounded worker
+// pool. Every figure of the paper's evaluation decomposes into a grid of
+// scenario × policy × seed cells whose simulations share no mutable state
+// (each run builds its own simulation clock, cluster, engine, and RNGs from
+// an explicit seed), so the runner executes such grids concurrently while
+// returning results in deterministic task order: a fixed seed list yields
+// bit-identical aggregates at any worker count.
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Task is one independent unit of work producing a T. Tasks must not share
+// mutable state with each other; the runner may execute them in any order
+// and on any goroutine.
+type Task[T any] func(ctx context.Context) (T, error)
+
+// Pool bounds the concurrency of experiment runs.
+type Pool struct {
+	workers int
+}
+
+// New returns a pool with the given worker count; n <= 0 sizes the pool to
+// one worker per CPU core (GOMAXPROCS).
+func New(n int) *Pool {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: n}
+}
+
+// Workers reports the pool size.
+func (p *Pool) Workers() int { return p.workers }
+
+// Map executes tasks concurrently on p and returns their results in task
+// order, regardless of completion order. The first task error cancels the
+// shared context and stops feeding queued tasks (in-flight simulations are
+// not preemptible and run to completion); the error is returned wrapped
+// with its task index. Cancellation of ctx stops the fan-out and returns
+// the context's error.
+func Map[T any](ctx context.Context, p *Pool, tasks []Task[T]) ([]T, error) {
+	if p == nil {
+		p = New(0)
+	}
+	results := make([]T, len(tasks))
+	errs := make([]error, len(tasks))
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	workers := p.workers
+	if workers < 1 {
+		// A zero-value Pool (not built by New) must still make progress.
+		workers = 1
+	}
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				if err := runCtx.Err(); err != nil {
+					errs[i] = err
+					continue
+				}
+				r, err := tasks[i](runCtx)
+				if err != nil {
+					errs[i] = err
+					cancel()
+					continue
+				}
+				results[i] = r
+			}
+		}()
+	}
+	for i := range tasks {
+		select {
+		case next <- i:
+		case <-runCtx.Done():
+		}
+		if runCtx.Err() != nil {
+			break
+		}
+	}
+	close(next)
+	wg.Wait()
+	// Prefer reporting a real task failure over cancellation fallout: a
+	// failing task cancels runCtx, which makes its siblings surface
+	// context.Canceled too.
+	var cancelled error
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			if cancelled == nil {
+				cancelled = err
+			}
+			continue
+		}
+		return nil, fmt.Errorf("runner: task %d of %d: %w", i, len(tasks), err)
+	}
+	if cancelled != nil {
+		return nil, cancelled
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// Seeds expands a base seed into n consecutive replica seeds, the seed axis
+// of a scenario × policy × seed grid.
+func Seeds(base int64, n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = base + int64(i)
+	}
+	return out
+}
+
+// Replicated runs fn once per seed on the pool and returns the per-seed
+// results in seed-list order.
+func Replicated[T any](ctx context.Context, p *Pool, seeds []int64, fn func(ctx context.Context, seed int64) (T, error)) ([]T, error) {
+	tasks := make([]Task[T], len(seeds))
+	for i, s := range seeds {
+		seed := s
+		tasks[i] = func(ctx context.Context) (T, error) { return fn(ctx, seed) }
+	}
+	return Map(ctx, p, tasks)
+}
