@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short bench fmt fmt-check vet experiments
+.PHONY: build test test-short bench bench-smoke fmt fmt-check vet experiments
 
 build:
 	$(GO) build ./...
@@ -19,6 +19,16 @@ test-short:
 # per-figure numbers).
 bench:
 	$(GO) test -short -run '^$$' -bench=. -benchmem .
+
+# The CI benchmark smoke lane: the short runner + kernel benchmarks, then
+# a reduced-scale experiment run writing BENCH_results.json so the perf
+# trajectory accumulates per commit (see docs/BENCHMARKING.md).
+# No pipe here: /bin/sh has no pipefail, and `... | tee` would mask a
+# failing benchmark behind tee's exit status.
+bench-smoke:
+	$(GO) test -short -run '^$$' -bench 'BenchmarkFigureSetRunner|BenchmarkKernelChurn' -benchmem . > bench_smoke.txt
+	cat bench_smoke.txt
+	$(GO) run ./cmd/dias-experiments -fig 7 -jobs 60 -replicas 2 -bench-out BENCH_results.json > /dev/null
 
 # Format in place.
 fmt:

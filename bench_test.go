@@ -14,6 +14,9 @@ import (
 	"fmt"
 	"testing"
 
+	"dias"
+	"dias/internal/core"
+	"dias/internal/engine"
 	"dias/internal/experiments"
 	"dias/internal/runner"
 )
@@ -52,10 +55,47 @@ func BenchmarkFigureSetRunner(b *testing.B) {
 		func(context.Context) (fmt.Stringer, error) { return experiments.ExtensionVariableSizes(sc) },
 	}
 	pool := runner.New(0)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := runner.Map(context.Background(), pool, tasks); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkKernelChurn isolates the simulation spine from the analytics
+// compute: a single no-op-stage job template re-executed through the full
+// scheduler/engine/simtime path. It is the benchmark to watch when
+// touching the event queue, dispatch, or buffer management — figure
+// benchmarks also carry per-record workload compute.
+func BenchmarkKernelChurn(b *testing.B) {
+	input := make(engine.Dataset, 40)
+	for p := range input {
+		input[p] = engine.Partition{{Key: "k", Value: 1.0}}
+	}
+	job := &engine.Job{
+		Name:      "churn",
+		Input:     input,
+		SizeBytes: 1 << 20,
+		Stages: []engine.Stage{
+			{Name: "map", Kind: engine.ShuffleMap, OutPartitions: 10},
+			{Name: "out", Kind: engine.Result, Deps: []int{0}},
+		},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stack, err := dias.NewStack(dias.StackConfig{Policy: core.PolicyNP(2), Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j := 0; j < 200; j++ {
+			stack.SubmitAt(float64(j), j%2, job)
+		}
+		stack.Run()
+		if got := len(stack.Records()); got != 200 {
+			b.Fatalf("completed %d jobs, want 200", got)
 		}
 	}
 }

@@ -18,6 +18,7 @@ import (
 
 	"dias/internal/cluster"
 	"dias/internal/engine"
+	"dias/internal/ring"
 	"dias/internal/simtime"
 	"dias/internal/trace"
 )
@@ -77,6 +78,14 @@ type Config struct {
 	// KeepOutputs retains job outputs in records (needed for accuracy
 	// measurements; costs memory on long runs).
 	KeepOutputs bool
+	// OnRecord, when non-nil, receives every completed job's record the
+	// moment it is produced — the streaming hook for metrics accumulators.
+	OnRecord func(JobRecord)
+	// DiscardRecords stops the scheduler from retaining completed-job
+	// records in memory (Records() then stays empty). Combine with
+	// OnRecord to aggregate long runs in O(classes) instead of O(jobs)
+	// memory.
+	DiscardRecords bool
 	// Trace, when non-nil, receives scheduler events (arrivals,
 	// dispatches, evictions, sprint transitions, completions).
 	Trace *trace.Log
@@ -194,7 +203,7 @@ type Scheduler struct {
 	eng *engine.Engine
 	cfg Config
 
-	buffers [][]*entry
+	buffers []ring.Deque[*entry]
 	current *entry
 
 	records []JobRecord
@@ -222,7 +231,7 @@ func New(sim *simtime.Simulation, clu *cluster.Cluster, eng *engine.Engine, cfg 
 		clu:     clu,
 		eng:     eng,
 		cfg:     cfg,
-		buffers: make([][]*entry, cfg.Classes),
+		buffers: make([]ring.Deque[*entry], cfg.Classes),
 	}
 	if cfg.Sprint != nil {
 		s.sprintTimer = simtime.NewTimer(sim)
@@ -245,7 +254,7 @@ func (s *Scheduler) Arrive(class int, job *engine.Job) error {
 	}
 	en := &entry{class: class, job: job, arrivedAt: s.sim.Now()}
 	s.trace(trace.Arrival, en, "")
-	s.buffers[class] = append(s.buffers[class], en)
+	s.buffers[class].PushBack(en)
 	if s.current == nil {
 		s.dispatchNext()
 		return nil
@@ -270,7 +279,7 @@ func (s *Scheduler) evictCurrent() {
 	}
 	victim.evictions++
 	s.trace(trace.Evict, victim, "")
-	s.buffers[victim.class] = append([]*entry{victim}, s.buffers[victim.class]...)
+	s.buffers[victim.class].PushFront(victim)
 }
 
 // trace records a scheduler event when tracing is enabled.
@@ -293,9 +302,8 @@ func (s *Scheduler) dispatchNext() {
 	}
 	var next *entry
 	for k := s.cfg.Classes - 1; k >= 0; k-- {
-		if len(s.buffers[k]) > 0 {
-			next = s.buffers[k][0]
-			s.buffers[k] = s.buffers[k][1:]
+		if s.buffers[k].Len() > 0 {
+			next = s.buffers[k].PopFront()
 			break
 		}
 	}
@@ -348,7 +356,12 @@ func (s *Scheduler) onComplete(en *entry, res engine.JobResult) {
 	if s.cfg.KeepOutputs {
 		rec.Output = res.Output
 	}
-	s.records = append(s.records, rec)
+	if s.cfg.OnRecord != nil {
+		s.cfg.OnRecord(rec)
+	}
+	if !s.cfg.DiscardRecords {
+		s.records = append(s.records, rec)
+	}
 	if s.cfg.Deflator != nil {
 		s.cfg.Deflator.Observe(rec)
 	}
@@ -437,15 +450,16 @@ func (s *Scheduler) stopSprint() {
 
 // --- Introspection ---------------------------------------------------------
 
-// Records returns the completed-job records so far. The slice is shared;
+// Records returns the completed-job records so far (empty when the
+// scheduler was configured with DiscardRecords). The slice is shared;
 // callers must not mutate it.
 func (s *Scheduler) Records() []JobRecord { return s.records }
 
 // QueuedJobs returns the number of buffered (not yet dispatched) jobs.
 func (s *Scheduler) QueuedJobs() int {
 	var n int
-	for _, b := range s.buffers {
-		n += len(b)
+	for k := range s.buffers {
+		n += s.buffers[k].Len()
 	}
 	return n
 }

@@ -1,0 +1,37 @@
+// Package engine implements the Spark-like dataflow processing engine the
+// paper extends (§2.4, §3.3): jobs are DAGs of stages over partitioned
+// datasets, each stage runs one task per partition, tasks execute on the
+// cluster's computing slots in waves, and ShuffleMap stages hash their
+// output into the next stage's input partitions.
+//
+// Task dropping is wired in exactly where the paper patches Spark: the
+// scheduler asks FindMissingPartitions for the partitions of a stage to
+// compute, and with a drop ratio θ only ⌈n(1-θ)⌉ of n are returned (§3.3,
+// "Dropper"). Eviction (for the preemptive baseline) kills a job mid-
+// flight and accounts the consumed machine time as waste.
+//
+// # Hot path
+//
+// Task dispatch is allocation-free in steady state. Task structs are
+// pooled on an engine-wide freelist, each carrying a completion closure
+// bound once at allocation; per-job pending queues are ring-buffer deques
+// (no slice reallocation on push-front speculation backups or failure
+// retries); DVFS speed changes reschedule in-flight completion events in
+// place via simtime.RescheduleAfter instead of cancelling and re-closing
+// them; and shuffle bucketing hashes keys with an inline FNV-1a.
+//
+// In-flight tasks are tracked per execution in a launch-ordered slice, so
+// rescaling and speculation scans — and therefore whole simulations — are
+// deterministic per seed with no map-iteration randomness.
+//
+// # Output memoization
+//
+// TaskFunc implementations must be pure, deterministic transforms. The
+// engine exploits this: when the same *Job value is submitted more than
+// once (experiment drivers re-execute fixed job templates for every
+// arrival), the outputs of input-reading stages — whose task inputs are
+// the template's own stable partitions — are computed once and served
+// from a per-engine cache on every later execution. Simulated task
+// durations are priced by the cost model from input sizes, so memoization
+// changes no timing, only removes redundant host-CPU work.
+package engine

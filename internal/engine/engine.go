@@ -1,26 +1,15 @@
-// Package engine implements the Spark-like dataflow processing engine the
-// paper extends (§2.4, §3.3): jobs are DAGs of stages over partitioned
-// datasets, each stage runs one task per partition, tasks execute on the
-// cluster's computing slots in waves, and ShuffleMap stages hash their
-// output into the next stage's input partitions.
-//
-// Task dropping is wired in exactly where the paper patches Spark: the
-// scheduler asks FindMissingPartitions for the partitions of a stage to
-// compute, and with a drop ratio θ only ⌈n(1-θ)⌉ of n are returned (§3.3,
-// "Dropper"). Eviction (for the preemptive baseline) kills a job mid-
-// flight and accounts the consumed machine time as waste.
 package engine
 
 import (
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"math"
 	"math/rand"
 	"sort"
 
 	"dias/internal/cluster"
 	"dias/internal/dfs"
+	"dias/internal/ring"
 	"dias/internal/simtime"
 )
 
@@ -56,7 +45,13 @@ const (
 	Result
 )
 
-// TaskFunc transforms one input partition into output records.
+// TaskFunc transforms one input partition into output records. It must be
+// a pure, deterministic function of its input: it must not mutate the
+// input slice, and it must not retain or later mutate the returned slice.
+// The engine relies on this to memoize input-reading stage outputs when
+// the same *Job value is submitted repeatedly (simulated re-executions of
+// a job template), and to alias shuffle outputs as downstream inputs
+// without defensive copying.
 type TaskFunc func(in []Record) []Record
 
 // Stage describes one synchronization stage of a job.
@@ -272,7 +267,10 @@ type SubmitOptions struct {
 	OnComplete func(JobResult)
 }
 
-// task is one unit of schedulable work.
+// task is one unit of schedulable work. Tasks are pooled on the engine's
+// freelist: each struct carries a completion closure bound once at
+// allocation and reused across all its simulated lives, so steady-state
+// dispatch performs no closure or task allocation.
 type task struct {
 	exec      *execution
 	stage     int
@@ -284,6 +282,10 @@ type task struct {
 	speculative bool
 	twin        *task
 
+	// completeFn is the pre-bound e.completeTask(t) callback handed to the
+	// simulation for every (re)scheduling of this task struct.
+	completeFn func()
+
 	// Execution state while running.
 	slot          *cluster.Slot
 	remainingWork float64 // seconds at speed 1
@@ -291,6 +293,7 @@ type task struct {
 	lastUpdate    simtime.Time
 	event         simtime.EventID
 	running       bool
+	runIdx        int // index in exec.running while running
 }
 
 // execution is the engine-internal state of one job attempt.
@@ -321,10 +324,16 @@ type execution struct {
 	stageDurations  [][]float64
 	donePartitions  []map[int]bool
 	specLaunched    int
-	pending         []*task // this job's runnable tasks, FIFO
+	pending         ring.Deque[*task] // this job's runnable tasks, FIFO
 	inputBlockCache []dfs.Block
 
-	running map[*task]struct{}
+	// running lists in-flight tasks in launch order (compacted by
+	// swap-remove); a deterministic replacement for the old map, so DVFS
+	// rescaling and speculation scans are reproducible per seed.
+	running []*task
+	// memoize marks a re-submitted job template whose input-reading stage
+	// outputs may be served from the engine's memo cache.
+	memoize bool
 	done    bool
 	evicted bool
 }
@@ -372,6 +381,22 @@ type Engine struct {
 	fairShare bool
 	spec      SpeculationConfig
 
+	// taskFree recycles task structs (and their pre-bound completion
+	// closures) across executions.
+	taskFree []*task
+	// jobSeen tracks submitted job templates; a second submission of the
+	// same *Job enables output memoization for its input-reading stages.
+	// Entries are deliberately never evicted (a template may be
+	// re-submitted arbitrarily long after it last completed), so an
+	// engine retains one pointer-sized entry per distinct job over its
+	// lifetime; experiment drivers pre-schedule every arrival's job
+	// anyway, so this adds no meaningful peak memory to a run.
+	jobSeen map[*Job]bool
+	// memo caches pure stage outputs per (template, stage, partition);
+	// populated only for jobs actually re-submitted, so its size is
+	// bounded by the re-used templates, not by total submissions.
+	memo map[memoKey][]Record
+
 	wastedSlotSeconds    float64
 	completedJobs        int
 	evictions            int
@@ -389,15 +414,68 @@ func New(sim *simtime.Simulation, clu *cluster.Cluster, fs *dfs.FS, cost CostMod
 		return nil, errors.New("engine: nil simulation or cluster")
 	}
 	e := &Engine{
-		sim:   sim,
-		clu:   clu,
-		fs:    fs,
-		cost:  cost,
-		rng:   rand.New(rand.NewSource(seed)),
-		execs: make(map[JobID]*execution),
+		sim:     sim,
+		clu:     clu,
+		fs:      fs,
+		cost:    cost,
+		rng:     rand.New(rand.NewSource(seed)),
+		execs:   make(map[JobID]*execution),
+		jobSeen: make(map[*Job]bool),
+		memo:    make(map[memoKey][]Record),
 	}
 	clu.OnSpeedChange(e.rescaleRunning)
 	return e, nil
+}
+
+// memoKey addresses one cached stage output: the partition of an
+// input-reading stage of a job template.
+type memoKey struct {
+	job       *Job
+	stage     int32
+	partition int32
+}
+
+// newTask takes a task struct off the freelist (or allocates one with its
+// completion closure bound) and initializes it for one unit of work.
+func (e *Engine) newTask(ex *execution, stage, partition int, input []Record) *task {
+	var t *task
+	if n := len(e.taskFree); n > 0 {
+		t = e.taskFree[n-1]
+		e.taskFree[n-1] = nil
+		e.taskFree = e.taskFree[:n-1]
+	} else {
+		t = &task{}
+		t.completeFn = func() { e.completeTask(t) }
+	}
+	t.exec, t.stage, t.partition, t.input = ex, stage, partition, input
+	return t
+}
+
+// freeTask clears a finished or discarded task and returns it to the
+// freelist. Callers must have dropped every reference to it first.
+func (e *Engine) freeTask(t *task) {
+	fn := t.completeFn
+	*t = task{completeFn: fn}
+	e.taskFree = append(e.taskFree, t)
+}
+
+// addRunning registers t as in-flight on its execution.
+func addRunning(t *task) {
+	ex := t.exec
+	t.runIdx = len(ex.running)
+	ex.running = append(ex.running, t)
+}
+
+// removeRunning unregisters t by swap-remove, keeping sibling indices
+// consistent.
+func removeRunning(t *task) {
+	ex := t.exec
+	last := len(ex.running) - 1
+	moved := ex.running[last]
+	ex.running[t.runIdx] = moved
+	moved.runIdx = t.runIdx
+	ex.running[last] = nil
+	ex.running = ex.running[:last]
 }
 
 // SetFairSharing switches task dispatch between submission-order FIFO
@@ -457,7 +535,13 @@ func (e *Engine) Submit(job *Job, opts SubmitOptions) (JobID, error) {
 		stageTaskSecs:  make([]float64, len(job.Stages)),
 		stageDurations: make([][]float64, len(job.Stages)),
 		donePartitions: make([]map[int]bool, len(job.Stages)),
-		running:        make(map[*task]struct{}),
+	}
+	if e.jobSeen[job] {
+		// The template was executed before on this engine: its pure
+		// input-reading stage outputs can be served from the memo cache.
+		ex.memoize = true
+	} else {
+		e.jobSeen[job] = true
 	}
 	for si, st := range job.Stages {
 		ex.stageStats[si].Name = st.Name
@@ -512,11 +596,16 @@ func (e *Engine) startReadyStages(ex *execution) {
 	}
 }
 
-// stageInput materialises the input partitions of a stage.
+// stageInput materialises the input partitions of a stage. Single-parent
+// stages alias the parent's shuffle output directly (tasks never mutate
+// their inputs); only multi-parent stages concatenate into fresh buckets.
 func (ex *execution) stageInput(si int) Dataset {
 	s := ex.job.Stages[si]
-	if len(s.Deps) == 0 {
+	switch len(s.Deps) {
+	case 0:
 		return ex.job.Input
+	case 1:
+		return ex.outputs[s.Deps[0]]
 	}
 	buckets := ex.job.Stages[s.Deps[0]].OutPartitions
 	in := make(Dataset, buckets)
@@ -546,8 +635,7 @@ func (e *Engine) startStage(ex *execution, si int) {
 		return
 	}
 	for _, p := range selected {
-		t := &task{exec: ex, stage: si, partition: p, input: in[p]}
-		ex.pending = append(ex.pending, t)
+		ex.pending.PushBack(e.newTask(ex, si, p, in[p]))
 	}
 	e.dispatch()
 }
@@ -559,7 +647,7 @@ func (e *Engine) startStage(ex *execution, si int) {
 func (e *Engine) nextExec() *execution {
 	if !e.fairShare {
 		for _, ex := range e.execOrder {
-			if len(ex.pending) > 0 {
+			if ex.pending.Len() > 0 {
 				return ex
 			}
 		}
@@ -567,7 +655,7 @@ func (e *Engine) nextExec() *execution {
 	}
 	var best *execution
 	for _, ex := range e.execOrder {
-		if len(ex.pending) == 0 {
+		if ex.pending.Len() == 0 {
 			continue
 		}
 		if best == nil || len(ex.running) < len(best.running) {
@@ -597,12 +685,12 @@ func (e *Engine) dispatch() {
 		if ex == nil {
 			return
 		}
-		t := ex.pending[0]
+		t := ex.pending.Front()
 		slot, ok := e.acquireFor(t)
 		if !ok {
 			return
 		}
-		ex.pending = ex.pending[1:]
+		ex.pending.PopFront()
 		e.startTask(t, slot)
 	}
 }
@@ -632,21 +720,19 @@ func (e *Engine) startTask(t *task, slot *cluster.Slot) {
 	t.lastUpdate = e.sim.Now()
 	t.remainingWork = e.taskWork(t)
 	t.exec.launched++
-	t.exec.running[t] = struct{}{}
-	e.scheduleCompletion(t)
-}
-
-func (e *Engine) scheduleCompletion(t *task) {
+	addRunning(t)
 	d := simtime.Duration(t.remainingWork / e.clu.Speed())
-	t.event = e.sim.After(d, func() { e.completeTask(t) })
+	t.event = e.sim.After(d, t.completeFn)
 }
 
 // rescaleRunning reacts to DVFS speed changes: consumed work is credited at
-// the old speed and the completion event is rescheduled at the new one.
+// the old speed and the completion event is rescheduled in place at the
+// new one (no cancel/re-schedule churn, no fresh closures). Executions and
+// their running tasks are walked in deterministic launch order.
 func (e *Engine) rescaleRunning(oldSpeed, newSpeed float64) {
 	now := e.sim.Now()
-	for _, ex := range e.execs {
-		for t := range ex.running {
+	for _, ex := range e.execOrder {
+		for _, t := range ex.running {
 			elapsed := now.Sub(t.lastUpdate).Seconds()
 			t.remainingWork -= elapsed * oldSpeed
 			if t.remainingWork < 0 {
@@ -654,8 +740,7 @@ func (e *Engine) rescaleRunning(oldSpeed, newSpeed float64) {
 			}
 			ex.slotSeconds += elapsed // wall occupancy of the finished segment
 			t.lastUpdate = now
-			e.sim.Cancel(t.event)
-			e.scheduleCompletion(t)
+			e.sim.RescheduleAfter(t.event, simtime.Duration(t.remainingWork/newSpeed))
 		}
 	}
 }
@@ -667,13 +752,17 @@ func (e *Engine) completeTask(t *task) {
 	// accrued in rescaleRunning when lastUpdate advanced.
 	ex.slotSeconds += now.Sub(t.lastUpdate).Seconds()
 	t.running = false
-	delete(ex.running, t)
+	removeRunning(t)
 	e.clu.Release(t.slot)
 
 	// A speculative twin may already have delivered this partition; the
 	// loser's work is discarded (its occupancy was still real).
 	if ex.donePartitions[t.stage][t.partition] {
 		e.speculativeDiscarded++
+		if t.twin != nil {
+			t.twin.twin = nil
+		}
+		e.freeTask(t)
 		e.dispatch()
 		return
 	}
@@ -686,12 +775,24 @@ func (e *Engine) completeTask(t *task) {
 	ex.stageTaskSecs[t.stage] += duration
 	ex.stageDurations[t.stage] = append(ex.stageDurations[t.stage], duration)
 
-	s := ex.job.Stages[t.stage]
+	s := &ex.job.Stages[t.stage]
 	var out []Record
-	if s.Compute != nil {
-		out = s.Compute(t.input)
-	} else {
+	switch {
+	case s.Compute == nil:
 		out = t.input
+	case ex.memoize && len(s.Deps) == 0:
+		// Re-executed template, input-reading stage: the partition's input
+		// is the template's own (stable) data, so the pure Compute output
+		// can be cached across executions.
+		k := memoKey{job: ex.job, stage: int32(t.stage), partition: int32(t.partition)}
+		cached, ok := e.memo[k]
+		if !ok {
+			cached = s.Compute(t.input)
+			e.memo[k] = cached
+		}
+		out = cached
+	default:
+		out = s.Compute(t.input)
 	}
 	switch s.Kind {
 	case ShuffleMap:
@@ -704,36 +805,42 @@ func (e *Engine) completeTask(t *task) {
 		ex.resultOut = append(ex.resultOut, out...)
 	}
 
-	ex.pendingTasks[t.stage]--
-	if ex.pendingTasks[t.stage] == 0 {
-		e.finishStage(ex, t.stage)
+	stage := t.stage
+	e.freeTask(t)
+	ex.pendingTasks[stage]--
+	if ex.pendingTasks[stage] == 0 {
+		e.finishStage(ex, stage)
 	} else if e.spec.Enabled {
-		e.maybeSpeculate(ex, t.stage)
+		e.maybeSpeculate(ex, stage)
 	}
 	e.dispatch()
 }
 
 // cancelTwin aborts the other copy of a just-finished partition, whether
-// running or still queued.
+// running or still queued, and recycles its task struct.
 func (e *Engine) cancelTwin(t *task) {
 	twin := t.twin
 	if twin == nil {
 		return
 	}
+	t.twin = nil
+	twin.twin = nil
 	ex := t.exec
 	if twin.running {
 		e.sim.Cancel(twin.event)
 		ex.slotSeconds += e.sim.Now().Sub(twin.lastUpdate).Seconds()
 		twin.running = false
-		delete(ex.running, twin)
+		removeRunning(twin)
 		e.clu.Release(twin.slot)
 		e.speculativeDiscarded++
+		e.freeTask(twin)
 		return
 	}
-	for i, q := range ex.pending {
-		if q == twin {
-			ex.pending = append(ex.pending[:i], ex.pending[i+1:]...)
+	for i := 0; i < ex.pending.Len(); i++ {
+		if ex.pending.At(i) == twin {
+			ex.pending.Remove(i)
 			e.speculativeDiscarded++
+			e.freeTask(twin)
 			return
 		}
 	}
@@ -753,20 +860,19 @@ func (e *Engine) maybeSpeculate(ex *execution, stage int) {
 	}
 	threshold := e.spec.Multiplier * med
 	now := e.sim.Now()
-	for t := range ex.running {
+	for _, t := range ex.running {
 		if t.stage != stage || t.twin != nil || t.speculative {
 			continue
 		}
 		if now.Sub(t.startedAt).Seconds() <= threshold {
 			continue
 		}
-		backup := &task{
-			exec: ex, stage: stage, partition: t.partition,
-			input: t.input, speculative: true, twin: t,
-		}
+		backup := e.newTask(ex, stage, t.partition, t.input)
+		backup.speculative = true
+		backup.twin = t
 		t.twin = backup
 		// Backups jump the queue: they chase an already-late partition.
-		ex.pending = append([]*task{backup}, ex.pending...)
+		ex.pending.PushFront(backup)
 		e.speculativeLaunched++
 	}
 }
@@ -849,14 +955,21 @@ func (e *Engine) Kill(id JobID) (Attempt, error) {
 	}
 	now := e.sim.Now()
 	// Abort running tasks; credit partial occupancy.
-	for t := range ex.running {
+	for _, t := range ex.running {
 		e.sim.Cancel(t.event)
 		ex.slotSeconds += now.Sub(t.lastUpdate).Seconds()
 		e.clu.Release(t.slot)
-		delete(ex.running, t)
+		t.running = false
+		t.twin = nil
+		e.freeTask(t)
 	}
+	ex.running = nil
 	// Discard this job's queued tasks.
-	ex.pending = nil
+	for ex.pending.Len() > 0 {
+		t := ex.pending.PopFront()
+		t.twin = nil
+		e.freeTask(t)
+	}
 	delete(e.execs, ex.id)
 	e.removeFromOrder(ex)
 	ex.evicted = true
@@ -887,13 +1000,13 @@ func (e *Engine) FailNode(node int) error {
 	now := e.sim.Now()
 	for _, ex := range e.execOrder {
 		var aborted []*task
-		for t := range ex.running {
+		for _, t := range ex.running {
 			if t.slot.Node == node {
 				aborted = append(aborted, t)
 			}
 		}
-		// Map iteration is unordered; sort so re-queue order (and thus the
-		// whole simulation) stays deterministic per seed.
+		// Re-queue in (stage, partition) order rather than launch order so
+		// retry order is stable regardless of how the tasks were dispatched.
 		sort.Slice(aborted, func(i, j int) bool {
 			a, b := aborted[i], aborted[j]
 			if a.stage != b.stage {
@@ -909,11 +1022,11 @@ func (e *Engine) FailNode(node int) error {
 			ex.slotSeconds += now.Sub(t.lastUpdate).Seconds()
 			e.failureLostSlotSeconds += now.Sub(t.startedAt).Seconds()
 			t.running = false
-			delete(ex.running, t)
+			removeRunning(t)
 			e.clu.Release(t.slot) // node is down: slot stays out of the pool
 			t.slot = nil
 			t.remainingWork = 0
-			ex.pending = append([]*task{t}, ex.pending...)
+			ex.pending.PushFront(t)
 			e.tasksRetried++
 		}
 	}
@@ -949,8 +1062,14 @@ func (e *Engine) removeFromOrder(ex *execution) {
 	}
 }
 
+// bucketOf hashes a shuffle key into one of n buckets with inline FNV-1a
+// (bit-identical to hash/fnv's 32-bit variant, without the hasher and
+// byte-slice allocations the stdlib path pays per record).
 func bucketOf(key string, n int) int {
-	h := fnv.New32a()
-	_, _ = h.Write([]byte(key))
-	return int(h.Sum32() % uint32(n))
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return int(h % uint32(n))
 }

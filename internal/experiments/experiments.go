@@ -135,52 +135,65 @@ type scenario struct {
 	// scenario's simulation and installs it into the policy (the policy
 	// must then carry no static DropRatios).
 	deflator func(sim *simtime.Simulation) (core.Deflator, error)
+	// observe, when non-nil, receives every completed-job record as it
+	// streams out of the scheduler — the hook for analyses beyond the
+	// standard aggregates (e.g. slowdown accumulators). The scheduler
+	// never materializes a record slice.
+	observe func(core.JobRecord)
 }
 
-// run executes the scenario to completion and aggregates results.
+// run executes the scenario to completion, streaming completed-job
+// records into per-class accumulators. No per-job record slice is ever
+// materialized: scheduler memory stays O(classes) plus the retained
+// response-time samples needed for percentiles.
 func (sc scenario) run() (metrics.ScenarioResult, error) {
-	res, _, err := sc.runWithRecords()
-	return res, err
-}
-
-// runWithRecords is run plus the raw per-job records, for analyses beyond
-// the standard aggregates (e.g. slowdowns).
-func (sc scenario) runWithRecords() (metrics.ScenarioResult, []core.JobRecord, error) {
 	if err := sc.scale.validate(); err != nil {
-		return metrics.ScenarioResult{}, nil, err
+		return metrics.ScenarioResult{}, err
 	}
 	if sc.proc == nil && len(sc.rates) != sc.policy.Classes {
-		return metrics.ScenarioResult{}, nil, errors.New("experiments: rate/class count mismatch")
+		return metrics.ScenarioResult{}, errors.New("experiments: rate/class count mismatch")
 	}
 	if sc.source == nil && len(sc.jobs) != sc.policy.Classes {
-		return metrics.ScenarioResult{}, nil, errors.New("experiments: job/class count mismatch")
+		return metrics.ScenarioResult{}, errors.New("experiments: job/class count mismatch")
 	}
 	sim := simtime.New()
 	clu, err := cluster.New(sim, sc.cluster)
 	if err != nil {
-		return metrics.ScenarioResult{}, nil, err
+		return metrics.ScenarioResult{}, err
 	}
 	eng, err := engine.New(sim, clu, nil, sc.cost, sc.scale.Seed)
 	if err != nil {
-		return metrics.ScenarioResult{}, nil, err
+		return metrics.ScenarioResult{}, err
 	}
 	policy := sc.policy
 	if sc.deflator != nil {
 		d, err := sc.deflator(sim)
 		if err != nil {
-			return metrics.ScenarioResult{}, nil, fmt.Errorf("building deflator: %w", err)
+			return metrics.ScenarioResult{}, fmt.Errorf("building deflator: %w", err)
 		}
 		policy.Deflator = d
 	}
+	// Stream records straight into the accumulator (every arrival
+	// completes, so the expected record count is the arrival count).
+	acc := metrics.NewAccumulator(sc.policy.Classes, sc.scale.Jobs, sc.scale.WarmupFraction)
+	policy.DiscardRecords = true
+	if obs := sc.observe; obs != nil {
+		policy.OnRecord = func(r core.JobRecord) {
+			acc.Add(r)
+			obs(r)
+		}
+	} else {
+		policy.OnRecord = acc.Add
+	}
 	sch, err := core.New(sim, clu, eng, policy)
 	if err != nil {
-		return metrics.ScenarioResult{}, nil, err
+		return metrics.ScenarioResult{}, err
 	}
 	proc := sc.proc
 	if proc == nil {
 		pm, err := workload.NewPoissonMix(sc.rates)
 		if err != nil {
-			return metrics.ScenarioResult{}, nil, err
+			return metrics.ScenarioResult{}, err
 		}
 		proc = pm
 	}
@@ -198,7 +211,7 @@ func (sc scenario) runWithRecords() (metrics.ScenarioResult, []core.JobRecord, e
 			fcfg.HorizonSec = arrivals[len(arrivals)-1].At*1.1 + 300
 		}
 		if _, err := engine.NewFailureInjector(sim, eng, fcfg); err != nil {
-			return metrics.ScenarioResult{}, nil, fmt.Errorf("arming failure injector: %w", err)
+			return metrics.ScenarioResult{}, fmt.Errorf("arming failure injector: %w", err)
 		}
 	}
 	var arriveErr error
@@ -206,7 +219,7 @@ func (sc scenario) runWithRecords() (metrics.ScenarioResult, []core.JobRecord, e
 		a := a
 		job, err := source.Job(jobRng, a.Class)
 		if err != nil {
-			return metrics.ScenarioResult{}, nil, fmt.Errorf("building class-%d job: %w", a.Class, err)
+			return metrics.ScenarioResult{}, fmt.Errorf("building class-%d job: %w", a.Class, err)
 		}
 		sim.At(simtime.Time(a.At), func() {
 			if err := sch.Arrive(a.Class, job); err != nil && arriveErr == nil {
@@ -216,11 +229,11 @@ func (sc scenario) runWithRecords() (metrics.ScenarioResult, []core.JobRecord, e
 	}
 	sim.Run()
 	if arriveErr != nil {
-		return metrics.ScenarioResult{}, nil, arriveErr
+		return metrics.ScenarioResult{}, arriveErr
 	}
 	res := metrics.ScenarioResult{
 		Name:         sc.name,
-		PerClass:     metrics.Aggregate(sch.Records(), sc.policy.Classes, sc.scale.WarmupFraction),
+		PerClass:     acc.Classes(),
 		EnergyJoules: clu.EnergyJoules(),
 		MakespanSec:  sim.Now().Seconds(),
 	}
@@ -228,46 +241,26 @@ func (sc scenario) runWithRecords() (metrics.ScenarioResult, []core.JobRecord, e
 	if total := useful + eng.WastedSlotSeconds(); total > 0 {
 		res.ResourceWastePct = 100 * eng.WastedSlotSeconds() / total
 	}
-	return res, sch.Records(), nil
-}
-
-// scenarioOutcome pairs a scenario's aggregates with its raw records.
-type scenarioOutcome struct {
-	res     metrics.ScenarioResult
-	records []core.JobRecord
+	return res, nil
 }
 
 // runScenarios executes independent scenarios concurrently on the scale's
 // worker pool, returning results in input order. Scenarios share only
 // immutable state (job templates, policy configs, cost models), so the
-// concurrent results are bit-identical to the old serial loop.
+// concurrent results are bit-identical to a serial loop.
 func runScenarios(scs []scenario) ([]metrics.ScenarioResult, error) {
-	outs, err := runScenariosRecords(scs)
-	if err != nil {
-		return nil, err
-	}
-	results := make([]metrics.ScenarioResult, len(outs))
-	for i, o := range outs {
-		results[i] = o.res
-	}
-	return results, nil
-}
-
-// runScenariosRecords is runScenarios plus each scenario's raw per-job
-// records.
-func runScenariosRecords(scs []scenario) ([]scenarioOutcome, error) {
 	if len(scs) == 0 {
 		return nil, nil
 	}
-	tasks := make([]runner.Task[scenarioOutcome], len(scs))
+	tasks := make([]runner.Task[metrics.ScenarioResult], len(scs))
 	for i := range scs {
 		sc := scs[i]
-		tasks[i] = func(context.Context) (scenarioOutcome, error) {
-			res, rec, err := sc.runWithRecords()
+		tasks[i] = func(context.Context) (metrics.ScenarioResult, error) {
+			res, err := sc.run()
 			if err != nil {
-				return scenarioOutcome{}, fmt.Errorf("%s: %w", sc.name, err)
+				return metrics.ScenarioResult{}, fmt.Errorf("%s: %w", sc.name, err)
 			}
-			return scenarioOutcome{res: res, records: rec}, nil
+			return res, nil
 		}
 	}
 	return runner.Map(context.Background(), scs[0].scale.pool(), tasks)

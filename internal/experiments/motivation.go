@@ -76,8 +76,11 @@ func Motivation(scale Scale) (*MotivationResult, error) {
 		return nil, err
 	}
 	// One scenario per load point; the sweep fans out on the worker pool.
+	// Each load point streams its records into a slowdown accumulator, so
+	// no per-job record slice is ever materialized.
 	utils := []float64{0.5, 0.7, 0.8, 0.9}
 	scs := make([]scenario, len(utils))
+	sds := make([]*metrics.SlowdownAccumulator, len(utils))
 	for i, util := range utils {
 		totalRate, err := workload.CalibrateTotalRate(
 			[]float64{mean(lowDur), mean(highDur)}, []float64{0.9, 0.1}, util)
@@ -88,20 +91,22 @@ func Motivation(scale Scale) (*MotivationResult, error) {
 		if err != nil {
 			return nil, err
 		}
+		sds[i] = metrics.NewSlowdownAccumulator(2, scale.Jobs, scale.WarmupFraction)
 		scs[i] = scenario{
 			name: fmt.Sprintf("P@%.0f%%", 100*util), policy: core.PolicyP(2),
 			rates: rates, jobs: []*engine.Job{lowJob, highJob},
 			cost: cost, cluster: cluCfg, scale: scale,
+			observe: sds[i].Add,
 		}
 	}
-	outs, err := runScenariosRecords(scs)
+	results, err := runScenarios(scs)
 	if err != nil {
 		return nil, err
 	}
 	out := &MotivationResult{}
 	for i, util := range utils {
-		res, rec := outs[i].res, outs[i].records
-		sd := metrics.Slowdowns(rec, 2, scale.WarmupFraction)
+		res := results[i]
+		sd := sds[i].Classes()
 		out.Rows = append(out.Rows, MotivationRow{
 			Util:         util,
 			LowSlowdown:  sd[0].MeanSlowdown,

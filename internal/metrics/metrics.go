@@ -1,7 +1,3 @@
-// Package metrics aggregates per-job records into the quantities the
-// paper reports: per-class mean and 95th-percentile response times, the
-// queueing/execution decomposition (Table 2), resource waste from
-// evictions (§5.1), and energy.
 package metrics
 
 import (
@@ -41,51 +37,104 @@ type ScenarioResult struct {
 	MakespanSec float64
 }
 
-// Aggregate folds job records into per-class statistics, skipping the
-// first warmupFraction of completions (transient).
-func Aggregate(records []core.JobRecord, classes int, warmupFraction float64) []ClassStats {
-	if warmupFraction < 0 {
-		warmupFraction = 0
+// clampWarmup normalizes a warmup fraction into [0, 0.9].
+func clampWarmup(f float64) float64 {
+	if f < 0 {
+		return 0
 	}
-	if warmupFraction > 0.9 {
-		warmupFraction = 0.9
+	if f > 0.9 {
+		return 0.9
 	}
-	skip := int(float64(len(records)) * warmupFraction)
-	out := make([]ClassStats, classes)
-	samples := make([]*stats.Sample, classes)
-	queues := make([]*stats.Stream, classes)
-	execs := make([]*stats.Stream, classes)
-	drops := make([]*stats.Stream, classes)
+	return f
+}
+
+// Accumulator folds job records into per-class statistics as they stream
+// in (e.g. wired to core.Config.OnRecord), so scenario drivers never
+// materialize the full record slice. Apart from the retained response-time
+// samples needed for percentiles, memory is O(classes).
+//
+// The accumulator skips the first warmupFraction of the expected
+// completions as transient; expectedRecords is the anticipated total
+// (for experiment drivers, the number of scheduled arrivals, since every
+// arrival eventually completes).
+type Accumulator struct {
+	classes int
+	skip    int
+	seen    int
+	out     []ClassStats
+	samples []stats.Sample
+	queues  []stats.Stream
+	execs   []stats.Stream
+	drops   []stats.Stream
+	final   []ClassStats
+}
+
+// NewAccumulator returns an accumulator for the given class count sized
+// for expectedRecords completions.
+func NewAccumulator(classes, expectedRecords int, warmupFraction float64) *Accumulator {
+	a := &Accumulator{
+		classes: classes,
+		skip:    int(float64(expectedRecords) * clampWarmup(warmupFraction)),
+		out:     make([]ClassStats, classes),
+		samples: make([]stats.Sample, classes),
+		queues:  make([]stats.Stream, classes),
+		execs:   make([]stats.Stream, classes),
+		drops:   make([]stats.Stream, classes),
+	}
+	for k := range a.out {
+		a.out[k].Class = k
+	}
+	return a
+}
+
+// Add folds one completed-job record into the running statistics.
+func (a *Accumulator) Add(r core.JobRecord) {
+	a.seen++
+	if a.seen <= a.skip || r.Class < 0 || r.Class >= a.classes {
+		return
+	}
+	k := r.Class
+	a.out[k].Jobs++
+	a.out[k].Evictions += r.Evictions
+	a.samples[k].Add(r.ResponseSec)
+	a.queues[k].Add(r.QueueSec)
+	a.execs[k].Add(r.ExecSec)
+	a.drops[k].Add(r.EffectiveDropRatio)
+}
+
+// Count returns the number of records folded in so far.
+func (a *Accumulator) Count() int { return a.seen }
+
+// Classes finalizes and returns the per-class statistics. The means are
+// computed in insertion order before the percentile sort, so the result is
+// bit-identical to Aggregate over the same record sequence. The finalized
+// result is cached; Add after Classes has no effect on it.
+func (a *Accumulator) Classes() []ClassStats {
+	if a.final != nil {
+		return a.final
+	}
+	out := make([]ClassStats, a.classes)
 	for k := range out {
-		out[k].Class = k
-		samples[k] = &stats.Sample{}
-		queues[k] = &stats.Stream{}
-		execs[k] = &stats.Stream{}
-		drops[k] = &stats.Stream{}
+		out[k] = a.out[k]
+		out[k].MeanResponseSec = a.samples[k].Mean()
+		out[k].P95ResponseSec = a.samples[k].Percentile(95)
+		out[k].MeanQueueSec = a.queues[k].Mean()
+		out[k].MeanExecSec = a.execs[k].Mean()
+		out[k].MeanEffectiveDrop = a.drops[k].Mean()
 	}
-	for i, r := range records {
-		if i < skip {
-			continue
-		}
-		if r.Class < 0 || r.Class >= classes {
-			continue
-		}
-		k := r.Class
-		out[k].Jobs++
-		out[k].Evictions += r.Evictions
-		samples[k].Add(r.ResponseSec)
-		queues[k].Add(r.QueueSec)
-		execs[k].Add(r.ExecSec)
-		drops[k].Add(r.EffectiveDropRatio)
-	}
-	for k := range out {
-		out[k].MeanResponseSec = samples[k].Mean()
-		out[k].P95ResponseSec = samples[k].Percentile(95)
-		out[k].MeanQueueSec = queues[k].Mean()
-		out[k].MeanExecSec = execs[k].Mean()
-		out[k].MeanEffectiveDrop = drops[k].Mean()
-	}
+	a.final = out
 	return out
+}
+
+// Aggregate folds job records into per-class statistics, skipping the
+// first warmupFraction of completions (transient). It is the batch form
+// of Accumulator.
+func Aggregate(records []core.JobRecord, classes int, warmupFraction float64) []ClassStats {
+	a := NewAccumulator(classes, len(records), warmupFraction)
+	for _, r := range records {
+		a.Add(r)
+	}
+	return a.Classes()
 }
 
 // Comparison is one scenario's per-class relative difference against a

@@ -25,34 +25,59 @@ type SlowdownStats struct {
 	P95Slowdown  float64
 }
 
-// Slowdowns computes per-class slowdown statistics from job records,
-// skipping the first warmupFraction of completions.
-func Slowdowns(records []core.JobRecord, classes int, warmupFraction float64) []SlowdownStats {
-	if warmupFraction < 0 {
-		warmupFraction = 0
+// SlowdownAccumulator computes per-class slowdown statistics from a
+// record stream, the streaming counterpart of Slowdowns (see Accumulator
+// for the expectedRecords/warmup convention).
+type SlowdownAccumulator struct {
+	classes int
+	skip    int
+	seen    int
+	jobs    []int
+	samples []stats.Sample
+}
+
+// NewSlowdownAccumulator returns a slowdown accumulator for the given
+// class count sized for expectedRecords completions.
+func NewSlowdownAccumulator(classes, expectedRecords int, warmupFraction float64) *SlowdownAccumulator {
+	return &SlowdownAccumulator{
+		classes: classes,
+		skip:    int(float64(expectedRecords) * clampWarmup(warmupFraction)),
+		jobs:    make([]int, classes),
+		samples: make([]stats.Sample, classes),
 	}
-	if warmupFraction > 0.9 {
-		warmupFraction = 0.9
+}
+
+// Add folds one completed-job record into the slowdown statistics.
+func (a *SlowdownAccumulator) Add(r core.JobRecord) {
+	a.seen++
+	if a.seen <= a.skip || r.Class < 0 || r.Class >= a.classes || r.ExecSec <= 0 {
+		return
 	}
-	skip := int(float64(len(records)) * warmupFraction)
-	out := make([]SlowdownStats, classes)
-	samples := make([]*stats.Sample, classes)
+	a.jobs[r.Class]++
+	a.samples[r.Class].Add(r.ResponseSec / r.ExecSec)
+}
+
+// Classes finalizes and returns the per-class slowdown statistics.
+func (a *SlowdownAccumulator) Classes() []SlowdownStats {
+	out := make([]SlowdownStats, a.classes)
 	for k := range out {
 		out[k].Class = k
-		samples[k] = &stats.Sample{}
-	}
-	for i, r := range records {
-		if i < skip || r.Class < 0 || r.Class >= classes || r.ExecSec <= 0 {
-			continue
-		}
-		out[r.Class].Jobs++
-		samples[r.Class].Add(r.ResponseSec / r.ExecSec)
-	}
-	for k := range out {
-		out[k].MeanSlowdown = samples[k].Mean()
-		out[k].P95Slowdown = samples[k].Percentile(95)
+		out[k].Jobs = a.jobs[k]
+		out[k].MeanSlowdown = a.samples[k].Mean()
+		out[k].P95Slowdown = a.samples[k].Percentile(95)
 	}
 	return out
+}
+
+// Slowdowns computes per-class slowdown statistics from job records,
+// skipping the first warmupFraction of completions. It is the batch form
+// of SlowdownAccumulator.
+func Slowdowns(records []core.JobRecord, classes int, warmupFraction float64) []SlowdownStats {
+	a := NewSlowdownAccumulator(classes, len(records), warmupFraction)
+	for _, r := range records {
+		a.Add(r)
+	}
+	return a.Classes()
 }
 
 // SlowdownRatio returns the mean slowdown of the lowest class divided by

@@ -26,6 +26,7 @@ import (
 	"math/rand"
 
 	"dias/internal/phdist"
+	"dias/internal/ring"
 	"dias/internal/stats"
 )
 
@@ -271,9 +272,28 @@ func Simulate(rng *rand.Rand, classes []Class, cfg SimConfig) (*SimResult, error
 	}
 	warmup := int(float64(cfg.Jobs) * cfg.WarmupFraction)
 
-	queues := make([][]*simJob, K)
+	queues := make([]ring.Deque[*simJob], K)
 	var clock float64
 	var inService *simJob
+
+	// Completed jobs are recycled: the simulator allocates O(peak queue
+	// length) simJob structs rather than one per arrival.
+	var freeJobs []*simJob
+	newJob := func(class int, arrival float64) *simJob {
+		var j *simJob
+		if n := len(freeJobs); n > 0 {
+			j = freeJobs[n-1]
+			freeJobs[n-1] = nil
+			freeJobs = freeJobs[:n-1]
+			*j = simJob{}
+		} else {
+			j = &simJob{}
+		}
+		j.class, j.arrival = class, arrival
+		j.original = classes[class].Sampler(rng)
+		j.remaining = j.original
+		return j
+	}
 
 	drawArrival := func() (float64, int) {
 		gap := rng.ExpFloat64() / totalRate
@@ -294,10 +314,8 @@ func Simulate(rng *rand.Rand, classes []Class, cfg SimConfig) (*SimResult, error
 	// popHighest removes and returns the head of the highest non-empty queue.
 	popHighest := func() *simJob {
 		for k := K - 1; k >= 0; k-- {
-			if len(queues[k]) > 0 {
-				j := queues[k][0]
-				queues[k] = queues[k][1:]
-				return j
+			if queues[k].Len() > 0 {
+				return queues[k].PopFront()
 			}
 		}
 		return nil
@@ -311,10 +329,8 @@ func Simulate(rng *rand.Rand, classes []Class, cfg SimConfig) (*SimResult, error
 			} else {
 				// Idle: jump to the next arrival.
 				clock = nextArrival
-				j := &simJob{class: nextClass, arrival: clock}
-				j.original = classes[j.class].Sampler(rng)
-				j.remaining = j.original
-				queues[j.class] = append(queues[j.class], j)
+				j := newJob(nextClass, clock)
+				queues[j.class].PushBack(j)
 				nextGap, nextClass = drawArrival()
 				nextArrival = clock + nextGap
 				continue
@@ -325,9 +341,7 @@ func Simulate(rng *rand.Rand, classes []Class, cfg SimConfig) (*SimResult, error
 			// Arrival first.
 			elapsed := nextArrival - clock
 			clock = nextArrival
-			j := &simJob{class: nextClass, arrival: clock}
-			j.original = classes[j.class].Sampler(rng)
-			j.remaining = j.original
+			j := newJob(nextClass, clock)
 			nextGap, nextClass = drawArrival()
 			nextArrival = clock + nextGap
 
@@ -345,14 +359,14 @@ func Simulate(rng *rand.Rand, classes []Class, cfg SimConfig) (*SimResult, error
 					res.WastedService += victim.original - victim.remaining
 					victim.remaining = victim.original
 				}
-				queues[victim.class] = append([]*simJob{victim}, queues[victim.class]...)
+				queues[victim.class].PushFront(victim)
 				// Under preemptive disciplines the job in service always has
 				// the highest class present, so the preemptor runs at once.
 				inService = j
 				continue
 			}
 			inService.remaining -= elapsed
-			queues[j.class] = append(queues[j.class], j)
+			queues[j.class].PushBack(j)
 			continue
 		}
 		// Completion first.
@@ -363,6 +377,7 @@ func Simulate(rng *rand.Rand, classes []Class, cfg SimConfig) (*SimResult, error
 			res.PerClass[inService.class].Add(clock - inService.arrival)
 			res.Served[inService.class]++
 		}
+		freeJobs = append(freeJobs, inService)
 		inService = nil
 	}
 	res.Makespan = clock

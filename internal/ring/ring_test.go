@@ -1,0 +1,147 @@
+package ring
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPushPopFIFO(t *testing.T) {
+	var d Deque[int]
+	for i := 0; i < 100; i++ {
+		d.PushBack(i)
+	}
+	for i := 0; i < 100; i++ {
+		if got := d.PopFront(); got != i {
+			t.Fatalf("PopFront = %d, want %d", got, i)
+		}
+	}
+	if d.Len() != 0 {
+		t.Fatalf("Len = %d after drain", d.Len())
+	}
+}
+
+func TestPushFront(t *testing.T) {
+	var d Deque[int]
+	d.PushBack(2)
+	d.PushFront(1)
+	d.PushFront(0)
+	for i := 0; i < 3; i++ {
+		if got := d.At(i); got != i {
+			t.Fatalf("At(%d) = %d", i, got)
+		}
+	}
+	if d.Front() != 0 {
+		t.Fatal("Front != 0")
+	}
+}
+
+func TestRemove(t *testing.T) {
+	mk := func() *Deque[int] {
+		d := &Deque[int]{}
+		// Force a wrapped layout: fill, drain some, refill.
+		for i := 0; i < 6; i++ {
+			d.PushBack(-1)
+		}
+		for i := 0; i < 6; i++ {
+			d.PopFront()
+		}
+		for i := 0; i < 5; i++ {
+			d.PushBack(i)
+		}
+		return d
+	}
+	for rm := 0; rm < 5; rm++ {
+		d := mk()
+		d.Remove(rm)
+		want := []int{}
+		for i := 0; i < 5; i++ {
+			if i != rm {
+				want = append(want, i)
+			}
+		}
+		if d.Len() != len(want) {
+			t.Fatalf("Len = %d, want %d", d.Len(), len(want))
+		}
+		for i, w := range want {
+			if got := d.At(i); got != w {
+				t.Fatalf("after Remove(%d): At(%d) = %d, want %d", rm, i, got, w)
+			}
+		}
+	}
+}
+
+func TestClear(t *testing.T) {
+	var d Deque[*int]
+	x := 1
+	d.PushBack(&x)
+	d.Clear()
+	if d.Len() != 0 {
+		t.Fatal("Clear left elements")
+	}
+	d.PushBack(&x)
+	if d.Len() != 1 || d.Front() != &x {
+		t.Fatal("deque unusable after Clear")
+	}
+}
+
+// TestAgainstSlice cross-checks the deque against a reference slice
+// implementation under random front/back operations.
+func TestAgainstSlice(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var d Deque[int]
+	var ref []int
+	for op := 0; op < 20000; op++ {
+		switch rng.Intn(5) {
+		case 0:
+			v := rng.Int()
+			d.PushBack(v)
+			ref = append(ref, v)
+		case 1:
+			v := rng.Int()
+			d.PushFront(v)
+			ref = append([]int{v}, ref...)
+		case 2:
+			if len(ref) > 0 {
+				got := d.PopFront()
+				if got != ref[0] {
+					t.Fatalf("op %d: PopFront = %d, want %d", op, got, ref[0])
+				}
+				ref = ref[1:]
+			}
+		case 3:
+			if len(ref) > 0 {
+				i := rng.Intn(len(ref))
+				d.Remove(i)
+				ref = append(ref[:i:i], ref[i+1:]...)
+			}
+		case 4:
+			if len(ref) > 0 {
+				i := rng.Intn(len(ref))
+				if got := d.At(i); got != ref[i] {
+					t.Fatalf("op %d: At(%d) = %d, want %d", op, i, got, ref[i])
+				}
+			}
+		}
+		if d.Len() != len(ref) {
+			t.Fatalf("op %d: Len = %d, want %d", op, d.Len(), len(ref))
+		}
+	}
+}
+
+func TestPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"PopFront": func() { new(Deque[int]).PopFront() },
+		"Front":    func() { new(Deque[int]).Front() },
+		"At":       func() { new(Deque[int]).At(0) },
+		"Remove":   func() { new(Deque[int]).Remove(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s on empty deque did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,15 @@
+// Package runner fans independent simulation runs across a bounded worker
+// pool. Every figure of the paper's evaluation decomposes into a grid of
+// scenario × policy × seed cells whose simulations share no mutable state
+// (each run builds its own simulation clock, cluster, engine, and RNGs from
+// an explicit seed), so the runner executes such grids concurrently while
+// returning results in deterministic task order: a fixed seed list yields
+// bit-identical aggregates at any worker count.
+//
+// Map is the core primitive (ordered concurrent fan-out with first-error
+// cancellation); Replicated layers the seed axis on top, and
+// Summarize/SummarizeAll fold per-seed replicates into mean ± 95%-CI
+// estimates (Student's t, since replicate counts are small). The Summary
+// types are the schema of the per-figure scenario aggregates embedded in
+// BENCH_results.json; see docs/BENCHMARKING.md.
+package runner

@@ -1,10 +1,3 @@
-// Package runner fans independent simulation runs across a bounded worker
-// pool. Every figure of the paper's evaluation decomposes into a grid of
-// scenario × policy × seed cells whose simulations share no mutable state
-// (each run builds its own simulation clock, cluster, engine, and RNGs from
-// an explicit seed), so the runner executes such grids concurrently while
-// returning results in deterministic task order: a fixed seed list yields
-// bit-identical aggregates at any worker count.
 package runner
 
 import (

@@ -381,6 +381,244 @@ func TestPropertyMonotonicClock(t *testing.T) {
 	}
 }
 
+// --- Cancellation / rescheduling edge cases (new with the indexed heap) ---
+
+func TestCancelDuringRun(t *testing.T) {
+	s := New()
+	var fired []int
+	var idLater EventID
+	s.At(1, func() {
+		fired = append(fired, 1)
+		// Cancel a later event from inside a callback mid-Run.
+		if !s.Cancel(idLater) {
+			t.Error("Cancel of pending event during Run returned false")
+		}
+	})
+	idLater = s.At(2, func() { fired = append(fired, 2) })
+	s.At(3, func() { fired = append(fired, 3) })
+	s.Run()
+	if len(fired) != 2 || fired[0] != 1 || fired[1] != 3 {
+		t.Fatalf("fired = %v, want [1 3]", fired)
+	}
+}
+
+func TestCancelSelfDuringCallback(t *testing.T) {
+	s := New()
+	var id EventID
+	id = s.At(1, func() {
+		// The firing event is already retired: cancelling yourself is a no-op.
+		if s.Cancel(id) {
+			t.Error("Cancel of the currently firing event returned true")
+		}
+	})
+	s.Run()
+}
+
+func TestRescheduleMovesEvent(t *testing.T) {
+	s := New()
+	var fired []string
+	id := s.At(1, func() { fired = append(fired, "moved") })
+	s.At(5, func() { fired = append(fired, "fixed") })
+	if !s.Reschedule(id, 9) {
+		t.Fatal("Reschedule of pending event returned false")
+	}
+	s.Run()
+	if len(fired) != 2 || fired[0] != "fixed" || fired[1] != "moved" {
+		t.Fatalf("fired = %v, want [fixed moved]", fired)
+	}
+	if s.Now() != 9 {
+		t.Fatalf("Now() = %v, want 9", s.Now())
+	}
+}
+
+func TestRescheduleActsAsFreshScheduling(t *testing.T) {
+	// Among events at the same instant, a rescheduled event fires after
+	// events already queued there — it is ordered as if newly scheduled.
+	s := New()
+	var fired []string
+	id := s.At(1, func() { fired = append(fired, "rescheduled") })
+	s.At(7, func() { fired = append(fired, "first-at-7") })
+	s.Reschedule(id, 7)
+	s.Run()
+	if len(fired) != 2 || fired[0] != "first-at-7" || fired[1] != "rescheduled" {
+		t.Fatalf("fired = %v, want [first-at-7 rescheduled]", fired)
+	}
+}
+
+func TestRescheduleAlreadyFired(t *testing.T) {
+	s := New()
+	id := s.At(1, func() {})
+	s.Run()
+	if s.Reschedule(id, 5) {
+		t.Fatal("Reschedule of fired event returned true")
+	}
+	if s.RescheduleAfter(id, 5) {
+		t.Fatal("RescheduleAfter of fired event returned true")
+	}
+}
+
+func TestRescheduleCancelledEvent(t *testing.T) {
+	s := New()
+	id := s.At(1, func() { t.Error("cancelled event fired") })
+	s.Cancel(id)
+	if s.Reschedule(id, 2) {
+		t.Fatal("Reschedule of cancelled event returned true")
+	}
+	s.Run()
+}
+
+func TestRescheduleIntoPastPanics(t *testing.T) {
+	s := New()
+	s.At(10, func() {})
+	id := s.At(20, func() {})
+	s.RunUntil(15)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("rescheduling into the past did not panic")
+		}
+	}()
+	s.Reschedule(id, 5)
+}
+
+func TestRescheduleAfterClampsNegative(t *testing.T) {
+	s := New()
+	s.At(3, func() {})
+	id := s.At(10, func() {})
+	s.RunUntil(3)
+	if !s.RescheduleAfter(id, -5) {
+		t.Fatal("RescheduleAfter returned false for pending event")
+	}
+	at, ok := s.NextEventTime()
+	if !ok || at != 3 {
+		t.Fatalf("NextEventTime = %v,%v, want 3,true (clamped to now)", at, ok)
+	}
+}
+
+func TestRescheduleDuringRun(t *testing.T) {
+	// An event callback postpones a sibling event repeatedly; the sibling
+	// must fire exactly once, at its final deadline.
+	s := New()
+	var sibling EventID
+	count := 0
+	sibling = s.At(2, func() { count++ })
+	for _, at := range []Time{1, 3, 5} {
+		at := at
+		s.At(at, func() { s.Reschedule(sibling, at+3) })
+	}
+	s.Run()
+	if count != 1 {
+		t.Fatalf("sibling fired %d times, want 1", count)
+	}
+	if s.Now() != 8 {
+		t.Fatalf("Now() = %v, want 8 (final deadline)", s.Now())
+	}
+}
+
+func TestStaleIDAfterSlotReuse(t *testing.T) {
+	// A fired event's slot is recycled for the next scheduling; the stale
+	// id must not cancel or reschedule the new tenant.
+	s := New()
+	stale := s.At(1, func() {})
+	s.Run()
+	fired := false
+	fresh := s.At(2, func() { fired = true })
+	if s.Cancel(stale) {
+		t.Fatal("stale id cancelled a recycled slot")
+	}
+	if s.Reschedule(stale, 50) {
+		t.Fatal("stale id rescheduled a recycled slot")
+	}
+	s.Run()
+	if !fired {
+		t.Fatal("fresh event did not fire")
+	}
+	_ = fresh
+}
+
+// Property: interleaved cancels and reschedules preserve the (time, seq)
+// firing order, where a reschedule re-anchors the event's seq as if it
+// were freshly scheduled. The test mirrors the kernel's seq counter and
+// checks the exact firing sequence against a reference sort.
+func TestPropertyCancelRescheduleOrdering(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := New()
+		count := int(n%48) + 2
+		type entry struct {
+			at   Time
+			seq  int
+			keep bool
+		}
+		entries := make([]entry, count)
+		ids := make([]EventID, count)
+		var fired []int
+		nextSeq := 0
+		for i := 0; i < count; i++ {
+			at := Time(rng.Intn(8)) // coarse times force ties
+			entries[i] = entry{at: at, seq: nextSeq, keep: true}
+			nextSeq++
+			i := i
+			ids[i] = s.At(at, func() { fired = append(fired, i) })
+		}
+		for i := 0; i < count; i++ {
+			switch rng.Intn(3) {
+			case 0:
+				entries[i].keep = !s.Cancel(ids[i])
+			case 1:
+				at := Time(rng.Intn(8))
+				if s.Reschedule(ids[i], at) {
+					// A reschedule re-anchors (at, seq) as a fresh scheduling.
+					entries[i].at, entries[i].seq = at, nextSeq
+					nextSeq++
+				}
+			}
+		}
+		s.Run()
+		type keptEntry struct{ idx, seq int }
+		var want []keptEntry
+		for i, e := range entries {
+			if e.keep {
+				want = append(want, keptEntry{idx: i, seq: e.seq})
+			}
+		}
+		sort.Slice(want, func(a, b int) bool {
+			ea, eb := entries[want[a].idx], entries[want[b].idx]
+			if ea.at != eb.at {
+				return ea.at < eb.at
+			}
+			return ea.seq < eb.seq
+		})
+		if len(fired) != len(want) {
+			return false
+		}
+		for i := range want {
+			if fired[i] != want[i].idx {
+				return false
+			}
+		}
+		return s.Pending() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// BenchmarkTimerChurn exercises the Cancel/Reschedule hot path the engine
+// and scheduler timers hit: an armed timer repeatedly restarted before it
+// fires. With the indexed heap and closure reuse this allocates nothing
+// per restart.
+func BenchmarkTimerChurn(b *testing.B) {
+	s := New()
+	tm := NewTimer(s)
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tm.Reset(1, fn)
+	}
+	tm.Stop()
+}
+
 func BenchmarkScheduleAndRun(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		s := New()
