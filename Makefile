@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short bench bench-smoke fmt fmt-check vet experiments
+.PHONY: build test test-short test-race bench bench-smoke fmt fmt-check vet experiments
 
 build:
 	$(GO) build ./...
@@ -14,6 +14,12 @@ test:
 # The CI fast lane: tests shrink their workloads under -short.
 test-short:
 	$(GO) test -short ./...
+
+# The race-detector lane: short workloads under -race. The federation
+# dispatcher and the internal/runner fan-out are the concurrency-bearing
+# paths this guards.
+test-race:
+	$(GO) test -race -short ./...
 
 # Benchmark the figure harness (short workloads; drop -short for the full
 # per-figure numbers).
@@ -26,9 +32,9 @@ bench:
 # No pipe here: /bin/sh has no pipefail, and `... | tee` would mask a
 # failing benchmark behind tee's exit status.
 bench-smoke:
-	$(GO) test -short -run '^$$' -bench 'BenchmarkFigureSetRunner|BenchmarkKernelChurn' -benchmem . > bench_smoke.txt
+	$(GO) test -short -run '^$$' -bench 'BenchmarkFigureSetRunner|BenchmarkKernelChurn|BenchmarkDispatcherRouting' -benchmem . > bench_smoke.txt
 	cat bench_smoke.txt
-	$(GO) run ./cmd/dias-experiments -fig 7 -jobs 60 -replicas 2 -bench-out BENCH_results.json > /dev/null
+	$(GO) run ./cmd/dias-experiments -fig 7,federation-scaleout -jobs 60 -replicas 2 -bench-out BENCH_results.json > /dev/null
 
 # Format in place.
 fmt:

@@ -15,9 +15,11 @@ import (
 	"testing"
 
 	"dias"
+	"dias/internal/cluster"
 	"dias/internal/core"
 	"dias/internal/engine"
 	"dias/internal/experiments"
+	"dias/internal/federation"
 	"dias/internal/runner"
 )
 
@@ -97,6 +99,65 @@ func BenchmarkKernelChurn(b *testing.B) {
 		if got := len(stack.Records()); got != 200 {
 			b.Fatalf("completed %d jobs, want 200", got)
 		}
+	}
+}
+
+// BenchmarkDispatcherRouting isolates the federation dispatch hot path:
+// 10k routing decisions across an 8-cluster federation per policy, with
+// member backlogs populated so backlog/budget scans do real work. Routing
+// sits on every arrival, so like the PR 2 hot paths it must stay
+// allocation-free (-benchmem).
+func BenchmarkDispatcherRouting(b *testing.B) {
+	fed, err := dias.NewFederation(dias.FederationConfig{
+		Clusters: make([]cluster.Config, 8), // zero-value entries: default testbed
+		Policy:   core.PolicyNP(2),
+		Seed:     1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	members := fed.Members()
+	input := make(engine.Dataset, 8)
+	for p := range input {
+		input[p] = engine.Partition{{Key: "k", Value: 1.0}}
+	}
+	job := &engine.Job{
+		Name:      "route",
+		Input:     input,
+		SizeBytes: 1 << 20,
+		Stages: []engine.Stage{
+			{Name: "map", Kind: engine.ShuffleMap, OutPartitions: 4},
+			{Name: "out", Kind: engine.Result, Deps: []int{0}},
+		},
+	}
+	// Uneven backlogs so argmin scans cannot shortcut on the first member.
+	for i, m := range members {
+		for j := 0; j < 1+i%3; j++ {
+			if err := m.Scheduler.Arrive(j%2, job); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	arr := federation.Arrival{Class: 1, Job: job, Home: 3}
+	policies := []federation.RoutingPolicy{
+		federation.NewRandom(1),
+		federation.NewRoundRobin(),
+		federation.NewJoinShortestQueue(),
+		federation.NewLeastLoaded(),
+		federation.NewSprintAware(),
+		federation.NewDataLocal(4),
+	}
+	for _, p := range policies {
+		b.Run(p.Name(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for j := 0; j < 10000; j++ {
+					if idx := p.Route(arr, members); idx < 0 || idx >= len(members) {
+						b.Fatalf("routed out of range: %d", idx)
+					}
+				}
+			}
+		})
 	}
 }
 

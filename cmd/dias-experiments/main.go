@@ -1,8 +1,11 @@
 // dias-experiments regenerates the paper's tables and figures.
 //
-//	dias-experiments [-fig 4|5|6|7|8|9|10|11|table2|ablations|extensions|all]
+//	dias-experiments [-fig 4|5|6|7|8|9|10|11|table2|ablations|extensions|
+//	                       federation-scaleout|federation-hetero|all]
 //	                 [-jobs N] [-seed S] [-workers W] [-replicas R]
 //	                 [-bench-out BENCH_results.json]
+//
+// -fig also accepts a comma-separated list (e.g. -fig 7,federation-scaleout).
 //
 // Output is the textual form of each figure: baseline absolutes plus
 // relative differences, exactly the quantities the paper plots. Every
@@ -22,6 +25,7 @@ import (
 	"os"
 	"os/exec"
 	"runtime"
+	"sort"
 	"strings"
 	"time"
 
@@ -31,7 +35,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: motivation,4,5,6,7,8,9,10,11,table2,ablations,extensions,all")
+	fig := flag.String("fig", "all", "figure(s) to regenerate, comma-separated: motivation,4,5,6,7,8,9,10,11,table2,ablations,extensions,federation-scaleout,federation-hetero,all")
 	jobs := flag.Int("jobs", 0, "arrivals per scenario (0 = full scale)")
 	seed := flag.Int64("seed", 1, "experiment seed")
 	workers := flag.Int("workers", 0, "concurrent simulation runs per figure (0 = one per CPU core)")
@@ -110,7 +114,16 @@ func plain[T fmt.Stringer](fn func(experiments.Scale) (T, error)) func(experimen
 }
 
 func run(fig string, scale experiments.Scale, replicas int, benchOut string) error {
-	all := fig == "all"
+	// -fig accepts a comma-separated selection; "all" anywhere in the list
+	// wins.
+	want := make(map[string]bool)
+	for _, name := range strings.Split(fig, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			want[name] = true
+		}
+	}
+	all := want["all"]
+	delete(want, "all")
 	type step struct {
 		name string
 		fn   func(experiments.Scale) (figureOutput, error)
@@ -204,6 +217,20 @@ func run(fig string, scale experiments.Scale, replicas int, benchOut string) err
 			scens = append(scens, er)
 			return figureOutput{text: out, scenarios: scens}, nil
 		}},
+		{"federation-scaleout", func(sc experiments.Scale) (figureOutput, error) {
+			r, err := experiments.FederationScaleOut(fedExpScale(sc))
+			if err != nil {
+				return figureOutput{}, err
+			}
+			return figureOutput{text: r, scenarios: r.Scenarios()}, nil
+		}},
+		{"federation-hetero", func(sc experiments.Scale) (figureOutput, error) {
+			r, err := experiments.FederationHeterogeneous(fedExpScale(sc))
+			if err != nil {
+				return figureOutput{}, err
+			}
+			return figureOutput{text: r, scenarios: r.Scenarios()}, nil
+		}},
 		{"extensions", func(sc experiments.Scale) (figureOutput, error) {
 			var out multi
 			var scens []metrics.ScenarioResult
@@ -234,6 +261,25 @@ func run(fig string, scale experiments.Scale, replicas int, benchOut string) err
 			return figureOutput{text: out, scenarios: scens}, nil
 		}},
 	}
+	// Fail fast on typos: every requested name must exist before anything
+	// runs, so a bad entry cannot waste the valid figures' run time.
+	known := make(map[string]bool, len(steps))
+	for _, s := range steps {
+		known[s.name] = true
+	}
+	var unknown []string
+	for name := range want {
+		if !known[name] {
+			unknown = append(unknown, name)
+		}
+	}
+	if len(unknown) > 0 {
+		sort.Strings(unknown)
+		return fmt.Errorf("unknown figure(s) %q", strings.Join(unknown, ","))
+	}
+	if !all && len(want) == 0 {
+		return fmt.Errorf("no figure selected in %q", fig)
+	}
 	seeds := runner.Seeds(scale.Seed, replicas)
 	report := benchReport{
 		SchemaVersion:   1,
@@ -245,9 +291,8 @@ func run(fig string, scale experiments.Scale, replicas int, benchOut string) err
 		JobsPerScenario: scale.Jobs,
 	}
 	start := time.Now()
-	ran := false
 	for _, s := range steps {
-		if !all && s.name != fig {
+		if !all && !want[s.name] {
 			continue
 		}
 		// table2 duplicates figure 11's run; skip it under -fig all.
@@ -298,10 +343,6 @@ func run(fig string, scale experiments.Scale, replicas int, benchOut string) err
 			}
 		}
 		report.Figures = append(report.Figures, fr)
-		ran = true
-	}
-	if !ran {
-		return fmt.Errorf("unknown figure %q", fig)
 	}
 	report.TotalWallClockSec = time.Since(start).Seconds()
 	if benchOut != "" {
@@ -318,6 +359,15 @@ func run(fig string, scale experiments.Scale, replicas int, benchOut string) err
 func graphScale(sc experiments.Scale) experiments.Scale {
 	if sc.Jobs > 300 {
 		sc.Jobs = 300
+	}
+	return sc
+}
+
+// fedExpScale caps arrivals for the federation figures: their grids run
+// dozens of whole-federation simulations per figure.
+func fedExpScale(sc experiments.Scale) experiments.Scale {
+	if sc.Jobs > 250 {
+		sc.Jobs = 250
 	}
 	return sc
 }

@@ -11,6 +11,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"dias/internal/core/live"
@@ -44,6 +46,13 @@ func run(preemptive bool) error {
 	}
 	defer runner.Stop()
 
+	// Install the handler before the first Submit so no window exists in
+	// which a SIGTERM could terminate the demo around runner.Stop and leak
+	// an already-started child.
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigCh)
+
 	mode := "preemptive (P baseline: low-priority jobs get SIGKILLed)"
 	if !preemptive {
 		mode = "non-preemptive (DiAS mode: no evictions)"
@@ -63,7 +72,21 @@ func run(preemptive bool) error {
 			return err
 		}
 	}
-	runner.Wait()
-	fmt.Println("all jobs drained")
-	return nil
+
+	// Propagate shutdown cleanly on every path: a drain finishes normally,
+	// while Ctrl-C / SIGTERM stops the runner (SIGKILLing the live job,
+	// discarding queued ones) so no child processes outlive the demo.
+	done := make(chan struct{})
+	go func() {
+		runner.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		fmt.Println("all jobs drained")
+		return nil
+	case sig := <-sigCh:
+		runner.Stop()
+		return fmt.Errorf("interrupted by %v; live job killed, queue discarded", sig)
+	}
 }

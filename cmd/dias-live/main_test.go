@@ -1,0 +1,44 @@
+package main
+
+import (
+	"testing"
+
+	"dias/internal/core/live"
+)
+
+// TestRunDrainsCleanly smoke-tests the demo's full shutdown path: submit,
+// drain, Stop — no goroutine or child-process leak can keep run from
+// returning. Both modes exercise the dispatcher/monitor relay end to end.
+func TestRunDrainsCleanly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns multi-second sleep processes")
+	}
+	for _, preemptive := range []bool{true, false} {
+		if err := run(preemptive); err != nil {
+			t.Fatalf("run(preemptive=%v): %v", preemptive, err)
+		}
+	}
+}
+
+// TestRunnerConfigValidation pins the live.Config contract the demo relies
+// on: class counts must be positive and jobs must name a class in range
+// with a non-empty command path.
+func TestRunnerConfigValidation(t *testing.T) {
+	if _, err := live.NewRunner(live.Config{}); err == nil {
+		t.Fatal("zero-class config accepted")
+	}
+	if _, err := live.NewRunner(live.Config{Classes: -1}); err == nil {
+		t.Fatal("negative class count accepted")
+	}
+	r, err := live.NewRunner(live.Config{Classes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Stop()
+	if err := r.Submit(live.Job{Name: "bad-class", Class: 2, Path: "/bin/true"}); err == nil {
+		t.Fatal("out-of-range class accepted")
+	}
+	if err := r.Submit(live.Job{Name: "no-path", Class: 0}); err == nil {
+		t.Fatal("empty command path accepted")
+	}
+}

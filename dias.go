@@ -20,10 +20,12 @@
 //   - internal/mmap      MMAP[K] arrival processes (bursty traffic)
 //   - internal/trace     scheduler event log, replayable as workload
 //   - internal/metrics   per-class latency/waste/energy/slowdown aggregation
+//   - internal/federation multi-cluster dispatcher with pluggable routing
 //   - internal/experiments  one driver per paper figure and table
 //
-// Stack wires a complete simulated deployment; the examples/ directory
-// shows end-to-end usage, and bench_test.go regenerates every figure.
+// Stack wires a complete simulated deployment and NewFederation shards
+// the same stack across many clusters; the examples/ directory shows
+// end-to-end usage, and bench_test.go regenerates every figure.
 package dias
 
 import (
@@ -32,7 +34,9 @@ import (
 
 	"dias/internal/cluster"
 	"dias/internal/core"
+	"dias/internal/dfs"
 	"dias/internal/engine"
+	"dias/internal/federation"
 	"dias/internal/simtime"
 	"dias/internal/workload"
 )
@@ -130,3 +134,47 @@ func (s *Stack) Run() { s.Sim.Run() }
 
 // Records returns the completed-job records.
 func (s *Stack) Records() []core.JobRecord { return s.Scheduler.Records() }
+
+// FederationConfig assembles a multi-cluster deployment: one DiAS stack
+// per cluster on a shared virtual clock, behind a routing dispatcher (see
+// internal/federation for the policy catalogue and data model).
+type FederationConfig struct {
+	// Clusters describes the member clusters; zero-value entries mean the
+	// paper's testbed. Nil means a homogeneous pair of default clusters.
+	Clusters []cluster.Config
+	// Cost applies to every member; zero value means the default model.
+	Cost engine.CostModel
+	// Policy is the per-member scheduling discipline.
+	Policy core.Config
+	// Routing picks each arrival's destination; nil means join-shortest-
+	// queue.
+	Routing federation.RoutingPolicy
+	// Data, when non-nil, enables the cross-cluster data model: every
+	// member gets its own dfs and off-home routing pays WAN input fetches.
+	Data *dfs.Config
+	// Seed drives all randomness; runs are reproducible per seed.
+	Seed int64
+}
+
+// NewFederation builds a ready-to-use multi-cluster deployment. Submit
+// work with Federation.SubmitAt/SubmitStream and drain it with Run, just
+// like a single Stack.
+func NewFederation(cfg FederationConfig) (*federation.Federation, error) {
+	if len(cfg.Clusters) == 0 {
+		cfg.Clusters = []cluster.Config{cluster.DefaultConfig(), cluster.DefaultConfig()}
+	}
+	if cfg.Routing == nil {
+		cfg.Routing = federation.NewJoinShortestQueue()
+	}
+	members := make([]federation.MemberSpec, len(cfg.Clusters))
+	for i, c := range cfg.Clusters {
+		members[i] = federation.MemberSpec{Cluster: c, Cost: cfg.Cost}
+	}
+	return federation.New(federation.Config{
+		Members: members,
+		Policy:  cfg.Policy,
+		Routing: cfg.Routing,
+		Data:    cfg.Data,
+		Seed:    cfg.Seed,
+	})
+}

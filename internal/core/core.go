@@ -464,6 +464,19 @@ func (s *Scheduler) QueuedJobs() int {
 	return n
 }
 
+// QueuedJobsInClass returns the number of buffered (not yet dispatched)
+// class-k jobs; out-of-range classes report zero. Federation routing
+// policies read this to compare per-class backlogs across clusters.
+func (s *Scheduler) QueuedJobsInClass(class int) int {
+	if class < 0 || class >= len(s.buffers) {
+		return 0
+	}
+	return s.buffers[class].Len()
+}
+
+// Classes returns the number of priority classes the scheduler serves.
+func (s *Scheduler) Classes() int { return s.cfg.Classes }
+
 // Busy reports whether a job is currently in the engine.
 func (s *Scheduler) Busy() bool { return s.current != nil }
 

@@ -24,6 +24,10 @@ const (
 	DefaultLocalBytesPerSec = 400e6
 	// DefaultRemoteBytesPerSec is the remote-read bandwidth (bytes/s).
 	DefaultRemoteBytesPerSec = 250e6
+	// DefaultWANBytesPerSec is the cross-cluster bandwidth (bytes/s) for
+	// blocks of remote files (CreateRemote): data homed in another
+	// cluster's dfs and fetched over the wide-area link.
+	DefaultWANBytesPerSec = 50e6
 )
 
 // ErrNotFound is returned when a path does not exist.
@@ -37,6 +41,10 @@ type Block struct {
 	ID       BlockID
 	Size     int64 // bytes
 	Replicas []int // datanode indices holding a copy
+	// Remote marks a block whose data lives in another cluster's dfs
+	// (see CreateRemote): it has no local replicas and every read crosses
+	// the WAN at Config.WANBytesPerSec.
+	Remote bool
 }
 
 // Config describes a DFS deployment.
@@ -47,6 +55,10 @@ type Config struct {
 	// LocalBytesPerSec / RemoteBytesPerSec drive ReadTime.
 	LocalBytesPerSec  float64
 	RemoteBytesPerSec float64
+	// WANBytesPerSec prices reads of remote files (CreateRemote), whose
+	// data must cross the inter-cluster link; zero means
+	// DefaultWANBytesPerSec.
+	WANBytesPerSec float64
 }
 
 // DefaultConfig mirrors the paper's deployment: HDFS with three datanodes
@@ -58,6 +70,7 @@ func DefaultConfig() Config {
 		BlockSize:         DefaultBlockSize,
 		LocalBytesPerSec:  DefaultLocalBytesPerSec,
 		RemoteBytesPerSec: DefaultRemoteBytesPerSec,
+		WANBytesPerSec:    DefaultWANBytesPerSec,
 	}
 }
 
@@ -88,6 +101,11 @@ func New(cfg Config) (*FS, error) {
 		return nil, fmt.Errorf("dfs: block size %d", cfg.BlockSize)
 	case cfg.LocalBytesPerSec <= 0 || cfg.RemoteBytesPerSec <= 0:
 		return nil, fmt.Errorf("dfs: bandwidths %g/%g", cfg.LocalBytesPerSec, cfg.RemoteBytesPerSec)
+	case cfg.WANBytesPerSec < 0:
+		return nil, fmt.Errorf("dfs: WAN bandwidth %g", cfg.WANBytesPerSec)
+	}
+	if cfg.WANBytesPerSec == 0 {
+		cfg.WANBytesPerSec = DefaultWANBytesPerSec
 	}
 	return &FS{
 		cfg:   cfg,
@@ -100,15 +118,15 @@ func New(cfg Config) (*FS, error) {
 // Config returns the deployment configuration.
 func (fs *FS) Config() Config { return fs.cfg }
 
-// Create writes a file of the given logical size, splitting it into blocks
-// and placing replicas round-robin across datanodes. It fails if the path
-// already exists.
-func (fs *FS) Create(path string, size int64) error {
+// create registers a file of the given logical size, splitting it into
+// blocks. Local files get Replication replicas placed round-robin across
+// datanodes; remote files get bare WAN blocks. kind labels error messages.
+func (fs *FS) create(kind, path string, size int64, remote bool) error {
 	if size <= 0 {
-		return fmt.Errorf("dfs: create %q with size %d", path, size)
+		return fmt.Errorf("dfs: %s %q with size %d", kind, path, size)
 	}
 	if _, ok := fs.files[path]; ok {
-		return fmt.Errorf("dfs: create %q: file exists", path)
+		return fmt.Errorf("dfs: %s %q: file exists", kind, path)
 	}
 	f := &file{size: size}
 	for off := int64(0); off < size; off += fs.cfg.BlockSize {
@@ -117,18 +135,38 @@ func (fs *FS) Create(path string, size int64) error {
 			bs = rem
 		}
 		fs.nextID++
-		b := Block{ID: fs.nextID, Size: bs}
-		for r := 0; r < fs.cfg.Replication; r++ {
-			node := (fs.placeAt + r) % fs.cfg.DataNodes
-			b.Replicas = append(b.Replicas, node)
-			fs.used[node] += bs
+		b := Block{ID: fs.nextID, Size: bs, Remote: remote}
+		if !remote {
+			for r := 0; r < fs.cfg.Replication; r++ {
+				node := (fs.placeAt + r) % fs.cfg.DataNodes
+				b.Replicas = append(b.Replicas, node)
+				fs.used[node] += bs
+			}
+			fs.placeAt = (fs.placeAt + 1) % fs.cfg.DataNodes
+			sort.Ints(b.Replicas)
 		}
-		fs.placeAt = (fs.placeAt + 1) % fs.cfg.DataNodes
-		sort.Ints(b.Replicas)
 		f.blocks = append(f.blocks, b)
 	}
 	fs.files[path] = f
 	return nil
+}
+
+// Create writes a file of the given logical size, splitting it into blocks
+// and placing replicas round-robin across datanodes. It fails if the path
+// already exists.
+func (fs *FS) Create(path string, size int64) error {
+	return fs.create("create", path, size, false)
+}
+
+// CreateRemote registers a file whose data lives in another cluster's dfs:
+// it is split into blocks like Create, but the blocks carry no local
+// replicas and every read crosses the WAN at Config.WANBytesPerSec. This is
+// how a federation prices routing a job off its data-home cluster — the
+// remote engine still sees the file (block list, per-task fetch costs), it
+// just pays inter-cluster bandwidth for each executed stage-0 task, while
+// dropped tasks skip the fetch as usual.
+func (fs *FS) CreateRemote(path string, size int64) error {
+	return fs.create("create remote", path, size, true)
 }
 
 // Exists reports whether path is present.
@@ -190,6 +228,9 @@ func (fs *FS) TotalStored() int64 {
 // testbed where workers and datanodes share machines) holds a live replica
 // of b. Replicas on failed datanodes do not count.
 func (fs *FS) IsLocal(b Block, readerNode int) bool {
+	if b.Remote {
+		return false
+	}
 	dn := readerNode % fs.cfg.DataNodes
 	if fs.down[dn] {
 		return false
@@ -221,11 +262,14 @@ const DegradedReadPenalty = 10
 // ReadTime returns the virtual time needed to fetch block b from the
 // perspective of a reader on the given compute node: local-disk rate when
 // the reader co-hosts a live replica, network rate when some other live
-// replica exists, and a degraded recovery read when failures took out
-// every replica.
+// replica exists, WAN rate when the block belongs to a remote file
+// (another cluster's data), and a degraded recovery read when failures
+// took out every replica.
 func (fs *FS) ReadTime(b Block, readerNode int) simtime.Duration {
 	bw := fs.cfg.RemoteBytesPerSec
 	switch {
+	case b.Remote:
+		bw = fs.cfg.WANBytesPerSec
 	case fs.IsLocal(b, readerNode):
 		bw = fs.cfg.LocalBytesPerSec
 	case fs.liveReplicas(b) == 0:

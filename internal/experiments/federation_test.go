@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+func fedScale() Scale {
+	s := Scale{Jobs: 30, WarmupFraction: 0.1, Seed: 5}
+	if testing.Short() {
+		s.Jobs = 15
+	}
+	return s
+}
+
+// TestFederationHeterogeneousWorkerCountInvariance enforces the runner
+// contract on the federated grid: each cell owns its whole federation
+// (clock, members, routing policy, RNGs), so the figure must be
+// bit-identical at any worker count.
+func TestFederationHeterogeneousWorkerCountInvariance(t *testing.T) {
+	serial := fedScale()
+	serial.Workers = 1
+	parallel := fedScale()
+	parallel.Workers = 8
+	want, err := FederationHeterogeneous(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := FederationHeterogeneous(parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("heterogeneous federation differs between 1 and 8 workers:\nserial:\n%s\nparallel:\n%s", want, got)
+	}
+}
+
+func TestFederationScaleOutWorkerCountInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("24-cell grid; run without -short")
+	}
+	serial := fedScale()
+	serial.Workers = 1
+	parallel := fedScale()
+	parallel.Workers = 8
+	want, err := FederationScaleOut(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := FederationScaleOut(parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("scale-out federation differs between 1 and 8 workers:\nserial:\n%s\nparallel:\n%s", want, got)
+	}
+}
+
+func TestFederationScaleOutShape(t *testing.T) {
+	sc := fedScale()
+	fig, err := FederationScaleOut(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRows := len(federationPolicySet()) * len(FederationScaleOutClusterCounts)
+	if len(fig.Rows) != wantRows {
+		t.Fatalf("%d rows, want %d", len(fig.Rows), wantRows)
+	}
+	for _, row := range fig.Rows {
+		var completed, routed int
+		for _, cs := range row.Overall.PerClass {
+			completed += cs.Jobs
+		}
+		for _, c := range row.PerCluster {
+			routed += c.RoutedJobs
+		}
+		if routed != sc.Jobs {
+			t.Fatalf("%s: routed %d of %d arrivals", row.Name, routed, sc.Jobs)
+		}
+		// Post-warmup completions: everything beyond the skipped prefix.
+		warm := sc.Jobs - int(float64(sc.Jobs)*sc.WarmupFraction)
+		if completed != warm {
+			t.Fatalf("%s: %d post-warmup completions, want %d", row.Name, completed, warm)
+		}
+		if row.Overall.EnergyJoules <= 0 || row.Overall.MakespanSec <= 0 {
+			t.Fatalf("%s: degenerate rollup %+v", row.Name, row.Overall)
+		}
+	}
+	if fig.Scenarios()[0].Name != fig.Rows[0].Overall.Name {
+		t.Fatal("Scenarios() does not expose the overall rollups")
+	}
+	if fig.String() == "" {
+		t.Fatal("empty rendering")
+	}
+}

@@ -1,0 +1,334 @@
+// Package federation runs a multi-cluster DiAS deployment: N independent
+// per-cluster stacks (each its own cluster.Cluster + engine.Engine +
+// core.Scheduler) share one virtual clock behind a front-end Dispatcher
+// that routes every arrival to a member cluster through a pluggable
+// RoutingPolicy.
+//
+// This is the scale-out layer the single-cluster stack lacks: the paper's
+// DiAS scheduler is a single-server system (one job in the engine at a
+// time), so serving more traffic means sharding the stream across many
+// such servers — and the routing policy decides how well the federation
+// uses its aggregate capacity. The policy is deliberately an interface
+// rather than a baked-in heuristic (policy-free middleware): Random,
+// RoundRobin, JoinShortestQueue, LeastLoaded, SprintAware and DataLocal
+// ship in this package, and experiments compare them head to head.
+//
+// A federation can also model where the data lives: with Config.Data set,
+// every member gets its own simulated dfs, RegisterInput places a job's
+// blocks on its home member, and routing a job anywhere else makes its
+// executed stage-0 tasks fetch blocks over the WAN (dfs.CreateRemote) —
+// the cost model data-aware routing has to beat.
+package federation
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"dias/internal/cluster"
+	"dias/internal/core"
+	"dias/internal/dfs"
+	"dias/internal/engine"
+	"dias/internal/simtime"
+	"dias/internal/workload"
+)
+
+// MemberSpec describes one member cluster of a federation. Entirely
+// zero-value Cluster and Cost fields mean the paper's defaults; a
+// partially specified Cluster must be complete (cluster.New rejects it
+// otherwise — fields are never silently filled in).
+type MemberSpec struct {
+	// Name labels the member in results; empty means "c<index>".
+	Name string
+	// Cluster sizes the member's compute substrate (nodes, slots, DVFS
+	// range, power model).
+	Cluster cluster.Config
+	// Cost converts work into task durations on this member.
+	Cost engine.CostModel
+}
+
+// Config assembles a federation.
+type Config struct {
+	// Members lists the per-cluster specs; at least one is required.
+	Members []MemberSpec
+	// Policy is the scheduling discipline instantiated on every member
+	// (classes, drop ratios, sprinting). It must not carry a Deflator,
+	// OnRecord or Trace: deflators are stateful per scheduler, and the
+	// record/trace hooks are owned by the federation (see Config.OnRecord).
+	Policy core.Config
+	// Routing picks the destination member for each arrival.
+	Routing RoutingPolicy
+	// Data, when non-nil, gives every member its own simulated dfs so
+	// RegisterInput can place job inputs and cross-cluster routing pays
+	// WAN fetches. Zero-value fields default individually to
+	// dfs.DefaultConfig, so setting only WANBytesPerSec customizes just
+	// the inter-cluster bandwidth.
+	Data *dfs.Config
+	// Seed drives member-engine randomness (each member derives its own
+	// stream); runs are reproducible per seed.
+	Seed int64
+	// OnRecord, when non-nil, receives every completed job's record with
+	// the index of the member that ran it — the streaming hook for
+	// federation metrics (see metrics.FederationAccumulator).
+	OnRecord func(member int, rec core.JobRecord)
+	// DiscardRecords stops member schedulers from retaining completed-job
+	// records (combine with OnRecord for O(classes) memory on long runs).
+	DiscardRecords bool
+}
+
+func (c Config) validate() error {
+	if len(c.Members) == 0 {
+		return errors.New("federation: no member clusters")
+	}
+	if c.Routing == nil {
+		return errors.New("federation: nil routing policy")
+	}
+	if c.Policy.Deflator != nil {
+		return errors.New("federation: Policy.Deflator cannot be shared across members")
+	}
+	if c.Policy.OnRecord != nil || c.Policy.Trace != nil {
+		return errors.New("federation: set record/trace hooks on Config, not Config.Policy")
+	}
+	return nil
+}
+
+// Member is one cluster of the federation: a complete DiAS stack sharing
+// the federation's clock. Routing policies read member state (backlogs,
+// busy slots, sprint budgets) but must not mutate it.
+type Member struct {
+	Name      string
+	Index     int
+	Cluster   *cluster.Cluster
+	Engine    *engine.Engine
+	Scheduler *core.Scheduler
+	// FS is the member's dfs; nil when the federation has no data model.
+	FS *dfs.FS
+}
+
+// Backlog returns the number of jobs that would precede a new class-k
+// arrival on this member: buffered jobs of class >= k (higher classes
+// dispatch first, equal classes are FIFO ahead of it) plus the running job
+// (dispatch is non-preemptive from the new arrival's point of view unless
+// it outranks the current job, which the +1 conservatively ignores).
+func (m *Member) Backlog(class int) int {
+	n := 0
+	for k := m.Scheduler.Classes() - 1; k >= class; k-- {
+		n += m.Scheduler.QueuedJobsInClass(k)
+	}
+	if m.Scheduler.Busy() {
+		n++
+	}
+	return n
+}
+
+// TotalQueued returns all buffered jobs plus the running one.
+func (m *Member) TotalQueued() int {
+	n := m.Scheduler.QueuedJobs()
+	if m.Scheduler.Busy() {
+		n++
+	}
+	return n
+}
+
+// Utilization returns the member's instantaneous busy-slot fraction.
+func (m *Member) Utilization() float64 { return m.Cluster.Utilization() }
+
+// Federation is the front-end dispatcher plus its member stacks.
+type Federation struct {
+	cfg     Config
+	sim     *simtime.Simulation
+	members []*Member
+	// home maps registered job templates to their data-home member.
+	home   map[*engine.Job]int
+	routed []int
+}
+
+// New builds a federation: one shared simulation clock, one full DiAS
+// stack per member spec, and the dispatcher in front.
+func New(cfg Config) (*Federation, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	f := &Federation{
+		cfg:    cfg,
+		sim:    simtime.New(),
+		home:   make(map[*engine.Job]int),
+		routed: make([]int, len(cfg.Members)),
+	}
+	for i, spec := range cfg.Members {
+		name := spec.Name
+		if name == "" {
+			name = fmt.Sprintf("c%d", i)
+		}
+		cluCfg := spec.Cluster
+		if cluCfg == (cluster.Config{}) {
+			// Only a fully zero spec means the default testbed; a partially
+			// specified cluster flows to cluster.New, whose validation
+			// rejects it loudly rather than silently dropping fields.
+			cluCfg = cluster.DefaultConfig()
+		}
+		cost := spec.Cost
+		if cost == (engine.CostModel{}) {
+			cost = engine.DefaultCostModel()
+		}
+		var fs *dfs.FS
+		if cfg.Data != nil {
+			var err error
+			if fs, err = dfs.New(dataConfig(*cfg.Data)); err != nil {
+				return nil, fmt.Errorf("member %s: building dfs: %w", name, err)
+			}
+		}
+		clu, err := cluster.New(f.sim, cluCfg)
+		if err != nil {
+			return nil, fmt.Errorf("member %s: building cluster: %w", name, err)
+		}
+		// Each member engine derives its own deterministic seed stream so
+		// task-noise draws on one member never depend on how many members
+		// exist or what the others executed.
+		eng, err := engine.New(f.sim, clu, fs, cost, cfg.Seed+31*int64(i)+1)
+		if err != nil {
+			return nil, fmt.Errorf("member %s: building engine: %w", name, err)
+		}
+		policy := cfg.Policy
+		policy.DiscardRecords = cfg.DiscardRecords
+		if cfg.OnRecord != nil {
+			idx := i
+			policy.OnRecord = func(rec core.JobRecord) { cfg.OnRecord(idx, rec) }
+		}
+		sch, err := core.New(f.sim, clu, eng, policy)
+		if err != nil {
+			return nil, fmt.Errorf("member %s: building scheduler: %w", name, err)
+		}
+		f.members = append(f.members, &Member{
+			Name: name, Index: i,
+			Cluster: clu, Engine: eng, Scheduler: sch, FS: fs,
+		})
+	}
+	return f, nil
+}
+
+// dataConfig fills the zero fields of a per-member dfs config with the
+// dfs defaults, field by field, so e.g. Config.Data =
+// &dfs.Config{WANBytesPerSec: 10e6} customizes only the inter-cluster
+// bandwidth. (WANBytesPerSec itself is defaulted by dfs.New.)
+func dataConfig(d dfs.Config) dfs.Config {
+	def := dfs.DefaultConfig()
+	if d.DataNodes == 0 {
+		d.DataNodes = def.DataNodes
+	}
+	if d.Replication == 0 {
+		d.Replication = def.Replication
+	}
+	if d.BlockSize == 0 {
+		d.BlockSize = def.BlockSize
+	}
+	if d.LocalBytesPerSec == 0 {
+		d.LocalBytesPerSec = def.LocalBytesPerSec
+	}
+	if d.RemoteBytesPerSec == 0 {
+		d.RemoteBytesPerSec = def.RemoteBytesPerSec
+	}
+	return d
+}
+
+// Sim returns the shared virtual clock.
+func (f *Federation) Sim() *simtime.Simulation { return f.sim }
+
+// Members returns the member stacks, in spec order. The slice is shared;
+// callers must not mutate it.
+func (f *Federation) Members() []*Member { return f.members }
+
+// RegisterInput declares the job template's input data resident on member
+// home. With a data model configured, the job's file (Job.InputPath, sized
+// Job.SizeBytes) is created on the home member's dfs and registered as a
+// WAN-remote file on every other member, so off-home routing pays
+// inter-cluster fetches per executed stage-0 task. Without a data model
+// only the home mapping is recorded (visible to routing via Arrival.Home).
+func (f *Federation) RegisterInput(job *engine.Job, home int) error {
+	if job == nil {
+		return errors.New("federation: nil job")
+	}
+	if home < 0 || home >= len(f.members) {
+		return fmt.Errorf("federation: home %d out of [0,%d)", home, len(f.members))
+	}
+	if _, dup := f.home[job]; dup {
+		return fmt.Errorf("federation: job %q already registered", job.Name)
+	}
+	if f.cfg.Data != nil {
+		if job.InputPath == "" {
+			return fmt.Errorf("federation: job %q needs an InputPath to place data", job.Name)
+		}
+		if job.SizeBytes <= 0 {
+			return fmt.Errorf("federation: job %q needs SizeBytes to place data", job.Name)
+		}
+		for i, m := range f.members {
+			var err error
+			if i == home {
+				err = m.FS.Create(job.InputPath, job.SizeBytes)
+			} else {
+				err = m.FS.CreateRemote(job.InputPath, job.SizeBytes)
+			}
+			if err != nil {
+				return fmt.Errorf("federation: placing %q on %s: %w", job.InputPath, m.Name, err)
+			}
+		}
+	}
+	f.home[job] = home
+	return nil
+}
+
+// dispatch routes one arrival at the current virtual time.
+func (f *Federation) dispatch(class int, job *engine.Job) {
+	arr := Arrival{Class: class, Job: job, Home: -1}
+	if h, ok := f.home[job]; ok {
+		arr.Home = h
+	}
+	i := f.cfg.Routing.Route(arr, f.members)
+	if i < 0 || i >= len(f.members) {
+		panic(fmt.Sprintf("federation: policy %s routed to member %d of %d",
+			f.cfg.Routing.Name(), i, len(f.members)))
+	}
+	f.routed[i]++
+	// Arrival errors are programming errors (bad class/job); surface them
+	// loudly rather than silently dropping workload, like dias.Stack.
+	if err := f.members[i].Scheduler.Arrive(class, job); err != nil {
+		panic(fmt.Sprintf("federation: arrival on %s failed: %v", f.members[i].Name, err))
+	}
+}
+
+// SubmitAt schedules a job arrival at virtual time t seconds; the routing
+// policy picks its destination when the arrival fires, seeing member state
+// as of that instant.
+func (f *Federation) SubmitAt(t float64, class int, job *engine.Job) {
+	f.sim.At(simtime.Time(t), func() { f.dispatch(class, job) })
+}
+
+// SubmitStream schedules n arrivals drawn from any arrival process with
+// jobs built by the source, exactly like dias.Stack.SubmitStream but
+// routed across the federation.
+func (f *Federation) SubmitStream(proc workload.Process, source workload.JobSource, n int, seed int64) error {
+	if proc == nil || source == nil {
+		return errors.New("federation: nil arrival process or job source")
+	}
+	arrRng := rand.New(rand.NewSource(seed))
+	jobRng := rand.New(rand.NewSource(seed + 1))
+	for _, a := range workload.StreamOf(proc, arrRng, n) {
+		job, err := source.Job(jobRng, a.Class)
+		if err != nil {
+			return fmt.Errorf("building class-%d job: %w", a.Class, err)
+		}
+		f.SubmitAt(a.At, a.Class, job)
+	}
+	return nil
+}
+
+// Run drains the simulation: all scheduled arrivals are routed and all
+// jobs run to completion on their members.
+func (f *Federation) Run() { f.sim.Run() }
+
+// Routed returns how many arrivals each member received so far.
+func (f *Federation) Routed() []int {
+	out := make([]int, len(f.routed))
+	copy(out, f.routed)
+	return out
+}
