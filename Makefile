@@ -3,7 +3,11 @@
 
 GO ?= go
 
-.PHONY: build test test-short test-race bench bench-smoke fmt fmt-check vet experiments
+.PHONY: build test test-short test-race bench bench-smoke bench-baseline bench-check determinism staticcheck fmt fmt-check vet experiments
+
+# The reduced figure set and scale the smoke/baseline/gate pipeline runs.
+# Changing it requires regenerating the committed baseline (bench-baseline).
+BENCH_SMOKE_ARGS = -fig 7,federation-scaleout,faults,elasticity -jobs 60 -replicas 2
 
 build:
 	$(GO) build ./...
@@ -34,7 +38,36 @@ bench:
 bench-smoke:
 	$(GO) test -short -run '^$$' -bench 'BenchmarkFigureSetRunner|BenchmarkKernelChurn|BenchmarkDispatcherRouting' -benchmem . > bench_smoke.txt
 	cat bench_smoke.txt
-	$(GO) run ./cmd/dias-experiments -fig 7,federation-scaleout -jobs 60 -replicas 2 -bench-out BENCH_results.json > /dev/null
+	$(GO) run ./cmd/dias-experiments $(BENCH_SMOKE_ARGS) -bench-out BENCH_results.json > /dev/null
+
+# Regenerate the committed bench-regression baseline (run on the machine
+# class CI uses when the wall-clock gate matters; figure means are
+# machine-independent). Commit the result.
+bench-baseline:
+	$(GO) run ./cmd/dias-experiments $(BENCH_SMOKE_ARGS) -bench-out docs/bench-baseline.json > /dev/null
+
+# The CI bench-regression gate: fresh BENCH_results.json (from bench-smoke)
+# vs the committed baseline. Thresholds in docs/BENCHMARKING.md. CI passes
+# BENCH_CHECK_FLAGS="-min-wall-sec 2" so only figures heavy enough to be
+# wall-stable are wall-gated across machine classes; figure means are
+# machine-independent and always gated.
+BENCH_CHECK_FLAGS ?=
+bench-check:
+	$(GO) run ./cmd/bench-check -baseline docs/bench-baseline.json -candidate BENCH_results.json $(BENCH_CHECK_FLAGS)
+
+# The CI determinism lane: a reduced figure run twice, -workers 1 vs
+# -workers 8, diffed byte for byte — the worker-count invariance guarantee
+# as a pipeline check (faults covers the new injection layer).
+determinism:
+	$(GO) run ./cmd/dias-experiments -fig 7,faults -jobs 40 -workers 1 -bench-out '' > determinism-w1.txt
+	$(GO) run ./cmd/dias-experiments -fig 7,faults -jobs 40 -workers 8 -bench-out '' > determinism-w8.txt
+	cmp determinism-w1.txt determinism-w8.txt
+	rm -f determinism-w1.txt determinism-w8.txt
+
+# Static analysis beyond go vet (CI installs the pinned tool; locally:
+# go install honnef.co/go/tools/cmd/staticcheck@latest).
+staticcheck:
+	staticcheck ./...
 
 # Format in place.
 fmt:

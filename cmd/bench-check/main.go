@@ -1,0 +1,249 @@
+// bench-check is the CI bench-regression gate: it compares a freshly
+// generated BENCH_results.json against the committed baseline and fails
+// (exit 1) when the candidate regresses.
+//
+//	bench-check [-baseline docs/bench-baseline.json]
+//	            [-candidate BENCH_results.json]
+//	            [-max-wall-regress 0.25] [-min-wall-sec 0.5]
+//	            [-check-wall] [-v]
+//
+// Two kinds of violation are reported:
+//
+//   - Wall-clock: a figure present in both reports whose baseline
+//     wall-clock is at least -min-wall-sec slowed down by more than
+//     -max-wall-regress (relative). Wall-clock is machine-dependent, so
+//     this check only means something when baseline and candidate come
+//     from comparable machines; disable it with -check-wall=false.
+//   - Figure means: a scenario/class mean response (or scenario
+//     resource-waste / energy) that moved beyond the two runs' combined
+//     95% confidence intervals, or by more than -max-mean-drift relative
+//     to the baseline. The simulation is deterministic per seed, so with
+//     unchanged code the means match bit-for-bit; the relative cap
+//     matters because at two replicates the t-based CI bounds are wide
+//     (t(1) = 12.7) and would wave real drift through. A violation means
+//     the PR changed simulation results and must either be fixed or
+//     regenerate the committed baseline (see docs/BENCHMARKING.md).
+//
+// Figures or scenarios present on only one side are reported as notes,
+// not violations, so adding a new figure does not break the gate.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+)
+
+// The structs mirror the BENCH_results.json schema (schema_version 1),
+// tolerating unknown fields.
+type report struct {
+	SchemaVersion int      `json:"schema_version"`
+	GitSHA        string   `json:"git_sha"`
+	Figures       []figure `json:"figures"`
+}
+
+type figure struct {
+	Name         string     `json:"name"`
+	WallClockSec float64    `json:"wall_clock_sec"`
+	Scenarios    []scenario `json:"scenarios"`
+}
+
+type scenario struct {
+	Name             string     `json:"name"`
+	PerClass         []classRow `json:"per_class"`
+	ResourceWastePct estimate   `json:"resource_waste_pct"`
+	EnergyJoules     estimate   `json:"energy_joules"`
+	FailureWastePct  estimate   `json:"failure_waste_pct"`
+	FailedJobs       estimate   `json:"failed_jobs"`
+	TasksRetried     estimate   `json:"tasks_retried"`
+	MeanPoweredNodes estimate   `json:"mean_powered_nodes"`
+}
+
+type classRow struct {
+	Class           int      `json:"class"`
+	MeanResponseSec estimate `json:"mean_response_sec"`
+	P95ResponseSec  estimate `json:"p95_response_sec"`
+}
+
+type estimate struct {
+	Mean float64 `json:"mean"`
+	CI95 float64 `json:"ci95"`
+}
+
+func main() {
+	baseline := flag.String("baseline", "docs/bench-baseline.json", "committed baseline report")
+	candidate := flag.String("candidate", "BENCH_results.json", "freshly generated report")
+	maxWall := flag.Float64("max-wall-regress", 0.25, "maximum relative wall-clock regression per figure")
+	minWall := flag.Float64("min-wall-sec", 0.5, "ignore wall-clock of figures faster than this in the baseline")
+	checkWall := flag.Bool("check-wall", true, "enable the wall-clock regression check")
+	maxDrift := flag.Float64("max-mean-drift", 0.10, "maximum relative drift of any figure mean (0 disables)")
+	verbose := flag.Bool("v", false, "print every comparison, not just violations")
+	flag.Parse()
+
+	base, err := load(*baseline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench-check:", err)
+		os.Exit(2)
+	}
+	cand, err := load(*candidate)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench-check:", err)
+		os.Exit(2)
+	}
+	violations, notes := compare(base, cand, thresholds{
+		maxWallRegress: *maxWall,
+		minWallSec:     *minWall,
+		checkWall:      *checkWall,
+		maxMeanDrift:   *maxDrift,
+	})
+	if *verbose || len(violations) > 0 {
+		for _, n := range notes {
+			fmt.Println("note:", n)
+		}
+	}
+	for _, v := range violations {
+		fmt.Println("VIOLATION:", v)
+	}
+	if len(violations) > 0 {
+		fmt.Printf("bench-check: %d violation(s) against %s (baseline sha %s)\n",
+			len(violations), *baseline, base.GitSHA)
+		os.Exit(1)
+	}
+	fmt.Printf("bench-check: ok (%d figures compared against %s)\n", compared(base, cand), *baseline)
+}
+
+func load(path string) (*report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	if r.SchemaVersion != 1 {
+		return nil, fmt.Errorf("%s: unsupported schema_version %d", path, r.SchemaVersion)
+	}
+	return &r, nil
+}
+
+// compared counts figures present in both reports.
+func compared(base, cand *report) int {
+	names := map[string]bool{}
+	for _, f := range base.Figures {
+		names[f.Name] = true
+	}
+	n := 0
+	for _, f := range cand.Figures {
+		if names[f.Name] {
+			n++
+		}
+	}
+	return n
+}
+
+// thresholds bundles the gate's knobs.
+type thresholds struct {
+	maxWallRegress float64
+	minWallSec     float64
+	checkWall      bool
+	maxMeanDrift   float64
+}
+
+// compare returns the violations and informational notes of candidate vs
+// baseline.
+func compare(base, cand *report, th thresholds) (violations, notes []string) {
+	baseFigs := map[string]figure{}
+	for _, f := range base.Figures {
+		baseFigs[f.Name] = f
+	}
+	candFigs := map[string]bool{}
+	for _, f := range cand.Figures {
+		candFigs[f.Name] = true
+	}
+	for _, bf := range base.Figures {
+		if !candFigs[bf.Name] {
+			notes = append(notes, fmt.Sprintf(
+				"figure %s is in the baseline but not the candidate (dropped from the smoke set?)", bf.Name))
+		}
+	}
+	for _, cf := range cand.Figures {
+		bf, ok := baseFigs[cf.Name]
+		if !ok {
+			notes = append(notes, fmt.Sprintf("figure %s has no baseline (new figure?)", cf.Name))
+			continue
+		}
+		if th.checkWall && bf.WallClockSec >= th.minWallSec {
+			if cf.WallClockSec > bf.WallClockSec*(1+th.maxWallRegress) {
+				violations = append(violations, fmt.Sprintf(
+					"figure %s wall-clock %.2fs exceeds baseline %.2fs by more than %.0f%%",
+					cf.Name, cf.WallClockSec, bf.WallClockSec, 100*th.maxWallRegress))
+			}
+		}
+		violations = append(violations, compareScenarios(cf.Name, bf.Scenarios, cf.Scenarios, th, &notes)...)
+	}
+	return violations, notes
+}
+
+// compareScenarios flags scenario means that moved beyond the combined CI
+// half-widths of the two runs (plus a tiny absolute epsilon for float
+// formatting noise) or beyond the relative drift cap.
+func compareScenarios(fig string, base, cand []scenario, th thresholds, notes *[]string) []string {
+	var out []string
+	baseByName := map[string]scenario{}
+	for _, s := range base {
+		baseByName[s.Name] = s
+	}
+	candByName := map[string]bool{}
+	for _, s := range cand {
+		candByName[s.Name] = true
+	}
+	for _, bs := range base {
+		if !candByName[bs.Name] {
+			*notes = append(*notes, fmt.Sprintf(
+				"figure %s scenario %s is in the baseline but not the candidate", fig, bs.Name))
+		}
+	}
+	for _, cs := range cand {
+		bs, ok := baseByName[cs.Name]
+		if !ok {
+			*notes = append(*notes, fmt.Sprintf("figure %s scenario %s has no baseline", fig, cs.Name))
+			continue
+		}
+		check := func(what string, b, c estimate) {
+			drift := math.Abs(c.Mean - b.Mean)
+			ciBound := b.CI95 + c.CI95 + 1e-9
+			switch {
+			case drift > ciBound:
+				out = append(out, fmt.Sprintf(
+					"figure %s scenario %s: %s drifted %.4g -> %.4g (|Δ|=%.4g beyond CI bound %.4g)",
+					fig, cs.Name, what, b.Mean, c.Mean, drift, ciBound))
+			case th.maxMeanDrift > 0 && drift > th.maxMeanDrift*math.Abs(b.Mean) && math.Abs(b.Mean) > 1e-9:
+				out = append(out, fmt.Sprintf(
+					"figure %s scenario %s: %s drifted %.4g -> %.4g (%.1f%% beyond the %.0f%% cap)",
+					fig, cs.Name, what, b.Mean, c.Mean, 100*drift/math.Abs(b.Mean), 100*th.maxMeanDrift))
+			}
+		}
+		check("resource_waste_pct", bs.ResourceWastePct, cs.ResourceWastePct)
+		check("energy_joules", bs.EnergyJoules, cs.EnergyJoules)
+		check("failure_waste_pct", bs.FailureWastePct, cs.FailureWastePct)
+		check("failed_jobs", bs.FailedJobs, cs.FailedJobs)
+		check("tasks_retried", bs.TasksRetried, cs.TasksRetried)
+		check("mean_powered_nodes", bs.MeanPoweredNodes, cs.MeanPoweredNodes)
+		candClasses := map[int]classRow{}
+		for _, c := range cs.PerClass {
+			candClasses[c.Class] = c
+		}
+		for _, b := range bs.PerClass {
+			c, ok := candClasses[b.Class]
+			if !ok {
+				continue
+			}
+			check(fmt.Sprintf("class %d mean_response_sec", b.Class), b.MeanResponseSec, c.MeanResponseSec)
+			check(fmt.Sprintf("class %d p95_response_sec", b.Class), b.P95ResponseSec, c.P95ResponseSec)
+		}
+	}
+	return out
+}

@@ -1,0 +1,163 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func est(mean, ci float64) estimate { return estimate{Mean: mean, CI95: ci} }
+
+func baseReport() *report {
+	return &report{
+		SchemaVersion: 1,
+		GitSHA:        "base",
+		Figures: []figure{{
+			Name:         "7",
+			WallClockSec: 2.0,
+			Scenarios: []scenario{{
+				Name:             "P",
+				ResourceWastePct: est(10, 0.5),
+				EnergyJoules:     est(1e6, 1e4),
+				PerClass: []classRow{
+					{Class: 0, MeanResponseSec: est(100, 2), P95ResponseSec: est(300, 5)},
+					{Class: 1, MeanResponseSec: est(20, 1), P95ResponseSec: est(40, 2)},
+				},
+			}},
+		}, {
+			Name:         "tiny",
+			WallClockSec: 0.1,
+		}},
+	}
+}
+
+func TestCompareClean(t *testing.T) {
+	v, notes := compare(baseReport(), baseReport(), defaultThresholds())
+	if len(v) != 0 {
+		t.Fatalf("identical reports produced violations: %v", v)
+	}
+	if len(notes) != 0 {
+		t.Fatalf("identical reports produced notes: %v", notes)
+	}
+}
+
+func TestCompareWallClockRegression(t *testing.T) {
+	cand := baseReport()
+	cand.Figures[0].WallClockSec = 2.6 // 30% > 25% threshold
+	v, _ := compare(baseReport(), cand, defaultThresholds())
+	if len(v) != 1 || !strings.Contains(v[0], "wall-clock") {
+		t.Fatalf("wall regression not caught: %v", v)
+	}
+	// Below the threshold passes.
+	cand.Figures[0].WallClockSec = 2.4
+	if v, _ := compare(baseReport(), cand, defaultThresholds()); len(v) != 0 {
+		t.Fatalf("within-threshold wall flagged: %v", v)
+	}
+	// The wall check can be disabled.
+	cand.Figures[0].WallClockSec = 100
+	if v, _ := compare(baseReport(), cand, noWallThresholds()); len(v) != 0 {
+		t.Fatalf("disabled wall check still flagged: %v", v)
+	}
+}
+
+func TestCompareIgnoresFastFigureWall(t *testing.T) {
+	cand := baseReport()
+	cand.Figures[1].WallClockSec = 10 // 100x but baseline below -min-wall-sec
+	if v, _ := compare(baseReport(), cand, defaultThresholds()); len(v) != 0 {
+		t.Fatalf("sub-floor figure wall flagged: %v", v)
+	}
+}
+
+func TestCompareMeanDrift(t *testing.T) {
+	cand := baseReport()
+	// Class 0 mean moves 100 -> 110; combined CI bound is 2+2=4.
+	cand.Figures[0].Scenarios[0].PerClass[0].MeanResponseSec = est(110, 2)
+	v, _ := compare(baseReport(), cand, defaultThresholds())
+	if len(v) != 1 || !strings.Contains(v[0], "class 0 mean_response_sec") {
+		t.Fatalf("mean drift not caught: %v", v)
+	}
+	// Drift inside the CI bound passes.
+	cand.Figures[0].Scenarios[0].PerClass[0].MeanResponseSec = est(103, 2)
+	if v, _ := compare(baseReport(), cand, defaultThresholds()); len(v) != 0 {
+		t.Fatalf("within-CI drift flagged: %v", v)
+	}
+}
+
+func TestCompareEnergyAndWasteDrift(t *testing.T) {
+	cand := baseReport()
+	cand.Figures[0].Scenarios[0].EnergyJoules = est(1.2e6, 1e4)
+	cand.Figures[0].Scenarios[0].ResourceWastePct = est(20, 0.5)
+	v, _ := compare(baseReport(), cand, defaultThresholds())
+	if len(v) != 2 {
+		t.Fatalf("want 2 violations (energy + waste), got: %v", v)
+	}
+}
+
+func TestCompareNewFigureAndScenarioAreNotes(t *testing.T) {
+	cand := baseReport()
+	cand.Figures = append(cand.Figures, figure{Name: "brand-new", WallClockSec: 9})
+	cand.Figures[0].Scenarios = append(cand.Figures[0].Scenarios, scenario{Name: "NP"})
+	v, notes := compare(baseReport(), cand, defaultThresholds())
+	if len(v) != 0 {
+		t.Fatalf("additions flagged as violations: %v", v)
+	}
+	if len(notes) != 2 {
+		t.Fatalf("want 2 notes, got: %v", notes)
+	}
+}
+
+func defaultThresholds() thresholds {
+	return thresholds{maxWallRegress: 0.25, minWallSec: 0.5, checkWall: true, maxMeanDrift: 0.10}
+}
+
+func noWallThresholds() thresholds {
+	th := defaultThresholds()
+	th.checkWall = false
+	return th
+}
+
+func TestCompareRelativeDriftCapCatchesWideCI(t *testing.T) {
+	// With two replicates the t-based CI is enormous; the relative cap
+	// must still catch a 50% drift hiding inside it.
+	base := baseReport()
+	base.Figures[0].Scenarios[0].PerClass[0].MeanResponseSec = est(100, 90)
+	cand := baseReport()
+	cand.Figures[0].Scenarios[0].PerClass[0].MeanResponseSec = est(150, 90)
+	v, _ := compare(base, cand, defaultThresholds())
+	if len(v) != 1 || !strings.Contains(v[0], "cap") {
+		t.Fatalf("relative drift cap missed a 50%% drift: %v", v)
+	}
+	// The cap can be disabled.
+	th := defaultThresholds()
+	th.maxMeanDrift = 0
+	if v, _ := compare(base, cand, th); len(v) != 0 {
+		t.Fatalf("disabled drift cap still flagged: %v", v)
+	}
+}
+
+func TestCompareDroppedFigureAndScenarioAreNotes(t *testing.T) {
+	cand := baseReport()
+	cand.Figures = cand.Figures[:1]          // drop "tiny"
+	cand.Figures[0].Scenarios = []scenario{} // drop "P"
+	v, notes := compare(baseReport(), cand, defaultThresholds())
+	if len(v) != 0 {
+		t.Fatalf("drops flagged as violations: %v", v)
+	}
+	if len(notes) != 2 {
+		t.Fatalf("want 2 drop notes, got: %v", notes)
+	}
+	for _, n := range notes {
+		if !strings.Contains(n, "baseline but not the candidate") {
+			t.Fatalf("unexpected note: %q", n)
+		}
+	}
+}
+
+func TestCompareFaultMetricDrift(t *testing.T) {
+	cand := baseReport()
+	cand.Figures[0].Scenarios[0].FailedJobs = est(5, 0) // baseline 0
+	cand.Figures[0].Scenarios[0].MeanPoweredNodes = est(12, 0)
+	v, _ := compare(baseReport(), cand, defaultThresholds())
+	if len(v) != 2 {
+		t.Fatalf("want 2 violations (failed_jobs + mean_powered_nodes), got: %v", v)
+	}
+}

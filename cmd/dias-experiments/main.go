@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"strings"
@@ -35,7 +36,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure(s) to regenerate, comma-separated: motivation,4,5,6,7,8,9,10,11,table2,ablations,extensions,federation-scaleout,federation-hetero,all")
+	fig := flag.String("fig", "all", "figure(s) to regenerate, comma-separated: motivation,4,5,6,7,8,9,10,11,table2,ablations,extensions,faults,elasticity,federation-scaleout,federation-hetero,federation-outage,all")
 	jobs := flag.Int("jobs", 0, "arrivals per scenario (0 = full scale)")
 	seed := flag.Int64("seed", 1, "experiment seed")
 	workers := flag.Int("workers", 0, "concurrent simulation runs per figure (0 = one per CPU core)")
@@ -52,10 +53,46 @@ func main() {
 	if *replicas < 1 {
 		*replicas = 1
 	}
+	// Fail fast on an unwritable -bench-out path: the report is written
+	// after every figure has run, and discovering a bad path only then
+	// throws the whole run away.
+	if err := checkBenchOut(*benchOut); err != nil {
+		fmt.Fprintf(os.Stderr, "dias-experiments: %v\nusage: -bench-out must name a file in a writable directory (or be empty to skip the report)\n", err)
+		os.Exit(2)
+	}
 	if err := run(*fig, scale, *replicas, *benchOut); err != nil {
 		fmt.Fprintln(os.Stderr, "dias-experiments:", err)
 		os.Exit(1)
 	}
+}
+
+// checkBenchOut verifies the benchmark report destination is writable by
+// creating and removing a probe file next to it, without touching any
+// existing report.
+func checkBenchOut(path string) error {
+	if path == "" {
+		return nil
+	}
+	if fi, err := os.Stat(path); err == nil {
+		if fi.IsDir() {
+			return fmt.Errorf("bench-out %q is a directory", path)
+		}
+		// The report overwrites an existing file in place; probe that
+		// exact file, not just its directory.
+		f, err := os.OpenFile(path, os.O_WRONLY, 0)
+		if err != nil {
+			return fmt.Errorf("bench-out %q is not writable: %w", path, err)
+		}
+		f.Close()
+		return nil
+	}
+	probe, err := os.CreateTemp(filepath.Dir(path), ".bench-out-probe-*")
+	if err != nil {
+		return fmt.Errorf("bench-out %q is not writable: %w", path, err)
+	}
+	probe.Close()
+	os.Remove(probe.Name())
+	return nil
 }
 
 // benchReport is the BENCH_results.json payload.
@@ -217,6 +254,27 @@ func run(fig string, scale experiments.Scale, replicas int, benchOut string) err
 			scens = append(scens, er)
 			return figureOutput{text: out, scenarios: scens}, nil
 		}},
+		{"faults", func(sc experiments.Scale) (figureOutput, error) {
+			r, err := experiments.FaultTolerance(faultScale(sc))
+			if err != nil {
+				return figureOutput{}, err
+			}
+			return figureOutput{text: r, scenarios: r.Scenarios()}, nil
+		}},
+		{"elasticity", func(sc experiments.Scale) (figureOutput, error) {
+			r, err := experiments.Elasticity(faultScale(sc))
+			if err != nil {
+				return figureOutput{}, err
+			}
+			return figureOutput{text: r, scenarios: r.Scenarios()}, nil
+		}},
+		{"federation-outage", func(sc experiments.Scale) (figureOutput, error) {
+			r, err := experiments.FederationOutage(fedExpScale(sc))
+			if err != nil {
+				return figureOutput{}, err
+			}
+			return figureOutput{text: r, scenarios: r.Scenarios()}, nil
+		}},
 		{"federation-scaleout", func(sc experiments.Scale) (figureOutput, error) {
 			r, err := experiments.FederationScaleOut(fedExpScale(sc))
 			if err != nil {
@@ -368,6 +426,15 @@ func graphScale(sc experiments.Scale) experiments.Scale {
 func fedExpScale(sc experiments.Scale) experiments.Scale {
 	if sc.Jobs > 250 {
 		sc.Jobs = 250
+	}
+	return sc
+}
+
+// faultScale caps arrivals for the fault/elasticity figures: their grids
+// run up to 18 faulty whole-cluster simulations per figure.
+func faultScale(sc experiments.Scale) experiments.Scale {
+	if sc.Jobs > 300 {
+		sc.Jobs = 300
 	}
 	return sc
 }

@@ -19,6 +19,8 @@
 //     and the closed-loop AdaptiveDeflator
 //   - internal/mmap      MMAP[K] arrival processes (bursty traffic)
 //   - internal/trace     scheduler event log, replayable as workload
+//   - internal/faults    fault/churn injection: node crash/recover
+//     (stochastic or trace-driven), bounded-retry task faults, stragglers
 //   - internal/metrics   per-class latency/waste/energy/slowdown aggregation
 //   - internal/federation multi-cluster dispatcher with pluggable routing
 //   - internal/experiments  one driver per paper figure and table
@@ -36,6 +38,7 @@ import (
 	"dias/internal/core"
 	"dias/internal/dfs"
 	"dias/internal/engine"
+	"dias/internal/faults"
 	"dias/internal/federation"
 	"dias/internal/simtime"
 	"dias/internal/workload"
@@ -52,17 +55,33 @@ type StackConfig struct {
 	// Policy selects the scheduling discipline and DiAS knobs (see
 	// core.PolicyP, PolicyNP, PolicyDA, PolicyDiAS).
 	Policy core.Config
+	// Faults, when non-nil, arms the fault/churn injection layer: node
+	// crash/recover processes (stochastic or trace-driven), per-task
+	// failures with bounded retries, and stragglers. See internal/faults.
+	Faults *faults.Config
+	// Autoscale, when non-nil, drives elastic capacity through a
+	// core.Autoscaler: the cluster is provisioned at Cluster.Nodes and the
+	// scale policy commissions/decommissions nodes inside the configured
+	// bounds at run time.
+	Autoscale *core.AutoscalerConfig
 	// Seed drives all randomness; runs are reproducible per seed.
 	Seed int64
 }
 
 // Stack is a complete simulated deployment: virtual clock, cluster,
-// dataflow engine and the DiAS scheduler on top.
+// dataflow engine and the DiAS scheduler on top, plus the optional fault
+// injector and autoscaler when the config arms them.
 type Stack struct {
 	Sim       *simtime.Simulation
 	Cluster   *cluster.Cluster
 	Engine    *engine.Engine
 	Scheduler *core.Scheduler
+	// Faults is the armed injector (nil unless StackConfig.Faults is set).
+	Faults *faults.Injector
+	// Autoscaler is the armed capacity controller (nil unless
+	// StackConfig.Autoscale is set). Feed it completions by wiring
+	// Policy.OnRecord to Autoscaler.Observe, or use NewStack which does.
+	Autoscaler *core.Autoscaler
 }
 
 // NewStack builds a ready-to-use deployment.
@@ -83,11 +102,38 @@ func NewStack(cfg StackConfig) (*Stack, error) {
 	if err != nil {
 		return nil, fmt.Errorf("building engine: %w", err)
 	}
-	sch, err := core.New(sim, clu, eng, cfg.Policy)
+	policy := cfg.Policy
+	stack := &Stack{Sim: sim, Cluster: clu, Engine: eng}
+	if cfg.Autoscale != nil {
+		// The autoscaler's latency signal taps the same record stream the
+		// caller's hook sees; the autoscaler itself is built after the
+		// scheduler, so the closure binds the stack field late.
+		userHook := policy.OnRecord
+		policy.OnRecord = func(rec core.JobRecord) {
+			if userHook != nil {
+				userHook(rec)
+			}
+			if stack.Autoscaler != nil {
+				stack.Autoscaler.Observe(rec)
+			}
+		}
+	}
+	sch, err := core.New(sim, clu, eng, policy)
 	if err != nil {
 		return nil, fmt.Errorf("building scheduler: %w", err)
 	}
-	return &Stack{Sim: sim, Cluster: clu, Engine: eng, Scheduler: sch}, nil
+	stack.Scheduler = sch
+	if cfg.Faults != nil {
+		if stack.Faults, err = faults.Attach(sim, eng, *cfg.Faults); err != nil {
+			return nil, fmt.Errorf("arming fault injection: %w", err)
+		}
+	}
+	if cfg.Autoscale != nil {
+		if stack.Autoscaler, err = core.NewAutoscaler(sim, clu, eng, sch, *cfg.Autoscale); err != nil {
+			return nil, fmt.Errorf("arming autoscaler: %w", err)
+		}
+	}
+	return stack, nil
 }
 
 // SubmitAt schedules a job arrival at virtual time t seconds.

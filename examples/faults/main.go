@@ -1,0 +1,116 @@
+// Faults and elasticity walkthrough: one DiAS stack under the full
+// injection layer — node churn, bounded-retry task faults, stragglers —
+// with a backlog-driven autoscaler riding a provisioned-but-parked
+// cluster. The run demonstrates the conservation guarantee (every
+// submitted job completes or is reported failed with retries exhausted)
+// and the elastic energy accounting (powered-node-seconds below the
+// always-on bill).
+//
+//	go run ./examples/faults
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+
+	"dias"
+	"dias/internal/analytics"
+	"dias/internal/cluster"
+	"dias/internal/core"
+	"dias/internal/engine"
+	"dias/internal/faults"
+	"dias/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "faults:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// A two-class word-popularity workload, as in the paper's evaluation.
+	rng := rand.New(rand.NewSource(11))
+	corpusCfg := workload.DefaultCorpusConfig()
+	corpusCfg.PostsPerPartition = 40
+	corpus, err := workload.SynthesizeCorpus(rng, corpusCfg)
+	if err != nil {
+		return err
+	}
+	lowJob := analytics.WordPopularityJob("low", corpus, 10, 1<<28)
+	highJob := analytics.WordPopularityJob("high", corpus[:len(corpus)/2], 10, 1<<27)
+
+	// Provision 16 nodes but let a backlog autoscaler run 4..16 of them;
+	// scale-in is suppressed while the sprinter is active.
+	cluCfg := cluster.DefaultConfig()
+	cluCfg.Nodes = 16
+	stack, err := dias.NewStack(dias.StackConfig{
+		Cluster: cluCfg,
+		Policy: core.PolicyDiAS([]float64{0.2, 0}, core.SprintPolicy{
+			TimeoutSec:     []float64{60, 0},
+			BudgetJoules:   22e3,
+			DrainWatts:     900,
+			ReplenishWatts: 90,
+		}),
+		Faults: &faults.Config{
+			Churn: &faults.ChurnConfig{MTTFSec: 1800, MTTRSec: 60, HorizonSec: 4000},
+			Tasks: &faults.TaskFaultConfig{
+				FailProb: 0.05, MaxAttempts: 3,
+				StragglerProb: 0.05, StragglerFactor: 4,
+			},
+			Seed: 11,
+		},
+		Autoscale: &core.AutoscalerConfig{
+			Policy:       core.BacklogScalePolicy{ScaleOutAbove: 3, ScaleInBelow: 1, Step: 3},
+			MinNodes:     4,
+			MaxNodes:     16,
+			InitialNodes: 8,
+			IntervalSec:  30,
+			CooldownSec:  60,
+			HorizonSec:   4000,
+		},
+		Seed: 11,
+	})
+	if err != nil {
+		return err
+	}
+
+	// 60 arrivals over ~50 minutes of virtual time, 9:1 low:high.
+	pm, err := workload.NewPoissonMix([]float64{0.018, 0.002})
+	if err != nil {
+		return err
+	}
+	if err := stack.SubmitStream(pm, workload.FixedJobs([]*engine.Job{lowJob, highJob}), 60, 11); err != nil {
+		return err
+	}
+	stack.Run()
+
+	var completed, failed, retries int
+	for _, rec := range stack.Records() {
+		if rec.Failed {
+			failed++
+		} else {
+			completed++
+		}
+		retries += rec.Retries
+	}
+	fmt.Printf("jobs: %d completed, %d failed with retries exhausted (of 60 submitted)\n", completed, failed)
+	if completed+failed != 60 {
+		return fmt.Errorf("conservation violated: %d outcomes for 60 submissions", completed+failed)
+	}
+	inj := stack.Faults
+	fmt.Printf("injected: %d node failures (%.0fs downtime), %d task faults, %d stragglers\n",
+		inj.NodeFailures(), inj.DownSeconds(), inj.TaskFailuresInjected(), inj.StragglersInjected())
+	fmt.Printf("engine: %d task attempts retried, %.0f slot-seconds lost to failures\n",
+		stack.Engine.TasksRetried(), stack.Engine.FailureLostSlotSeconds())
+	as := stack.Autoscaler
+	makespan := stack.Sim.Now().Seconds()
+	paid := stack.Cluster.PoweredNodeSeconds()
+	fmt.Printf("autoscaler: %d scale-outs, %d scale-ins, EWMA latency %.1fs\n",
+		as.ScaleOuts(), as.ScaleIns(), as.EWMAResponseSec())
+	fmt.Printf("capacity: %.1f node-seconds paid vs %.1f always-on (%.0f%% saved) over %.0fs\n",
+		paid, 16*makespan, 100*(1-paid/(16*makespan)), makespan)
+	return nil
+}

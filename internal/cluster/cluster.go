@@ -92,12 +92,28 @@ type Cluster struct {
 	// no power.
 	down      []bool
 	downNodes int
+	// offline[n] marks node n as decommissioned by an elastic-capacity
+	// controller. Unlike a failure, decommissioning drains gracefully: busy
+	// slots keep running (and drawing power) but never rejoin the idle
+	// pool, and the node powers off once its last task releases.
+	offline      []bool
+	offlineNodes int
+	// nodeBusy[n] counts busy slots per node, so drain completion and the
+	// powered-node set are known without scanning slots.
+	nodeBusy []int
+	// poweredNodes counts nodes drawing power: up and either commissioned
+	// or still draining tasks.
+	poweredNodes int
 
 	// Energy integration state.
 	lastAccrual  simtime.Time
 	energyJoules float64
 	// Machine-time accounting (slot-seconds) for the resource-waste metric.
 	busySlotSeconds float64
+	// poweredNodeSeconds integrates the powered-node count over virtual
+	// time: the capacity actually paid for, the denominator elastic
+	// experiments compare against a fixed-size cluster.
+	poweredNodeSeconds float64
 
 	speedWatchers []func(old, new float64)
 }
@@ -110,7 +126,13 @@ func New(sim *simtime.Simulation, cfg Config) (*Cluster, error) {
 	if sim == nil {
 		return nil, errors.New("cluster: nil simulation")
 	}
-	c := &Cluster{cfg: cfg, sim: sim, lastAccrual: sim.Now(), down: make([]bool, cfg.Nodes)}
+	c := &Cluster{
+		cfg: cfg, sim: sim, lastAccrual: sim.Now(),
+		down:         make([]bool, cfg.Nodes),
+		offline:      make([]bool, cfg.Nodes),
+		nodeBusy:     make([]int, cfg.Nodes),
+		poweredNodes: cfg.Nodes,
+	}
 	for n := 0; n < cfg.Nodes; n++ {
 		for k := 0; k < cfg.CoresPerNode; k++ {
 			s := &Slot{Node: n, Core: k}
@@ -144,6 +166,7 @@ func (c *Cluster) Acquire() (*Slot, bool) {
 	c.free = c.free[:len(c.free)-1]
 	s.busy = true
 	c.busyCores++
+	c.nodeBusy[s.Node]++
 	return s, true
 }
 
@@ -160,15 +183,17 @@ func (c *Cluster) AcquireMatching(pred func(node int) bool) (*Slot, bool) {
 		c.free = append(c.free[:i], c.free[i+1:]...)
 		s.busy = true
 		c.busyCores++
+		c.nodeBusy[s.Node]++
 		return s, true
 	}
 	return nil, false
 }
 
 // Release returns a slot to the idle pool. Releasing an idle slot panics:
-// it indicates a double release in the scheduler. A slot on a failed node
-// leaves the busy set but stays out of the idle pool until the node is
-// repaired.
+// it indicates a double release in the scheduler. A slot on a failed or
+// decommissioned node leaves the busy set but stays out of the idle pool
+// until the node is repaired or re-commissioned; a decommissioned node
+// powers off the moment its last busy slot releases.
 func (c *Cluster) Release(s *Slot) {
 	if !s.busy {
 		panic(fmt.Sprintf("cluster: double release of slot %d/%d", s.Node, s.Core))
@@ -176,7 +201,16 @@ func (c *Cluster) Release(s *Slot) {
 	c.accrue()
 	s.busy = false
 	c.busyCores--
-	if !c.down[s.Node] {
+	c.nodeBusy[s.Node]--
+	n := s.Node
+	switch {
+	case c.down[n]:
+		// Failed nodes draw no power and hold no idle slots.
+	case c.offline[n]:
+		if c.nodeBusy[n] == 0 {
+			c.poweredNodes-- // drain complete: the node powers off
+		}
+	default:
 		c.free = append(c.free, s)
 	}
 }
@@ -193,6 +227,9 @@ func (c *Cluster) FailNode(node int) error {
 		return fmt.Errorf("cluster: node %d already down", node)
 	}
 	c.accrue()
+	if !c.offline[node] || c.nodeBusy[node] > 0 {
+		c.poweredNodes-- // was powered (commissioned, or still draining)
+	}
 	c.down[node] = true
 	c.downNodes++
 	kept := c.free[:0]
@@ -206,7 +243,9 @@ func (c *Cluster) FailNode(node int) error {
 }
 
 // RepairNode brings a failed node back: its slots rejoin the idle pool and
-// it draws power again. Repairing an up node is an error.
+// it draws power again. Repairing an up node is an error. A node that was
+// decommissioned while down stays offline and unpowered: the repair only
+// clears the failure.
 func (c *Cluster) RepairNode(node int) error {
 	if node < 0 || node >= c.cfg.Nodes {
 		return fmt.Errorf("cluster: repair node %d of %d", node, c.cfg.Nodes)
@@ -217,12 +256,93 @@ func (c *Cluster) RepairNode(node int) error {
 	c.accrue()
 	c.down[node] = false
 	c.downNodes--
+	if c.offline[node] {
+		return nil
+	}
+	c.poweredNodes++
 	for _, s := range c.slots {
 		if s.Node == node && !s.busy {
 			c.free = append(c.free, s)
 		}
 	}
 	return nil
+}
+
+// Decommission removes a node from service for elastic scale-in. Its idle
+// slots leave the pool immediately; running tasks drain gracefully (they
+// keep their slots and the node keeps drawing power until the last one
+// releases). Decommissioning a node twice is an error; decommissioning a
+// failed node is allowed and simply keeps it out of service after repair.
+func (c *Cluster) Decommission(node int) error {
+	if node < 0 || node >= c.cfg.Nodes {
+		return fmt.Errorf("cluster: decommission node %d of %d", node, c.cfg.Nodes)
+	}
+	if c.offline[node] {
+		return fmt.Errorf("cluster: node %d already offline", node)
+	}
+	c.accrue()
+	c.offline[node] = true
+	c.offlineNodes++
+	if !c.down[node] && c.nodeBusy[node] == 0 {
+		c.poweredNodes-- // nothing to drain: powers off now
+	}
+	kept := c.free[:0]
+	for _, s := range c.free {
+		if s.Node != node {
+			kept = append(kept, s)
+		}
+	}
+	c.free = kept
+	return nil
+}
+
+// Commission returns a decommissioned node to service: it powers back on
+// and its idle slots rejoin the pool (unless the node is currently
+// failed, in which case only the offline mark clears and RepairNode
+// completes the comeback). Commissioning an online node is an error.
+func (c *Cluster) Commission(node int) error {
+	if node < 0 || node >= c.cfg.Nodes {
+		return fmt.Errorf("cluster: commission node %d of %d", node, c.cfg.Nodes)
+	}
+	if !c.offline[node] {
+		return fmt.Errorf("cluster: node %d is not offline", node)
+	}
+	c.accrue()
+	c.offline[node] = false
+	c.offlineNodes--
+	if c.down[node] {
+		return nil
+	}
+	if c.nodeBusy[node] == 0 {
+		c.poweredNodes++ // a still-draining node never powered off
+	}
+	for _, s := range c.slots {
+		if s.Node == node && !s.busy {
+			c.free = append(c.free, s)
+		}
+	}
+	return nil
+}
+
+// NodeOffline reports whether a node is currently decommissioned.
+func (c *Cluster) NodeOffline(node int) bool {
+	return node >= 0 && node < c.cfg.Nodes && c.offline[node]
+}
+
+// CommissionedNodes returns the number of nodes in service (not
+// decommissioned), regardless of failure state — the capacity an elastic
+// controller currently intends to run.
+func (c *Cluster) CommissionedNodes() int { return c.cfg.Nodes - c.offlineNodes }
+
+// PoweredNodes returns the number of nodes currently drawing power: up
+// and either commissioned or still draining tasks.
+func (c *Cluster) PoweredNodes() int { return c.poweredNodes }
+
+// PoweredNodeSeconds returns the time integral of the powered-node count,
+// the capacity actually paid for over the run.
+func (c *Cluster) PoweredNodeSeconds() float64 {
+	c.accrue()
+	return c.poweredNodeSeconds
 }
 
 // NodeDown reports whether a node is currently failed.
@@ -285,20 +405,21 @@ func (c *Cluster) accrue() {
 	}
 	c.energyJoules += c.power() * dt
 	c.busySlotSeconds += float64(c.busyCores) * dt
+	c.poweredNodeSeconds += float64(c.poweredNodes) * dt
 	c.lastAccrual = now
 }
 
 // power returns the aggregate cluster power in watts given current state.
-// Each up node draws idle + (active-idle)*utilization; summed over
-// homogeneous nodes this is upNodes*idle + (active-idle)*busyCores/
-// coresPerNode. Failed nodes draw nothing.
+// Each powered node draws idle + (active-idle)*utilization; summed over
+// homogeneous nodes this is poweredNodes*idle + (active-idle)*busyCores/
+// coresPerNode. Failed and drained-decommissioned nodes draw nothing.
 func (c *Cluster) power() float64 {
 	active := c.cfg.BusyWatts
 	if c.sprinting {
 		active = c.cfg.SprintWatts
 	}
 	perCore := (active - c.cfg.IdleWatts) / float64(c.cfg.CoresPerNode)
-	return float64(c.cfg.Nodes-c.downNodes)*c.cfg.IdleWatts + perCore*float64(c.busyCores)
+	return float64(c.poweredNodes)*c.cfg.IdleWatts + perCore*float64(c.busyCores)
 }
 
 // EnergyJoules returns total energy consumed up to the current virtual time.

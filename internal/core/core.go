@@ -181,6 +181,13 @@ type JobRecord struct {
 	SlotSeconds float64
 	// EffectiveDropRatio is 1 - executed/total tasks.
 	EffectiveDropRatio float64
+	// Retries counts task attempts aborted by failures (injected faults or
+	// node crashes) and re-executed during the job.
+	Retries int
+	// Failed reports a job the engine aborted with a task's retry budget
+	// exhausted; its latency fields describe the failed run, not a
+	// completed service.
+	Failed bool
 	// Output holds the job result records when Config.KeepOutputs is set.
 	Output []engine.Record
 }
@@ -351,6 +358,8 @@ func (s *Scheduler) onComplete(en *entry, res engine.JobResult) {
 		Evictions:          en.evictions,
 		SlotSeconds:        res.SlotSeconds,
 		EffectiveDropRatio: res.EffectiveDropRatio,
+		Retries:            res.TaskRetries,
+		Failed:             res.Failed,
 	}
 	rec.QueueSec = rec.ResponseSec - rec.ExecSec
 	if s.cfg.KeepOutputs {

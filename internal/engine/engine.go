@@ -257,6 +257,14 @@ type JobResult struct {
 	// EffectiveDropRatio aggregates dropping across stages:
 	// 1 - executed/total.
 	EffectiveDropRatio float64
+	// TaskRetries counts task attempts aborted by failures (injected or
+	// node crashes) and re-executed during this job.
+	TaskRetries int
+	// Failed reports a job aborted by the fault injector: a task exhausted
+	// its attempt budget. FailureReason says which. A failed job delivers
+	// no Output.
+	Failed        bool
+	FailureReason string
 }
 
 // SubmitOptions configures one submission.
@@ -281,6 +289,12 @@ type task struct {
 	// two copies of the same partition.
 	speculative bool
 	twin        *task
+
+	// attempt counts prior aborted attempts of this task (injected
+	// failures and node crashes); willFail marks an attempt the fault
+	// injector doomed, so its completion event aborts it instead.
+	attempt  int
+	willFail bool
 
 	// completeFn is the pre-bound e.completeTask(t) callback handed to the
 	// simulation for every (re)scheduling of this task struct.
@@ -312,7 +326,13 @@ type execution struct {
 	stageStarted []bool
 	stageDone    []bool
 
-	slotSeconds   float64
+	slotSeconds float64
+	// failureLostSec is the share of slotSeconds destroyed by failures
+	// (aborted attempts), so a failing job can charge only the remainder.
+	failureLostSec float64
+	// retries counts aborted task attempts (injected failures and node
+	// crashes) that were re-queued for this job.
+	retries       int
 	tasksTotal    int
 	tasksExecuted int
 	tasksDropped  int
@@ -405,6 +425,13 @@ type Engine struct {
 
 	tasksRetried           int
 	failureLostSlotSeconds float64
+
+	// taskFaults, when non-nil, is consulted at every attempt launch;
+	// maxTaskAttempts bounds injected-failure retries per task (an
+	// injected failure at or beyond the budget fails the whole job).
+	taskFaults      TaskFaultInjector
+	maxTaskAttempts int
+	failedJobs      int
 }
 
 // New builds an engine bound to a simulation and cluster. fs may be nil
@@ -477,6 +504,10 @@ func removeRunning(t *task) {
 	ex.running[last] = nil
 	ex.running = ex.running[:last]
 }
+
+// Cluster returns the compute substrate this engine schedules onto
+// (read-mostly: fault and capacity controllers size their plans from it).
+func (e *Engine) Cluster() *cluster.Cluster { return e.clu }
 
 // SetFairSharing switches task dispatch between submission-order FIFO
 // (default, Spark's FIFO scheduler) and round-robin across live jobs
@@ -718,7 +749,21 @@ func (e *Engine) startTask(t *task, slot *cluster.Slot) {
 	t.running = true
 	t.startedAt = e.sim.Now()
 	t.lastUpdate = e.sim.Now()
-	t.remainingWork = e.taskWork(t)
+	work := e.taskWork(t)
+	if e.taskFaults != nil {
+		f := e.taskFaults.TaskStarted(t.exec.job.Name, t.stage, t.partition, t.attempt)
+		if f.Slowdown > 1 {
+			work *= f.Slowdown // injected straggler
+		}
+		if f.FailAfterFrac > 0 {
+			// The attempt runs only to its failure point; the rest of the
+			// work never happens because the attempt restarts from scratch.
+			frac := min(f.FailAfterFrac, 1)
+			work *= frac
+			t.willFail = true
+		}
+	}
+	t.remainingWork = work
 	t.exec.launched++
 	addRunning(t)
 	d := simtime.Duration(t.remainingWork / e.clu.Speed())
@@ -746,6 +791,10 @@ func (e *Engine) rescaleRunning(oldSpeed, newSpeed float64) {
 }
 
 func (e *Engine) completeTask(t *task) {
+	if t.willFail {
+		e.failTask(t)
+		return
+	}
 	ex := t.exec
 	now := e.sim.Now()
 	// Wall occupancy since the last rescale point; earlier segments were
@@ -814,6 +863,100 @@ func (e *Engine) completeTask(t *task) {
 		e.maybeSpeculate(ex, stage)
 	}
 	e.dispatch()
+}
+
+// failTask aborts an attempt the fault injector doomed: the machine time
+// it consumed is lost to the failure, and the task retries from scratch
+// unless its attempt budget is exhausted, which fails the whole job.
+func (e *Engine) failTask(t *task) {
+	ex := t.exec
+	now := e.sim.Now()
+	ex.slotSeconds += now.Sub(t.lastUpdate).Seconds()
+	lost := now.Sub(t.startedAt).Seconds()
+	e.failureLostSlotSeconds += lost
+	ex.failureLostSec += lost
+	t.running = false
+	t.willFail = false
+	removeRunning(t)
+	e.clu.Release(t.slot)
+	t.slot = nil
+	t.remainingWork = 0
+	// A speculative twin is already chasing this partition: the failed
+	// copy simply dies and the twin remains the retry.
+	if t.twin != nil {
+		t.twin.twin = nil
+		t.twin = nil
+		e.speculativeDiscarded++
+		e.freeTask(t)
+		e.dispatch()
+		return
+	}
+	t.attempt++
+	if e.maxTaskAttempts > 0 && t.attempt >= e.maxTaskAttempts {
+		stage, part, attempts := t.stage, t.partition, t.attempt
+		e.freeTask(t)
+		e.failJob(ex, fmt.Sprintf("stage %d partition %d failed %d attempts", stage, part, attempts))
+		e.dispatch()
+		return
+	}
+	ex.retries++
+	e.tasksRetried++
+	ex.pending.PushFront(t)
+	e.dispatch()
+}
+
+// failJob aborts a live job and reports it failed: running tasks stop
+// (their machine time becomes failure loss, as does the work its finished
+// tasks had banked), queued tasks are discarded, and the submitter's
+// OnComplete receives a JobResult with Failed set.
+func (e *Engine) failJob(ex *execution, reason string) {
+	now := e.sim.Now()
+	for _, t := range ex.running {
+		e.sim.Cancel(t.event)
+		ex.slotSeconds += now.Sub(t.lastUpdate).Seconds()
+		lost := now.Sub(t.startedAt).Seconds()
+		e.failureLostSlotSeconds += lost
+		ex.failureLostSec += lost
+		e.clu.Release(t.slot)
+		t.running = false
+		t.twin = nil
+		e.freeTask(t)
+	}
+	ex.running = nil
+	for ex.pending.Len() > 0 {
+		t := ex.pending.PopFront()
+		t.twin = nil
+		e.freeTask(t)
+	}
+	// Everything the attempt consumed is wasted; charge the share not
+	// already booked by aborted attempts to the failure as well.
+	if rest := ex.slotSeconds - ex.failureLostSec; rest > 0 {
+		e.failureLostSlotSeconds += rest
+	}
+	ex.done = true
+	delete(e.execs, ex.id)
+	e.removeFromOrder(ex)
+	e.failedJobs++
+	res := JobResult{
+		JobID:         ex.id,
+		Name:          ex.job.Name,
+		Stages:        ex.stageStats,
+		StartedAt:     ex.startedAt,
+		FinishedAt:    now,
+		SlotSeconds:   ex.slotSeconds,
+		TasksTotal:    ex.tasksTotal,
+		TasksExecuted: ex.tasksExecuted,
+		TasksDropped:  ex.tasksDropped,
+		TaskRetries:   ex.retries,
+		Failed:        true,
+		FailureReason: reason,
+	}
+	if ex.tasksTotal > 0 {
+		res.EffectiveDropRatio = 1 - float64(ex.tasksExecuted)/float64(ex.tasksTotal)
+	}
+	if ex.opts.OnComplete != nil {
+		ex.opts.OnComplete(res)
+	}
 }
 
 // cancelTwin aborts the other copy of a just-finished partition, whether
@@ -936,6 +1079,7 @@ func (e *Engine) completeJob(ex *execution) {
 		TasksTotal:    ex.tasksTotal,
 		TasksExecuted: ex.tasksExecuted,
 		TasksDropped:  ex.tasksDropped,
+		TaskRetries:   ex.retries,
 	}
 	if ex.tasksTotal > 0 {
 		res.EffectiveDropRatio = 1 - float64(ex.tasksExecuted)/float64(ex.tasksTotal)
@@ -1020,13 +1164,20 @@ func (e *Engine) FailNode(node int) error {
 		for _, t := range aborted {
 			e.sim.Cancel(t.event)
 			ex.slotSeconds += now.Sub(t.lastUpdate).Seconds()
-			e.failureLostSlotSeconds += now.Sub(t.startedAt).Seconds()
+			lost := now.Sub(t.startedAt).Seconds()
+			e.failureLostSlotSeconds += lost
+			ex.failureLostSec += lost
 			t.running = false
 			removeRunning(t)
 			e.clu.Release(t.slot) // node is down: slot stays out of the pool
 			t.slot = nil
 			t.remainingWork = 0
+			// The retry re-queries the fault injector with a bumped attempt
+			// count, but node crashes never exhaust the attempt budget.
+			t.attempt++
+			t.willFail = false
 			ex.pending.PushFront(t)
+			ex.retries++
 			e.tasksRetried++
 		}
 	}
@@ -1038,6 +1189,23 @@ func (e *Engine) FailNode(node int) error {
 // RepairNode brings a failed node back and dispatches onto its slots.
 func (e *Engine) RepairNode(node int) error {
 	if err := e.clu.RepairNode(node); err != nil {
+		return err
+	}
+	e.dispatch()
+	return nil
+}
+
+// DecommissionNode removes a node from service for elastic scale-in. No
+// task is aborted: running tasks drain gracefully and the node powers off
+// when the last one releases (see cluster.Decommission).
+func (e *Engine) DecommissionNode(node int) error {
+	return e.clu.Decommission(node)
+}
+
+// CommissionNode returns a decommissioned node to service and dispatches
+// queued tasks onto its slots.
+func (e *Engine) CommissionNode(node int) error {
+	if err := e.clu.Commission(node); err != nil {
 		return err
 	}
 	e.dispatch()

@@ -15,6 +15,7 @@ import (
 	"dias/internal/cluster"
 	"dias/internal/core"
 	"dias/internal/engine"
+	"dias/internal/faults"
 	"dias/internal/metrics"
 	"dias/internal/runner"
 	"dias/internal/simtime"
@@ -131,6 +132,15 @@ type scenario struct {
 	// failures, when non-nil, arms random node fail/repair cycles across
 	// the arrival window (HorizonSec is filled in from the stream).
 	failures *engine.FailureConfig
+	// faultPlan, when non-nil, arms the internal/faults injection layer:
+	// node churn (stochastic or trace-driven), per-task failures with
+	// bounded retries, stragglers. A zero stochastic-churn horizon is
+	// filled from the arrival window; a zero seed derives from the
+	// scenario seed.
+	faultPlan *faults.Config
+	// autoscale, when non-nil, drives elastic capacity through a
+	// core.Autoscaler (a zero horizon is filled from the arrival window).
+	autoscale *core.AutoscalerConfig
 	// deflator, when non-nil, builds a dynamic deflator bound to the
 	// scenario's simulation and installs it into the policy (the policy
 	// must then carry no static DropRatios).
@@ -174,16 +184,20 @@ func (sc scenario) run() (metrics.ScenarioResult, error) {
 		policy.Deflator = d
 	}
 	// Stream records straight into the accumulator (every arrival
-	// completes, so the expected record count is the arrival count).
+	// completes or fails, so the expected record count is the arrival
+	// count). The autoscaler, when armed below, taps the same stream.
 	acc := metrics.NewAccumulator(sc.policy.Classes, sc.scale.Jobs, sc.scale.WarmupFraction)
 	policy.DiscardRecords = true
-	if obs := sc.observe; obs != nil {
-		policy.OnRecord = func(r core.JobRecord) {
-			acc.Add(r)
+	var as *core.Autoscaler
+	obs := sc.observe
+	policy.OnRecord = func(r core.JobRecord) {
+		acc.Add(r)
+		if obs != nil {
 			obs(r)
 		}
-	} else {
-		policy.OnRecord = acc.Add
+		if as != nil {
+			as.Observe(r)
+		}
 	}
 	sch, err := core.New(sim, clu, eng, policy)
 	if err != nil {
@@ -204,14 +218,40 @@ func (sc scenario) run() (metrics.ScenarioResult, error) {
 	arrRng := rand.New(rand.NewSource(sc.scale.Seed + 7))
 	jobRng := rand.New(rand.NewSource(sc.scale.Seed + 13))
 	arrivals := workload.StreamOf(proc, arrRng, sc.scale.Jobs)
+	// The injection/scaling horizon covers the whole arrival window plus
+	// drain slack, so the event queue always drains.
+	horizon := arrivals[len(arrivals)-1].At*1.1 + 300
 	if sc.failures != nil {
 		fcfg := *sc.failures
 		if fcfg.HorizonSec == 0 {
-			// Cover the whole arrival window plus drain slack.
-			fcfg.HorizonSec = arrivals[len(arrivals)-1].At*1.1 + 300
+			fcfg.HorizonSec = horizon
 		}
 		if _, err := engine.NewFailureInjector(sim, eng, fcfg); err != nil {
 			return metrics.ScenarioResult{}, fmt.Errorf("arming failure injector: %w", err)
+		}
+	}
+	if sc.faultPlan != nil {
+		fp := *sc.faultPlan
+		if fp.Seed == 0 {
+			fp.Seed = sc.scale.Seed + 31
+		}
+		if fp.Churn != nil && len(fp.Churn.Outages) == 0 && fp.Churn.HorizonSec == 0 {
+			ch := *fp.Churn
+			ch.HorizonSec = horizon
+			fp.Churn = &ch
+		}
+		if _, err := faults.Attach(sim, eng, fp); err != nil {
+			return metrics.ScenarioResult{}, fmt.Errorf("arming fault plan: %w", err)
+		}
+	}
+	if sc.autoscale != nil {
+		ac := *sc.autoscale
+		if ac.HorizonSec == 0 {
+			ac.HorizonSec = horizon
+		}
+		var err error
+		if as, err = core.NewAutoscaler(sim, clu, eng, sch, ac); err != nil {
+			return metrics.ScenarioResult{}, fmt.Errorf("arming autoscaler: %w", err)
 		}
 	}
 	var arriveErr error
@@ -236,10 +276,16 @@ func (sc scenario) run() (metrics.ScenarioResult, error) {
 		PerClass:     acc.Classes(),
 		EnergyJoules: clu.EnergyJoules(),
 		MakespanSec:  sim.Now().Seconds(),
+		FailedJobs:   eng.FailedJobs(),
+		TasksRetried: eng.TasksRetried(),
 	}
 	useful := clu.BusySlotSeconds() - eng.WastedSlotSeconds()
 	if total := useful + eng.WastedSlotSeconds(); total > 0 {
 		res.ResourceWastePct = 100 * eng.WastedSlotSeconds() / total
+		res.FailureWastePct = 100 * eng.FailureLostSlotSeconds() / total
+	}
+	if res.MakespanSec > 0 {
+		res.MeanPoweredNodes = clu.PoweredNodeSeconds() / res.MakespanSec
 	}
 	return res, nil
 }

@@ -1,0 +1,156 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"dias/internal/cluster"
+	"dias/internal/core"
+	"dias/internal/engine"
+	"dias/internal/faults"
+)
+
+func faultScale() Scale {
+	s := Scale{Jobs: 40, WarmupFraction: 0.1, Seed: 5}
+	if testing.Short() {
+		s.Jobs = 20
+	}
+	return s
+}
+
+// TestFaultToleranceWorkerCountInvariance enforces the runner contract on
+// the fault grid: every cell owns its whole stack including the injection
+// layer's RNGs, so results must be bit-identical at any worker count.
+func TestFaultToleranceWorkerCountInvariance(t *testing.T) {
+	serial := faultScale()
+	serial.Workers = 1
+	parallel := faultScale()
+	parallel.Workers = 8
+	want, err := FaultTolerance(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := FaultTolerance(parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("fault grid differs between 1 and 8 workers:\nserial:\n%s\nparallel:\n%s", want, got)
+	}
+}
+
+// TestElasticityWorkerCountInvariance covers the autoscaled cells: scaling
+// decisions ride the virtual clock, not the host scheduler.
+func TestElasticityWorkerCountInvariance(t *testing.T) {
+	serial := faultScale()
+	serial.Workers = 1
+	parallel := faultScale()
+	parallel.Workers = 8
+	want, err := Elasticity(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Elasticity(parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("elasticity figure differs between 1 and 8 workers:\nserial:\n%s\nparallel:\n%s", want, got)
+	}
+}
+
+func TestFederationOutageWorkerCountInvariance(t *testing.T) {
+	serial := fedScale()
+	serial.Workers = 1
+	parallel := fedScale()
+	parallel.Workers = 8
+	want, err := FederationOutage(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := FederationOutage(parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("outage figure differs between 1 and 8 workers:\nserial:\n%s\nparallel:\n%s", want, got)
+	}
+}
+
+// TestFaultToleranceConservation is the driver-level acceptance check:
+// with a deliberately harsh bounded-retry regime, every arrival shows up
+// in the statistics as either a completion or a failed job — jobs plus
+// failures equals arrivals (the accumulator sees every record; warmup 0).
+func TestFaultToleranceConservation(t *testing.T) {
+	sc := faultScale()
+	sc.WarmupFraction = 0
+	harsh := &faults.Config{
+		Churn: &faults.ChurnConfig{MTTFSec: 600, MTTRSec: 60},
+		Tasks: &faults.TaskFaultConfig{
+			FailProb: 0.25, MaxAttempts: 2,
+			StragglerProb: 0.05, StragglerFactor: 3,
+		},
+	}
+	lowJob, err := textJob("low", sc.Seed+1, 20, 1<<27)
+	if err != nil {
+		t.Fatal(err)
+	}
+	highJob, err := textJob("high", sc.Seed+2, 10, 1<<26)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := runScenarios([]scenario{{
+		name:      "harsh",
+		policy:    core.PolicyDA([]float64{0.2, 0}),
+		rates:     []float64{0.02, 0.004},
+		jobs:      []*engine.Job{lowJob, highJob},
+		cost:      textCostModel(),
+		cluster:   cluster.DefaultConfig(),
+		scale:     sc,
+		faultPlan: harsh,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	var outcomes int
+	for _, cs := range r.PerClass {
+		outcomes += cs.Jobs + cs.FailedJobs
+	}
+	if outcomes != sc.Jobs {
+		t.Fatalf("completions+failures = %d, want %d arrivals", outcomes, sc.Jobs)
+	}
+	if r.FailedJobs == 0 {
+		t.Fatal("harsh regime failed no jobs; the retry-exhaustion path is untested")
+	}
+	if r.TasksRetried == 0 || r.FailureWastePct <= 0 {
+		t.Fatalf("failure accounting empty: retries=%d waste=%g%%", r.TasksRetried, r.FailureWastePct)
+	}
+}
+
+// TestElasticityShape sanity-checks the economics: the autoscaled cells
+// must pay for less capacity than the fixed large cluster.
+func TestElasticityShape(t *testing.T) {
+	fig, err := Elasticity(faultScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Rows) != 4 {
+		t.Fatalf("%d rows, want 4", len(fig.Rows))
+	}
+	byName := map[string]int{}
+	for i, r := range fig.Rows {
+		byName[r.Name] = i
+	}
+	fixed16 := fig.Rows[byName["fixed-16"]]
+	for _, name := range []string{"backlog-as", "latency-as"} {
+		as := fig.Rows[byName[name]]
+		if as.MeanPoweredNodes >= fixed16.MeanPoweredNodes {
+			t.Errorf("%s pays for %.1f nodes, fixed-16 pays %.1f — no elasticity",
+				name, as.MeanPoweredNodes, fixed16.MeanPoweredNodes)
+		}
+		if as.EnergyJoules >= fixed16.EnergyJoules {
+			t.Errorf("%s energy %.0f >= fixed-16 %.0f", name, as.EnergyJoules, fixed16.EnergyJoules)
+		}
+	}
+}

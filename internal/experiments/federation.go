@@ -96,6 +96,17 @@ type fedScenario struct {
 	// on member v % len(members).
 	variants variantSource
 	scale    Scale
+	// outages lists cluster-level outages scheduled on the virtual
+	// timeline before the run (the routing stressor: in-flight work on the
+	// member re-executes after recovery, arrivals route around it).
+	outages []memberOutage
+}
+
+// memberOutage is one scheduled cluster-level outage.
+type memberOutage struct {
+	member      int
+	atSec       float64
+	durationSec float64
 }
 
 // run executes the federated scenario to completion, streaming records
@@ -124,6 +135,11 @@ func (sc fedScenario) run() (metrics.FederationScenarioResult, error) {
 			if err := fed.RegisterInput(job, v%len(sc.members)); err != nil {
 				return metrics.FederationScenarioResult{}, err
 			}
+		}
+	}
+	for _, o := range sc.outages {
+		if err := fed.ScheduleOutage(o.member, o.atSec, o.durationSec); err != nil {
+			return metrics.FederationScenarioResult{}, err
 		}
 	}
 	pm, err := workload.NewPoissonMix(sc.rates)
@@ -382,6 +398,60 @@ func FederationHeterogeneous(scale Scale) (*FederationFigure, error) {
 	}
 	return &FederationFigure{
 		Title: "Federation heterogeneous: 2 big + 2 small clusters (60% nominal load, WAN input penalty)",
+		Rows:  rows,
+	}, nil
+}
+
+// FederationOutage stresses every routing policy with cluster-level
+// outages on a 4-member federation at 70% nominal load: member 0 goes
+// dark for ~12% of the arrival window early in the run and member 1 for
+// ~8% later. During an outage the dispatcher routes around the dark
+// member (its in-flight tasks re-execute after recovery, jobs already
+// buffered on it wait), so the policy ranking measures how gracefully
+// each one absorbs a 25%-capacity loss: backlog- and load-aware policies
+// should spread the refugee traffic, while Random/RoundRobin merely
+// shrink their rotation, and DataLocal pays WAN fetches for every job
+// whose home is dark.
+func FederationOutage(scale Scale) (*FederationFigure, error) {
+	if err := scale.validate(); err != nil {
+		return nil, err
+	}
+	const clusters = 4
+	members := homogeneousMembers(clusters)
+	variants, rates, err := fedWorkload(scale, clusters, 0.7)
+	if err != nil {
+		return nil, err
+	}
+	scaled := scaleRates(rates, capacityFactor(members))
+	// Outage windows sized relative to the expected arrival span, so the
+	// stressor scales with -jobs.
+	var totalRate float64
+	for _, r := range scaled {
+		totalRate += r
+	}
+	span := float64(scale.Jobs) / totalRate
+	outages := []memberOutage{
+		{member: 0, atSec: 0.25 * span, durationSec: 0.12 * span},
+		{member: 1, atSec: 0.60 * span, durationSec: 0.08 * span},
+	}
+	var scs []fedScenario
+	for _, p := range federationPolicySet() {
+		scs = append(scs, fedScenario{
+			name:     p.name + "/outage",
+			members:  members,
+			policy:   p,
+			rates:    scaled,
+			variants: variants,
+			scale:    scale,
+			outages:  outages,
+		})
+	}
+	rows, err := runFedScenarios(scs)
+	if err != nil {
+		return nil, err
+	}
+	return &FederationFigure{
+		Title: "Federation outage: 4 clusters, member 0 then member 1 dark (routing-policy stressor)",
 		Rows:  rows,
 	}, nil
 }

@@ -103,7 +103,18 @@ type Member struct {
 	Scheduler *core.Scheduler
 	// FS is the member's dfs; nil when the federation has no data model.
 	FS *dfs.FS
+	// down marks a cluster-level outage: the dispatcher stops routing to
+	// this member and all its nodes are failed (see SetMemberDown).
+	down bool
+	// outageFailed marks the nodes the outage itself took down, so
+	// recovery repairs exactly those and composes with node-level churn
+	// injectors running on the same member.
+	outageFailed []bool
 }
+
+// Available reports whether the member is currently routable (not in a
+// cluster-level outage).
+func (m *Member) Available() bool { return !m.down }
 
 // Backlog returns the number of jobs that would precede a new class-k
 // arrival on this member: buffered jobs of class >= k (higher classes
@@ -141,7 +152,17 @@ type Federation struct {
 	// home maps registered job templates to their data-home member.
 	home   map[*engine.Job]int
 	routed []int
+	// downMembers counts members in a cluster-level outage; avail is the
+	// scratch slice dispatch filters into while any member is down.
+	downMembers int
+	avail       []*Member
+	// outages records the per-member windows ScheduleOutage has planned,
+	// so overlapping plans are rejected up front.
+	outages map[int][]outageWindow
 }
+
+// outageWindow is one planned [at, end) outage of a member.
+type outageWindow struct{ at, end float64 }
 
 // New builds a federation: one shared simulation clock, one full DiAS
 // stack per member spec, and the dispatcher in front.
@@ -150,10 +171,11 @@ func New(cfg Config) (*Federation, error) {
 		return nil, err
 	}
 	f := &Federation{
-		cfg:    cfg,
-		sim:    simtime.New(),
-		home:   make(map[*engine.Job]int),
-		routed: make([]int, len(cfg.Members)),
+		cfg:     cfg,
+		sim:     simtime.New(),
+		home:    make(map[*engine.Job]int),
+		routed:  make([]int, len(cfg.Members)),
+		outages: make(map[int][]outageWindow),
 	}
 	for i, spec := range cfg.Members {
 		name := spec.Name
@@ -277,23 +299,135 @@ func (f *Federation) RegisterInput(job *engine.Job, home int) error {
 	return nil
 }
 
-// dispatch routes one arrival at the current virtual time.
+// dispatch routes one arrival at the current virtual time. While any
+// member is in an outage the routing policy sees only the available
+// members (with the arrival's data home remapped into that view); if the
+// whole federation is down, arrivals queue on their nominal targets as if
+// every member were up.
 func (f *Federation) dispatch(class int, job *engine.Job) {
-	arr := Arrival{Class: class, Job: job, Home: -1}
+	home := -1
 	if h, ok := f.home[job]; ok {
-		arr.Home = h
+		home = h
 	}
-	i := f.cfg.Routing.Route(arr, f.members)
-	if i < 0 || i >= len(f.members) {
+	candidates := f.members
+	if f.downMembers > 0 {
+		f.avail = f.avail[:0]
+		for _, m := range f.members {
+			if !m.down {
+				f.avail = append(f.avail, m)
+			}
+		}
+		if len(f.avail) > 0 {
+			candidates = f.avail
+		}
+	}
+	arr := Arrival{Class: class, Job: job, Home: -1}
+	switch {
+	case home < 0:
+		// No registered data home: nothing to remap.
+	case f.downMembers == 0:
+		// All members up: candidate position i is member Index i.
+		arr.Home = home
+	default:
+		for i, m := range candidates {
+			if m.Index == home {
+				arr.Home = i
+				break
+			}
+		}
+	}
+	i := f.cfg.Routing.Route(arr, candidates)
+	if i < 0 || i >= len(candidates) {
 		panic(fmt.Sprintf("federation: policy %s routed to member %d of %d",
-			f.cfg.Routing.Name(), i, len(f.members)))
+			f.cfg.Routing.Name(), i, len(candidates)))
 	}
-	f.routed[i]++
+	m := candidates[i]
+	f.routed[m.Index]++
 	// Arrival errors are programming errors (bad class/job); surface them
 	// loudly rather than silently dropping workload, like dias.Stack.
-	if err := f.members[i].Scheduler.Arrive(class, job); err != nil {
-		panic(fmt.Sprintf("federation: arrival on %s failed: %v", f.members[i].Name, err))
+	if err := m.Scheduler.Arrive(class, job); err != nil {
+		panic(fmt.Sprintf("federation: arrival on %s failed: %v", m.Name, err))
 	}
+}
+
+// SetMemberDown starts (down = true) or ends a cluster-level outage of
+// member i. An outage removes the member from routing and fails every up
+// node of its cluster, re-queueing in-flight tasks for re-execution after
+// recovery; jobs already buffered on the member wait out the outage.
+// Recovery restores routing eligibility and repairs exactly the nodes the
+// outage took down (nodes a node-level churn injector holds down stay
+// down, and their pending repairs proceed independently — the two
+// injection layers compose). Setting the state the member is already in
+// is an error.
+func (f *Federation) SetMemberDown(i int, down bool) error {
+	if i < 0 || i >= len(f.members) {
+		return fmt.Errorf("federation: member %d of %d", i, len(f.members))
+	}
+	m := f.members[i]
+	if m.down == down {
+		return fmt.Errorf("federation: member %s already down=%v", m.Name, down)
+	}
+	m.down = down
+	nodes := m.Cluster.Config().Nodes
+	if down {
+		f.downMembers++
+		if m.outageFailed == nil {
+			m.outageFailed = make([]bool, nodes)
+		}
+		for n := 0; n < nodes; n++ {
+			if !m.Cluster.NodeDown(n) {
+				if err := m.Engine.FailNode(n); err != nil {
+					return fmt.Errorf("federation: failing %s node %d: %w", m.Name, n, err)
+				}
+				m.outageFailed[n] = true
+			}
+		}
+		return nil
+	}
+	f.downMembers--
+	for n := 0; n < nodes; n++ {
+		if m.outageFailed != nil && m.outageFailed[n] {
+			m.outageFailed[n] = false
+			if !m.Cluster.NodeDown(n) {
+				continue // someone else repaired it meanwhile
+			}
+			if err := m.Engine.RepairNode(n); err != nil {
+				return fmt.Errorf("federation: repairing %s node %d: %w", m.Name, n, err)
+			}
+		}
+	}
+	return nil
+}
+
+// ScheduleOutage plans a cluster-level outage of a member on the virtual
+// timeline: at atSec the member goes down, durationSec later it recovers.
+// Overlapping outages of one member are rejected at scheduling time.
+func (f *Federation) ScheduleOutage(member int, atSec, durationSec float64) error {
+	if member < 0 || member >= len(f.members) {
+		return fmt.Errorf("federation: outage member %d of %d", member, len(f.members))
+	}
+	if atSec < 0 || durationSec <= 0 {
+		return fmt.Errorf("federation: outage at %g for %g", atSec, durationSec)
+	}
+	win := outageWindow{at: atSec, end: atSec + durationSec}
+	for _, o := range f.outages[member] {
+		if win.at < o.end && o.at < win.end {
+			return fmt.Errorf("federation: outage of member %d at %g overlaps one at %g",
+				member, atSec, o.at)
+		}
+	}
+	f.outages[member] = append(f.outages[member], win)
+	f.sim.At(simtime.Time(atSec), func() {
+		if err := f.SetMemberDown(member, true); err != nil {
+			panic(fmt.Sprintf("federation: outage start: %v", err))
+		}
+	})
+	f.sim.At(simtime.Time(win.end), func() {
+		if err := f.SetMemberDown(member, false); err != nil {
+			panic(fmt.Sprintf("federation: outage end: %v", err))
+		}
+	})
+	return nil
 }
 
 // SubmitAt schedules a job arrival at virtual time t seconds; the routing

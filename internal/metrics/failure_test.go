@@ -1,0 +1,50 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+
+	"dias/internal/core"
+)
+
+func TestAccumulatorSeparatesFailedJobs(t *testing.T) {
+	rs := []core.JobRecord{
+		{Class: 0, ResponseSec: 100, Retries: 1},
+		{Class: 0, ResponseSec: 9999, Retries: 3, Failed: true},
+		{Class: 0, ResponseSec: 200},
+		{Class: 1, ResponseSec: 50, Failed: true},
+	}
+	cs := Aggregate(rs, 2, 0)
+	if cs[0].Jobs != 2 || cs[0].FailedJobs != 1 {
+		t.Fatalf("class0 jobs/failed = %d/%d, want 2/1", cs[0].Jobs, cs[0].FailedJobs)
+	}
+	// The failed job's 9999 s abort must not contaminate the mean.
+	if cs[0].MeanResponseSec != 150 {
+		t.Fatalf("class0 mean = %g, want 150", cs[0].MeanResponseSec)
+	}
+	// Retries count across completed and failed jobs.
+	if cs[0].TaskRetries != 4 {
+		t.Fatalf("class0 retries = %d, want 4", cs[0].TaskRetries)
+	}
+	if cs[1].Jobs != 0 || cs[1].FailedJobs != 1 {
+		t.Fatalf("class1 jobs/failed = %d/%d, want 0/1", cs[1].Jobs, cs[1].FailedJobs)
+	}
+}
+
+func TestFormatFaultTable(t *testing.T) {
+	res := ScenarioResult{
+		Name: "DiAS-churn",
+		PerClass: []ClassStats{
+			{Class: 0, Jobs: 90, MeanResponseSec: 120, P95ResponseSec: 300, FailedJobs: 2, TaskRetries: 11},
+			{Class: 1, Jobs: 10, MeanResponseSec: 40, P95ResponseSec: 80},
+		},
+		FailureWastePct:  3.5,
+		MeanPoweredNodes: 7.2,
+	}
+	out := FormatFaultTable(res)
+	for _, want := range []string{"DiAS-churn", "Failed", "3.5%", "7.2", "11"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -21,6 +21,13 @@ type ClassStats struct {
 	Evictions int
 	// MeanEffectiveDrop averages the realised drop ratios.
 	MeanEffectiveDrop float64
+	// FailedJobs counts jobs reported failed with retries exhausted; their
+	// latencies are excluded from the statistics above (Jobs counts only
+	// completions).
+	FailedJobs int
+	// TaskRetries sums the failure-aborted task attempts re-executed by
+	// this class's jobs, completed and failed alike.
+	TaskRetries int
 }
 
 // ScenarioResult is one policy's outcome on a workload.
@@ -31,10 +38,21 @@ type ScenarioResult struct {
 	// ResourceWastePct is machine time spent on evicted attempts over all
 	// machine time spent processing, in percent.
 	ResourceWastePct float64
+	// FailureWastePct is machine time destroyed by failures (aborted task
+	// attempts and failed jobs) over all machine time, in percent.
+	FailureWastePct float64
+	// FailedJobs counts jobs that exhausted their retry budget;
+	// TasksRetried counts failure-aborted attempts that re-executed.
+	FailedJobs   int
+	TasksRetried int
 	// EnergyJoules is total cluster energy over the run.
 	EnergyJoules float64
 	// MakespanSec is the virtual time to drain the workload.
 	MakespanSec float64
+	// MeanPoweredNodes is the time-average powered-node count — below the
+	// provisioned size when an elastic controller scales capacity in (zero
+	// when the driver does not record it).
+	MeanPoweredNodes float64
 }
 
 // clampWarmup normalizes a warmup fraction into [0, 0.9].
@@ -94,6 +112,13 @@ func (a *Accumulator) Add(r core.JobRecord) {
 		return
 	}
 	k := r.Class
+	a.out[k].TaskRetries += r.Retries
+	if r.Failed {
+		// A failed job's "response" measures an abort, not a service; keep
+		// it out of the latency statistics but account the failure.
+		a.out[k].FailedJobs++
+		return
+	}
 	a.out[k].Jobs++
 	a.out[k].Evictions += r.Evictions
 	a.samples[k].Add(r.ResponseSec)
@@ -204,6 +229,60 @@ func FormatComparisonTable(baseline ScenarioResult, others ...ScenarioResult) st
 		for k := classes - 1; k >= 0; k-- {
 			fmt.Fprintf(&b, "  %-7s mean %+8.1f%%   p95 %+8.1f%%\n",
 				classLabel(k, classes), c.MeanDiffPct[k], c.TailDiffPct[k])
+		}
+	}
+	return b.String()
+}
+
+// FormatFaultTable renders scenarios along the failure and capacity axes:
+// per-class response statistics next to failed-job counts, task retries,
+// failure waste and the time-average powered-node count — the columns the
+// fault-tolerance and elasticity figures compare.
+func FormatFaultTable(results ...ScenarioResult) string {
+	var b strings.Builder
+	b.WriteString("Scenario                  Class     Mean [s]     P95 [s]   Jobs  Failed  Retries  FailWaste  AvgNodes\n")
+	for _, r := range results {
+		classes := len(r.PerClass)
+		for k := classes - 1; k >= 0; k-- {
+			cs := r.PerClass[k]
+			name := ""
+			if k == classes-1 {
+				name = r.Name
+			}
+			fmt.Fprintf(&b, "%-25s %-7s %10.2f  %10.2f  %5d  %6d  %7d",
+				name, classLabel(k, classes), cs.MeanResponseSec, cs.P95ResponseSec,
+				cs.Jobs, cs.FailedJobs, cs.TaskRetries)
+			if k == classes-1 {
+				fmt.Fprintf(&b, "  %8.1f%%  %8.1f", r.FailureWastePct, r.MeanPoweredNodes)
+			}
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
+}
+
+// FormatElasticityTable renders the elastic-capacity comparison: per-class
+// response next to the capacity actually paid for (time-average powered
+// nodes) and the energy bill, the latency/cost frontier an autoscaler
+// trades along.
+func FormatElasticityTable(results ...ScenarioResult) string {
+	var b strings.Builder
+	b.WriteString("Scenario            Class     Mean [s]     P95 [s]   Jobs   AvgNodes  Energy [MJ]  Makespan [s]\n")
+	for _, r := range results {
+		classes := len(r.PerClass)
+		for k := classes - 1; k >= 0; k-- {
+			cs := r.PerClass[k]
+			name := ""
+			if k == classes-1 {
+				name = r.Name
+			}
+			fmt.Fprintf(&b, "%-19s %-7s %10.2f  %10.2f  %5d",
+				name, classLabel(k, classes), cs.MeanResponseSec, cs.P95ResponseSec, cs.Jobs)
+			if k == classes-1 {
+				fmt.Fprintf(&b, "   %8.1f  %11.2f  %12.1f",
+					r.MeanPoweredNodes, r.EnergyJoules/1e6, r.MakespanSec)
+			}
+			b.WriteString("\n")
 		}
 	}
 	return b.String()

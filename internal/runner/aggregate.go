@@ -67,6 +67,13 @@ type Summary struct {
 	ResourceWastePct Estimate       `json:"resource_waste_pct"`
 	EnergyJoules     Estimate       `json:"energy_joules"`
 	MakespanSec      Estimate       `json:"makespan_sec"`
+	// Failure and elasticity columns (zero for healthy fixed-size runs);
+	// carried into BENCH_results.json so the bench-regression gate covers
+	// them.
+	FailureWastePct  Estimate `json:"failure_waste_pct"`
+	FailedJobs       Estimate `json:"failed_jobs"`
+	TasksRetried     Estimate `json:"tasks_retried"`
+	MeanPoweredNodes Estimate `json:"mean_powered_nodes"`
 }
 
 // Summarize aggregates per-seed replicates of one scenario into mean/CI
@@ -99,6 +106,10 @@ func Summarize(seeds []int64, reps []metrics.ScenarioResult) (Summary, error) {
 		ResourceWastePct: pick(func(r metrics.ScenarioResult) float64 { return r.ResourceWastePct }),
 		EnergyJoules:     pick(func(r metrics.ScenarioResult) float64 { return r.EnergyJoules }),
 		MakespanSec:      pick(func(r metrics.ScenarioResult) float64 { return r.MakespanSec }),
+		FailureWastePct:  pick(func(r metrics.ScenarioResult) float64 { return r.FailureWastePct }),
+		FailedJobs:       pick(func(r metrics.ScenarioResult) float64 { return float64(r.FailedJobs) }),
+		TasksRetried:     pick(func(r metrics.ScenarioResult) float64 { return float64(r.TasksRetried) }),
+		MeanPoweredNodes: pick(func(r metrics.ScenarioResult) float64 { return r.MeanPoweredNodes }),
 	}
 	for k := 0; k < classes; k++ {
 		k := k

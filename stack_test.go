@@ -5,8 +5,10 @@ import (
 
 	"dias"
 	"dias/internal/analytics"
+	"dias/internal/cluster"
 	"dias/internal/core"
 	"dias/internal/engine"
+	"dias/internal/faults"
 	"dias/internal/workload"
 )
 
@@ -86,5 +88,59 @@ func TestStackInjectFailures(t *testing.T) {
 	// Bad config surfaces.
 	if stack.InjectFailures(engine.FailureConfig{}) == nil {
 		t.Fatal("zero config accepted")
+	}
+}
+
+func TestStackFaultsAndAutoscale(t *testing.T) {
+	cluCfg := cluster.DefaultConfig()
+	cluCfg.Nodes = 12
+	stack, err := dias.NewStack(dias.StackConfig{
+		Cluster: cluCfg,
+		Policy:  core.PolicyDA([]float64{0.2, 0}),
+		Faults: &faults.Config{
+			Churn: &faults.ChurnConfig{MTTFSec: 400, MTTRSec: 40, HorizonSec: 2000},
+			Tasks: &faults.TaskFaultConfig{FailProb: 0.1, MaxAttempts: 3},
+			Seed:  3,
+		},
+		Autoscale: &core.AutoscalerConfig{
+			Policy:       core.BacklogScalePolicy{ScaleOutAbove: 2, ScaleInBelow: 1, Step: 2},
+			MinNodes:     4,
+			MaxNodes:     12,
+			InitialNodes: 6,
+			IntervalSec:  20,
+			HorizonSec:   2000,
+		},
+		Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stack.Faults == nil || stack.Autoscaler == nil {
+		t.Fatal("facade did not arm the injector/autoscaler")
+	}
+	mix, err := workload.NewPoissonMix([]float64{0.05, 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stack.SubmitStream(mix, workload.FixedJobs(stackJobs(t)), 40, 7); err != nil {
+		t.Fatal(err)
+	}
+	stack.Run()
+	recs := stack.Records()
+	if len(recs) != 40 {
+		t.Fatalf("conservation: %d records, want 40 (completed or failed)", len(recs))
+	}
+	if stack.Faults.TaskFailuresInjected() == 0 && stack.Faults.NodeFailures() == 0 {
+		t.Fatal("no faults injected; test is vacuous")
+	}
+	if got := stack.Cluster.CommissionedNodes(); got < 4 || got > 12 {
+		t.Fatalf("commissioned nodes %d outside autoscaler bounds", got)
+	}
+	// A bad fault plan must fail construction loudly.
+	if _, err := dias.NewStack(dias.StackConfig{
+		Policy: core.PolicyNP(1),
+		Faults: &faults.Config{Tasks: &faults.TaskFaultConfig{FailProb: 0.5}},
+	}); err == nil {
+		t.Fatal("invalid fault plan accepted")
 	}
 }
