@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short test-race bench bench-smoke bench-baseline bench-check determinism staticcheck fmt fmt-check vet experiments
+.PHONY: build test test-short test-race bench bench-smoke bench-baseline bench-check determinism profile staticcheck fmt fmt-check vet experiments
 
 # The reduced figure set and scale the smoke/baseline/gate pipeline runs.
 # Changing it requires regenerating the committed baseline (bench-baseline).
@@ -36,7 +36,7 @@ bench:
 # No pipe here: /bin/sh has no pipefail, and `... | tee` would mask a
 # failing benchmark behind tee's exit status.
 bench-smoke:
-	$(GO) test -short -run '^$$' -bench 'BenchmarkFigureSetRunner|BenchmarkKernelChurn|BenchmarkDispatcherRouting' -benchmem . > bench_smoke.txt
+	$(GO) test -short -run '^$$' -bench 'BenchmarkFigureSetRunner|BenchmarkKernelChurn|BenchmarkDispatcherRouting|BenchmarkFederationChurnRouting' -benchmem . > bench_smoke.txt
 	cat bench_smoke.txt
 	$(GO) run ./cmd/dias-experiments $(BENCH_SMOKE_ARGS) -bench-out BENCH_results.json > /dev/null
 
@@ -54,6 +54,14 @@ bench-baseline:
 BENCH_CHECK_FLAGS ?=
 bench-check:
 	$(GO) run ./cmd/bench-check -baseline docs/bench-baseline.json -candidate BENCH_results.json $(BENCH_CHECK_FLAGS)
+
+# Capture CPU and heap profiles from the figure-set benchmark (the
+# profiles land in cpu.prof/mem.prof, gitignored). Inspect with
+#   go tool pprof cpu.prof   /   go tool pprof mem.prof
+# See docs/BENCHMARKING.md for the profiling workflow.
+profile:
+	$(GO) test -short -run '^$$' -bench BenchmarkFigureSetRunner -benchmem -cpuprofile cpu.prof -memprofile mem.prof .
+	@echo "wrote cpu.prof and mem.prof; inspect with: go tool pprof cpu.prof"
 
 # The CI determinism lane: a reduced figure run twice, -workers 1 vs
 # -workers 8, diffed byte for byte — the worker-count invariance guarantee

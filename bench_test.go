@@ -161,6 +161,109 @@ func BenchmarkDispatcherRouting(b *testing.B) {
 	}
 }
 
+// BenchmarkFederationChurnRouting measures the routing hot path while
+// the federation churns underneath it: member-level outages flip the
+// dispatcher onto its filtered-candidate scan path, and elastic
+// commission/decommission of nodes exercises the power/occupancy index
+// updates. Every policy must stay allocation-free through both the heap
+// fast path and the outage fallback — asserted up front, not just
+// reported.
+func BenchmarkFederationChurnRouting(b *testing.B) {
+	fed, err := dias.NewFederation(dias.FederationConfig{
+		Clusters: make([]cluster.Config, 8),
+		Policy:   core.PolicyNP(2),
+		Seed:     1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	members := fed.Members()
+	input := make(engine.Dataset, 8)
+	for p := range input {
+		input[p] = engine.Partition{{Key: "k", Value: 1.0}}
+	}
+	job := &engine.Job{
+		Name:      "churn-route",
+		Input:     input,
+		SizeBytes: 1 << 20,
+		Stages: []engine.Stage{
+			{Name: "map", Kind: engine.ShuffleMap, OutPartitions: 4},
+			{Name: "out", Kind: engine.Result, Deps: []int{0}},
+		},
+	}
+	for i, m := range members {
+		for j := 0; j < 1+i%3; j++ {
+			if err := m.Scheduler.Arrive(j%2, job); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	arr := federation.Arrival{Class: 1, Job: job, Home: 3}
+	// churn flips one member in and out of an outage and one node in and
+	// out of service, refreshing the filtered candidate set the way the
+	// dispatcher would.
+	down := false
+	avail := make([]*federation.Member, 0, len(members))
+	churn := func() []*federation.Member {
+		if down {
+			if err := fed.SetMemberDown(2, false); err != nil {
+				b.Fatal(err)
+			}
+			if err := members[5].Engine.CommissionNode(0); err != nil {
+				b.Fatal(err)
+			}
+		} else {
+			if err := fed.SetMemberDown(2, true); err != nil {
+				b.Fatal(err)
+			}
+			if err := members[5].Engine.DecommissionNode(0); err != nil {
+				b.Fatal(err)
+			}
+		}
+		down = !down
+		avail = avail[:0]
+		for _, m := range members {
+			if m.Available() {
+				avail = append(avail, m)
+			}
+		}
+		return avail
+	}
+	policies := []federation.RoutingPolicy{
+		federation.NewRandom(1),
+		federation.NewRoundRobin(),
+		federation.NewJoinShortestQueue(),
+		federation.NewLeastLoaded(),
+		federation.NewSprintAware(),
+		federation.NewDataLocal(4),
+	}
+	for _, p := range policies {
+		b.Run(p.Name(), func(b *testing.B) {
+			b.ReportAllocs()
+			// Hard zero-alloc assertion on both routing paths before timing.
+			candidates := churn() // member 2 down: fallback scan path
+			if a := testing.AllocsPerRun(100, func() { p.Route(arr, candidates) }); a != 0 {
+				b.Fatalf("%s makes %.0f allocations per route during outage", p.Name(), a)
+			}
+			churn() // member 2 back up: heap fast path
+			if a := testing.AllocsPerRun(100, func() { p.Route(arr, members) }); a != 0 {
+				b.Fatalf("%s makes %.0f allocations per route on the fast path", p.Name(), a)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for batch := 0; batch < 4; batch++ {
+					cands := churn()
+					for j := 0; j < 2500; j++ {
+						if idx := p.Route(arr, cands); idx < 0 || idx >= len(cands) {
+							b.Fatalf("routed out of range: %d", idx)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkFigure4(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.Figure4(benchScale()); err != nil {

@@ -1,0 +1,114 @@
+package cluster
+
+import (
+	"testing"
+
+	"dias/internal/simtime"
+)
+
+// TestOccupancyObserver checks that every acquire and release pushes the
+// new busy-slot count, matching the polled getter at each step.
+func TestOccupancyObserver(t *testing.T) {
+	sim := simtime.New()
+	cfg := DefaultConfig()
+	cfg.Nodes, cfg.CoresPerNode = 2, 2
+	c, err := New(sim, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log []int
+	c.OnOccupancyChange(func(busySlots int) {
+		log = append(log, busySlots)
+		if busySlots != c.BusySlots() {
+			t.Errorf("observer saw %d busy slots, getter says %d", busySlots, c.BusySlots())
+		}
+	})
+	var held []*Slot
+	for i := 0; i < 3; i++ {
+		s, ok := c.Acquire()
+		if !ok {
+			t.Fatalf("acquire %d failed", i)
+		}
+		held = append(held, s)
+	}
+	s, ok := c.AcquireMatching(func(node int) bool { return node == 1 })
+	if !ok {
+		t.Fatal("matching acquire failed")
+	}
+	held = append(held, s)
+	for _, s := range held {
+		c.Release(s)
+	}
+	want := []int{1, 2, 3, 4, 3, 2, 1, 0}
+	if len(log) != len(want) {
+		t.Fatalf("observer fired %d times, want %d", len(log), len(want))
+	}
+	for i := range want {
+		if log[i] != want[i] {
+			t.Fatalf("occupancy[%d] = %d, want %d", i, log[i], want[i])
+		}
+	}
+}
+
+// TestPowerObserver checks that failures, repairs, decommissions,
+// commissions and drain completions each push the new powered-node
+// count.
+func TestPowerObserver(t *testing.T) {
+	sim := simtime.New()
+	cfg := DefaultConfig()
+	cfg.Nodes, cfg.CoresPerNode = 3, 1
+	c, err := New(sim, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log []int
+	c.OnPowerChange(func(poweredNodes int) {
+		log = append(log, poweredNodes)
+		if poweredNodes != c.PoweredNodes() {
+			t.Errorf("observer saw %d powered nodes, getter says %d", poweredNodes, c.PoweredNodes())
+		}
+	})
+	if err := c.FailNode(0); err != nil { // 3 -> 2
+		t.Fatal(err)
+	}
+	if err := c.RepairNode(0); err != nil { // 2 -> 3
+		t.Fatal(err)
+	}
+	// Occupy node 2's only slot, then decommission it: it keeps drawing
+	// power until the drain completes at Release.
+	var slot *Slot
+	var others []*Slot
+	for {
+		s, ok := c.Acquire()
+		if !ok {
+			t.Fatal("no slot on node 2")
+		}
+		if s.Node == 2 {
+			slot = s
+			break
+		}
+		others = append(others, s)
+	}
+	for _, s := range others {
+		c.Release(s)
+	}
+	if err := c.Decommission(2); err != nil { // still draining: no change
+		t.Fatal(err)
+	}
+	c.Release(slot)                         // drain complete: 3 -> 2
+	if err := c.Commission(2); err != nil { // 2 -> 3
+		t.Fatal(err)
+	}
+	if err := c.Decommission(1); err != nil { // idle: powers off now, 3 -> 2
+		t.Fatal(err)
+	}
+	want := []int{2, 3, 2, 3, 2}
+	if len(log) != len(want) {
+		t.Fatalf("observer fired %d times, want %d: %v", len(log), len(want), log)
+	}
+	for i := range want {
+		if log[i] != want[i] {
+			t.Fatalf("powered[%d] = %d, want %d", i, log[i], want[i])
+		}
+	}
+}

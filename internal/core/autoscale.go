@@ -179,6 +179,11 @@ type Autoscaler struct {
 	events    []ScaleEvent
 	scaleOuts int
 	scaleIns  int
+
+	// tickFn is the pre-bound tick callback: the self-re-arming loop
+	// schedules it for the lifetime of the run without allocating a
+	// method-value closure per tick.
+	tickFn func()
 }
 
 // NewAutoscaler validates the config, sets the initial commissioned count
@@ -234,7 +239,8 @@ func NewAutoscaler(sim *simtime.Simulation, clu *cluster.Cluster, eng *engine.En
 			return nil, fmt.Errorf("core: parking node %d: %w", n, err)
 		}
 	}
-	sim.After(simtime.Duration(cfg.IntervalSec), a.tick)
+	a.tickFn = a.tick
+	sim.After(simtime.Duration(cfg.IntervalSec), a.tickFn)
 	return a, nil
 }
 
@@ -284,7 +290,7 @@ func (a *Autoscaler) tick() {
 		a.apply(sig.CommissionedNodes, target, sig.QueuedJobs)
 	}
 	if next := now.Add(simtime.Duration(a.cfg.IntervalSec)); next.Seconds() <= a.cfg.HorizonSec {
-		a.sim.At(next, a.tick)
+		a.sim.At(next, a.tickFn)
 	}
 }
 

@@ -119,6 +119,31 @@ func (c Config) validate() error {
 	return nil
 }
 
+// StateObserver receives O(1) notifications at the scheduler's queue and
+// occupancy transitions: job buffered (arrival or eviction re-queue), job
+// unbuffered (dispatch), and engine occupancy flips. It is the push
+// counterpart of the polled getters (QueuedJobsInClass, Busy), letting a
+// front-end — the federation's LoadIndex — maintain routing state
+// incrementally instead of rescanning every buffer per arrival.
+// Callbacks run in simulation context and must not call back into the
+// scheduler or allocate.
+type StateObserver interface {
+	// JobQueued reports a class-k job entering a buffer (arrival, or an
+	// evicted job returning to the head of its buffer).
+	JobQueued(class int)
+	// JobDequeued reports the head-of-buffer class-k job leaving for the
+	// engine (or being dropped on an invalid submission).
+	JobDequeued(class int)
+	// BusyChanged reports the engine occupancy flipping: true when a job
+	// is dispatched, false when it completes or is evicted.
+	BusyChanged(busy bool)
+}
+
+// SetObserver installs the state observer. Attach it before the first
+// arrival: the observer sees transitions only, not pre-existing state.
+// A nil observer detaches.
+func (s *Scheduler) SetObserver(obs StateObserver) { s.obs = obs }
+
 // Deflator decides per-stage drop ratios at dispatch time and observes
 // completions, enabling closed-loop approximation control. The static
 // policy (Config.DropRatios) covers the paper's experiments; see
@@ -192,7 +217,10 @@ type JobRecord struct {
 	Output []engine.Record
 }
 
-// entry is a buffered or running job.
+// entry is a buffered or running job. Entries are pooled on the
+// scheduler's freelist: each struct carries a completion closure bound
+// once at allocation and reused across all the jobs it represents, so
+// steady-state arrivals perform no entry or closure allocation.
 type entry struct {
 	class        int
 	job          *engine.Job
@@ -200,6 +228,10 @@ type entry struct {
 	dispatchedAt simtime.Time
 	evictions    int
 	engineID     engine.JobID
+
+	// completeFn is the pre-bound s.onComplete(en, res) callback handed to
+	// the engine for every job this entry struct carries.
+	completeFn func(engine.JobResult)
 }
 
 // Scheduler is the DiAS runtime: deflator + buffers + sprinter driving one
@@ -212,6 +244,12 @@ type Scheduler struct {
 
 	buffers []ring.Deque[*entry]
 	current *entry
+	// entryFree recycles entry structs (and their pre-bound completion
+	// closures) across jobs.
+	entryFree []*entry
+	// obs, when non-nil, receives queue/occupancy transitions (see
+	// StateObserver).
+	obs StateObserver
 
 	records []JobRecord
 
@@ -259,9 +297,12 @@ func (s *Scheduler) Arrive(class int, job *engine.Job) error {
 	if job == nil {
 		return errors.New("core: nil job")
 	}
-	en := &entry{class: class, job: job, arrivedAt: s.sim.Now()}
+	en := s.newEntry(class, job)
 	s.trace(trace.Arrival, en, "")
 	s.buffers[class].PushBack(en)
+	if s.obs != nil {
+		s.obs.JobQueued(class)
+	}
 	if s.current == nil {
 		s.dispatchNext()
 		return nil
@@ -287,6 +328,34 @@ func (s *Scheduler) evictCurrent() {
 	victim.evictions++
 	s.trace(trace.Evict, victim, "")
 	s.buffers[victim.class].PushFront(victim)
+	if s.obs != nil {
+		s.obs.BusyChanged(false)
+		s.obs.JobQueued(victim.class)
+	}
+}
+
+// newEntry takes an entry off the freelist (or allocates one with its
+// completion closure bound) and initializes it for one arriving job.
+func (s *Scheduler) newEntry(class int, job *engine.Job) *entry {
+	var en *entry
+	if n := len(s.entryFree); n > 0 {
+		en = s.entryFree[n-1]
+		s.entryFree[n-1] = nil
+		s.entryFree = s.entryFree[:n-1]
+	} else {
+		en = &entry{}
+		en.completeFn = func(res engine.JobResult) { s.onComplete(en, res) }
+	}
+	en.class, en.job, en.arrivedAt = class, job, s.sim.Now()
+	en.dispatchedAt, en.evictions, en.engineID = 0, 0, 0
+	return en
+}
+
+// freeEntry returns a completed entry to the freelist. Callers must have
+// dropped every reference to it first.
+func (s *Scheduler) freeEntry(en *entry) {
+	en.job = nil
+	s.entryFree = append(s.entryFree, en)
 }
 
 // trace records a scheduler event when tracing is enabled.
@@ -317,6 +386,9 @@ func (s *Scheduler) dispatchNext() {
 	if next == nil {
 		return
 	}
+	if s.obs != nil {
+		s.obs.JobDequeued(next.class)
+	}
 	next.dispatchedAt = s.sim.Now()
 	var drops []float64
 	switch {
@@ -327,23 +399,30 @@ func (s *Scheduler) dispatchNext() {
 	}
 	id, err := s.eng.Submit(next.job, engine.SubmitOptions{
 		DropRatios: drops,
-		OnComplete: func(res engine.JobResult) { s.onComplete(next, res) },
+		OnComplete: next.completeFn,
 	})
 	if err != nil {
 		// Invalid job: drop it rather than wedging the queue. Validation
 		// happens at submission time in experiments, so this is defensive.
+		s.freeEntry(next)
 		s.dispatchNext()
 		return
 	}
 	next.engineID = id
 	s.current = next
 	s.trace(trace.Dispatch, next, "")
+	if s.obs != nil {
+		s.obs.BusyChanged(true)
+	}
 	s.armSprinter(next)
 }
 
 func (s *Scheduler) onComplete(en *entry, res engine.JobResult) {
 	if s.current == en {
 		s.current = nil
+		if s.obs != nil {
+			s.obs.BusyChanged(false)
+		}
 	}
 	s.stopSprint()
 	s.trace(trace.Complete, en, "")
@@ -374,6 +453,7 @@ func (s *Scheduler) onComplete(en *entry, res engine.JobResult) {
 	if s.cfg.Deflator != nil {
 		s.cfg.Deflator.Observe(rec)
 	}
+	s.freeEntry(en)
 	s.dispatchNext()
 }
 

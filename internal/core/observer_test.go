@@ -1,0 +1,108 @@
+package core
+
+import (
+	"testing"
+
+	"dias/internal/simtime"
+)
+
+// countingObserver records every StateObserver callback in order.
+type countingObserver struct {
+	queued   []int
+	dequeued []int
+	busyLog  []bool
+}
+
+func (o *countingObserver) JobQueued(class int)   { o.queued = append(o.queued, class) }
+func (o *countingObserver) JobDequeued(class int) { o.dequeued = append(o.dequeued, class) }
+func (o *countingObserver) BusyChanged(busy bool) { o.busyLog = append(o.busyLog, busy) }
+
+// TestStateObserverCounts checks that queue and occupancy notifications
+// balance over a full run: every arrival is queued once, every queued job
+// is dequeued once, busy flips alternate, and the run ends idle.
+func TestStateObserverCounts(t *testing.T) {
+	r := newRig(t, 2, 1, PolicyNP(3))
+	obs := &countingObserver{}
+	r.sch.SetObserver(obs)
+	job := simpleJob("obs", 2)
+	arrivals := []int{0, 2, 1, 1, 0, 2}
+	for i, class := range arrivals {
+		class := class
+		r.sim.At(simtime.Time(float64(i)*0.3), func() {
+			if err := r.sch.Arrive(class, job); err != nil {
+				t.Errorf("arrive class %d: %v", class, err)
+			}
+		})
+	}
+	r.sim.Run()
+	if got, want := len(obs.queued), len(arrivals); got != want {
+		t.Fatalf("JobQueued fired %d times, want %d", got, want)
+	}
+	if got, want := len(obs.dequeued), len(arrivals); got != want {
+		t.Fatalf("JobDequeued fired %d times, want %d", got, want)
+	}
+	// Non-preemptive: queued classes arrive in submission order; dequeued
+	// classes follow priority order among what was buffered.
+	for i, class := range arrivals {
+		if obs.queued[i] != class {
+			t.Fatalf("JobQueued[%d] = %d, want %d", i, obs.queued[i], class)
+		}
+	}
+	if len(obs.busyLog)%2 != 0 {
+		t.Fatalf("busy transitions %d not paired", len(obs.busyLog))
+	}
+	for i, busy := range obs.busyLog {
+		if want := i%2 == 0; busy != want {
+			t.Fatalf("busy transition %d = %v, want %v", i, busy, want)
+		}
+	}
+	if r.sch.Busy() || r.sch.QueuedJobs() != 0 {
+		t.Fatalf("scheduler not drained: busy=%v queued=%d", r.sch.Busy(), r.sch.QueuedJobs())
+	}
+}
+
+// TestStateObserverEviction checks the preemptive path: an eviction
+// re-queues the victim (an extra JobQueued and a matching extra
+// JobDequeued when it re-dispatches) and flips occupancy around the
+// eviction.
+func TestStateObserverEviction(t *testing.T) {
+	r := newRig(t, 2, 5, PolicyP(2))
+	obs := &countingObserver{}
+	r.sch.SetObserver(obs)
+	low := simpleJob("low", 2)
+	high := simpleJob("high", 2)
+	r.sim.At(0, func() {
+		if err := r.sch.Arrive(0, low); err != nil {
+			t.Errorf("low arrive: %v", err)
+		}
+	})
+	// The high job lands mid-run of the low one and evicts it.
+	r.sim.At(2, func() {
+		if err := r.sch.Arrive(1, high); err != nil {
+			t.Errorf("high arrive: %v", err)
+		}
+	})
+	r.sim.Run()
+	if got := len(r.sch.Records()); got != 2 {
+		t.Fatalf("completed %d jobs, want 2", got)
+	}
+	// 2 arrivals + 1 eviction re-queue; each queued job dequeued once.
+	if got := len(obs.queued); got != 3 {
+		t.Fatalf("JobQueued fired %d times, want 3 (2 arrivals + 1 re-queue)", got)
+	}
+	if got := len(obs.dequeued); got != 3 {
+		t.Fatalf("JobDequeued fired %d times, want 3", got)
+	}
+	// Queued order: low arrival, high arrival, low re-queue.
+	want := []int{0, 1, 0}
+	for i, class := range want {
+		if obs.queued[i] != class {
+			t.Fatalf("JobQueued[%d] = %d, want %d", i, obs.queued[i], class)
+		}
+	}
+	// Occupancy: low on, eviction off, high on, high done off, low on,
+	// low done off.
+	if got := len(obs.busyLog); got != 6 {
+		t.Fatalf("busy transitions %d, want 6", got)
+	}
+}

@@ -5,7 +5,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"sort"
+	"slices"
 
 	"dias/internal/cluster"
 	"dias/internal/dfs"
@@ -195,6 +195,39 @@ func FindMissingPartitions(rng *rand.Rand, n int, theta float64) []int {
 	return idx
 }
 
+// findMissingPartitions is FindMissingPartitions on the engine's scratch
+// buffer: the RNG draw sequence and the selected set are bit-identical to
+// the rand.Perm-based selection, without the per-stage permutation
+// allocation. The returned slice aliases the scratch and is only valid
+// until the next call.
+func (e *Engine) findMissingPartitions(n int, theta float64) []int {
+	if theta < 0 {
+		theta = 0
+	}
+	if theta > 1 {
+		theta = 1
+	}
+	keep := int(math.Ceil(float64(n) * (1 - theta)))
+	if keep > n {
+		keep = n
+	}
+	perm := growSlice(e.permScratch, n)
+	e.permScratch = perm
+	// rand.Perm's exact inside-out shuffle — including the redundant i=0
+	// draw it keeps for Go 1 stream compatibility — so the Intn sequence
+	// and the selected set are bit-identical, on a reused buffer. (Stale
+	// scratch contents are harmless: iteration i reads only slots already
+	// written this call before overwriting slot i.)
+	for i := 0; i < n; i++ {
+		j := e.rng.Intn(i + 1)
+		perm[i] = perm[j]
+		perm[j] = i
+	}
+	selected := perm[:keep]
+	sortInts(selected)
+	return selected
+}
+
 func sortInts(xs []int) {
 	for i := 1; i < len(xs); i++ {
 		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
@@ -340,9 +373,10 @@ type execution struct {
 	stageStats    []StageStat
 	stageTaskSecs []float64 // summed wall task durations per stage
 	// stageDurations collects winner task durations for straggler
-	// detection; donePartitions dedupes speculative twins.
+	// detection; donePartitions[s][p] dedupes speculative twins (sized per
+	// stage at start, reused across lives).
 	stageDurations  [][]float64
-	donePartitions  []map[int]bool
+	donePartitions  [][]bool
 	specLaunched    int
 	pending         ring.Deque[*task] // this job's runnable tasks, FIFO
 	inputBlockCache []dfs.Block
@@ -402,8 +436,17 @@ type Engine struct {
 	spec      SpeculationConfig
 
 	// taskFree recycles task structs (and their pre-bound completion
-	// closures) across executions.
+	// closures) across executions; execFree recycles execution structs and
+	// their per-stage bookkeeping slices (shuffle buckets, durations,
+	// done-partition sets) the same way, so steady-state job churn
+	// performs no per-submission slice or map allocation beyond what
+	// escapes in the JobResult.
 	taskFree []*task
+	execFree []*execution
+	// permScratch backs the drop-selection permutation; abortScratch backs
+	// FailNode's per-node abort sweep.
+	permScratch  []int
+	abortScratch []*task
 	// jobSeen tracks submitted job templates; a second submission of the
 	// same *Job enables output memoization for its input-reading stages.
 	// Entries are deliberately never evicted (a template may be
@@ -486,6 +529,73 @@ func (e *Engine) freeTask(t *task) {
 	e.taskFree = append(e.taskFree, t)
 }
 
+// newExecution takes an execution off the freelist (or allocates one) and
+// initializes it for one submission. Per-stage bookkeeping slices are
+// reused from the struct's previous life; only what escapes through the
+// JobResult (Stages, and the Output accumulated later) is allocated
+// fresh.
+func (e *Engine) newExecution(job *Job, opts SubmitOptions) *execution {
+	var ex *execution
+	if n := len(e.execFree); n > 0 {
+		ex = e.execFree[n-1]
+		e.execFree[n-1] = nil
+		e.execFree = e.execFree[:n-1]
+	} else {
+		ex = &execution{}
+	}
+	e.nextID++
+	ns := len(job.Stages)
+	ex.id = e.nextID
+	ex.job, ex.opts = job, opts
+	ex.startedAt = e.sim.Now()
+	ex.outputs = growSlice(ex.outputs, ns)
+	ex.pendingTasks = resetSlice(ex.pendingTasks, ns)
+	ex.stageStarted = resetSlice(ex.stageStarted, ns)
+	ex.stageDone = resetSlice(ex.stageDone, ns)
+	ex.stageStats = make([]StageStat, ns) // escapes via JobResult.Stages
+	ex.stageTaskSecs = resetSlice(ex.stageTaskSecs, ns)
+	ex.stageDurations = growSlice(ex.stageDurations, ns)
+	for si := range ex.stageDurations {
+		ex.stageDurations[si] = ex.stageDurations[si][:0]
+	}
+	ex.donePartitions = growSlice(ex.donePartitions, ns)
+	ex.running = ex.running[:0]
+	ex.slotSeconds, ex.failureLostSec = 0, 0
+	ex.retries, ex.tasksTotal, ex.tasksExecuted, ex.tasksDropped = 0, 0, 0, 0
+	ex.launched, ex.specLaunched = 0, 0
+	ex.memoize, ex.done, ex.evicted = false, false, false
+	return ex
+}
+
+// freeExecution returns a finished execution to the freelist. The
+// reusable per-stage slices stay attached; everything that escaped
+// through the JobResult is dropped.
+func (e *Engine) freeExecution(ex *execution) {
+	ex.job = nil
+	ex.opts = SubmitOptions{}
+	ex.resultOut = nil  // escaped as JobResult.Output
+	ex.stageStats = nil // escaped as JobResult.Stages
+	ex.inputBlockCache = nil
+	e.execFree = append(e.execFree, ex)
+}
+
+// growSlice returns s resized to length n, reusing its capacity;
+// surviving elements keep their previous-life contents (callers reset
+// them per use).
+func growSlice[T any](s []T, n int) []T {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]T, n)
+}
+
+// resetSlice returns s resized to length n with every element zeroed.
+func resetSlice[T int | bool | float64](s []T, n int) []T {
+	s = growSlice(s, n)
+	clear(s)
+	return s
+}
+
 // addRunning registers t as in-flight on its execution.
 func addRunning(t *task) {
 	ex := t.exec
@@ -552,21 +662,7 @@ func (e *Engine) Submit(job *Job, opts SubmitOptions) (JobID, error) {
 			return 0, fmt.Errorf("engine: drop ratio %g out of [0,1]", th)
 		}
 	}
-	e.nextID++
-	ex := &execution{
-		id:             e.nextID,
-		job:            job,
-		opts:           opts,
-		startedAt:      e.sim.Now(),
-		outputs:        make([]Dataset, len(job.Stages)),
-		pendingTasks:   make([]int, len(job.Stages)),
-		stageStarted:   make([]bool, len(job.Stages)),
-		stageDone:      make([]bool, len(job.Stages)),
-		stageStats:     make([]StageStat, len(job.Stages)),
-		stageTaskSecs:  make([]float64, len(job.Stages)),
-		stageDurations: make([][]float64, len(job.Stages)),
-		donePartitions: make([]map[int]bool, len(job.Stages)),
-	}
+	ex := e.newExecution(job, opts)
 	if e.jobSeen[job] {
 		// The template was executed before on this engine: its pure
 		// input-reading stage outputs can be served from the memo cache.
@@ -577,7 +673,6 @@ func (e *Engine) Submit(job *Job, opts SubmitOptions) (JobID, error) {
 	for si, st := range job.Stages {
 		ex.stageStats[si].Name = st.Name
 		ex.stageStats[si].Kind = st.Kind
-		ex.donePartitions[si] = make(map[int]bool)
 	}
 	if job.InputPath != "" && e.fs != nil {
 		if blocks, err := e.fs.Blocks(job.InputPath); err == nil {
@@ -654,12 +749,24 @@ func (e *Engine) startStage(ex *execution, si int) {
 	in := ex.stageInput(si)
 	n := len(in)
 	ex.tasksTotal += n
-	selected := FindMissingPartitions(e.rng, n, ex.drop(si))
+	selected := e.findMissingPartitions(n, ex.drop(si))
 	ex.tasksDropped += n - len(selected)
 	ex.stageStats[si].TasksDropped = n - len(selected)
 	ex.pendingTasks[si] = len(selected)
+	ex.donePartitions[si] = resetSlice(ex.donePartitions[si], n)
 	if s := ex.job.Stages[si]; s.Kind == ShuffleMap {
-		ex.outputs[si] = make(Dataset, s.OutPartitions)
+		// Reuse the previous life's bucket slices: truncated in place when
+		// the fan-out fits, reallocated (dropping the old buckets) when not.
+		buckets := ex.outputs[si]
+		if cap(buckets) >= s.OutPartitions {
+			buckets = buckets[:s.OutPartitions]
+			for b := range buckets {
+				buckets[b] = buckets[b][:0]
+			}
+		} else {
+			buckets = make(Dataset, s.OutPartitions)
+		}
+		ex.outputs[si] = buckets
 	}
 	if len(selected) == 0 {
 		e.finishStage(ex, si)
@@ -910,6 +1017,14 @@ func (e *Engine) failTask(t *task) {
 // tasks had banked), queued tasks are discarded, and the submitter's
 // OnComplete receives a JobResult with Failed set.
 func (e *Engine) failJob(ex *execution, reason string) {
+	if ex.done {
+		// The job already completed: a Validate-legal orphan ShuffleMap
+		// stage (no dependents) outlived the Result stage and one of its
+		// doomed attempts exhausted the budget. The attempt itself was
+		// cleaned up in failTask; reporting the finished job failed — or
+		// running this teardown twice — would corrupt the submitter.
+		return
+	}
 	now := e.sim.Now()
 	for _, t := range ex.running {
 		e.sim.Cancel(t.event)
@@ -922,7 +1037,8 @@ func (e *Engine) failJob(ex *execution, reason string) {
 		t.twin = nil
 		e.freeTask(t)
 	}
-	ex.running = nil
+	clear(ex.running)
+	ex.running = ex.running[:0] // keep the capacity for the pooled next life
 	for ex.pending.Len() > 0 {
 		t := ex.pending.PopFront()
 		t.twin = nil
@@ -957,6 +1073,7 @@ func (e *Engine) failJob(ex *execution, reason string) {
 	if ex.opts.OnComplete != nil {
 		ex.opts.OnComplete(res)
 	}
+	e.freeExecution(ex)
 }
 
 // cancelTwin aborts the other copy of a just-finished partition, whether
@@ -1087,6 +1204,18 @@ func (e *Engine) completeJob(ex *execution) {
 	if ex.opts.OnComplete != nil {
 		ex.opts.OnComplete(res)
 	}
+	// Recycle only after OnComplete ran: a completion hook may submit the
+	// next job synchronously, and that submission must not land on this
+	// still-live struct. Stale setup/shuffle events cannot resurrect it
+	// (their guards look the old JobID up in e.execs, and IDs are never
+	// reused) — but in-flight tasks hold direct execution pointers with
+	// unguarded completion events, so a Validate-legal degenerate DAG
+	// whose orphan ShuffleMap stage (no dependents) outlives the Result
+	// stage must not be pooled; it is abandoned to the GC as before
+	// pooling.
+	if len(ex.running) == 0 && ex.pending.Len() == 0 {
+		e.freeExecution(ex)
+	}
 }
 
 // Kill evicts a live job: queued tasks are discarded, running tasks are
@@ -1107,7 +1236,8 @@ func (e *Engine) Kill(id JobID) (Attempt, error) {
 		t.twin = nil
 		e.freeTask(t)
 	}
-	ex.running = nil
+	clear(ex.running)
+	ex.running = ex.running[:0] // keep the capacity for the pooled next life
 	// Discard this job's queued tasks.
 	for ex.pending.Len() > 0 {
 		t := ex.pending.PopFront()
@@ -1126,6 +1256,7 @@ func (e *Engine) Kill(id JobID) (Attempt, error) {
 		TasksLaunched: ex.launched,
 		Evicted:       true,
 	}
+	e.freeExecution(ex)
 	e.dispatch() // freed slots may admit other jobs' tasks
 	return att, nil
 }
@@ -1143,7 +1274,7 @@ func (e *Engine) FailNode(node int) error {
 	}
 	now := e.sim.Now()
 	for _, ex := range e.execOrder {
-		var aborted []*task
+		aborted := e.abortScratch[:0]
 		for _, t := range ex.running {
 			if t.slot.Node == node {
 				aborted = append(aborted, t)
@@ -1151,15 +1282,23 @@ func (e *Engine) FailNode(node int) error {
 		}
 		// Re-queue in (stage, partition) order rather than launch order so
 		// retry order is stable regardless of how the tasks were dispatched.
-		sort.Slice(aborted, func(i, j int) bool {
-			a, b := aborted[i], aborted[j]
+		// The comparator is a total order (twins differ in speculative), so
+		// the sort is deterministic.
+		slices.SortFunc(aborted, func(a, b *task) int {
 			if a.stage != b.stage {
-				return a.stage < b.stage
+				return a.stage - b.stage
 			}
 			if a.partition != b.partition {
-				return a.partition < b.partition
+				return a.partition - b.partition
 			}
-			return !a.speculative && b.speculative
+			switch {
+			case a.speculative == b.speculative:
+				return 0
+			case b.speculative:
+				return -1
+			default:
+				return 1
+			}
 		})
 		for _, t := range aborted {
 			e.sim.Cancel(t.event)
@@ -1180,6 +1319,10 @@ func (e *Engine) FailNode(node int) error {
 			ex.retries++
 			e.tasksRetried++
 		}
+		// Keep the (possibly regrown) scratch for the next execution and
+		// the next failure, dropping the task references.
+		clear(aborted)
+		e.abortScratch = aborted[:0]
 	}
 	// Remaining capacity may still admit the re-queued tasks.
 	e.dispatch()

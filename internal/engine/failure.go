@@ -101,6 +101,15 @@ type FailureInjector struct {
 	downSecs float64
 }
 
+// failureCycle pre-binds one node's fail and repair callbacks at
+// injector construction, so the endless crash/recover cycles schedule no
+// closures at run time.
+type failureCycle struct {
+	node     int
+	failFn   func()
+	repairFn func()
+}
+
 // NewFailureInjector arms the injector: the first failure of each eligible
 // node is scheduled immediately (at an Exp(MTTF) offset).
 func NewFailureInjector(sim *simtime.Simulation, eng *Engine, cfg FailureConfig) (*FailureInjector, error) {
@@ -118,12 +127,16 @@ func NewFailureInjector(sim *simtime.Simulation, eng *Engine, cfg FailureConfig)
 	}
 	nodes := cfg.Nodes
 	if nodes == nil {
+		nodes = make([]int, 0, eng.clu.Config().Nodes)
 		for n := 0; n < eng.clu.Config().Nodes; n++ {
 			nodes = append(nodes, n)
 		}
 	}
 	for _, n := range nodes {
-		inj.scheduleFailure(n)
+		cn := &failureCycle{node: n}
+		cn.failFn = func() { inj.fail(cn) }
+		cn.repairFn = func() { inj.repair(cn) }
+		inj.scheduleFailure(cn)
 	}
 	return inj, nil
 }
@@ -137,30 +150,32 @@ func (inj *FailureInjector) Repairs() int { return inj.repairs }
 // DownSeconds returns total node-downtime injected (summed across nodes).
 func (inj *FailureInjector) DownSeconds() float64 { return inj.downSecs }
 
-func (inj *FailureInjector) scheduleFailure(node int) {
+func (inj *FailureInjector) scheduleFailure(cn *failureCycle) {
 	gap := inj.rng.ExpFloat64() * inj.cfg.MTTFSec
 	at := inj.sim.Now().Add(simtime.Duration(gap))
 	if at.Seconds() > inj.cfg.HorizonSec {
 		return
 	}
-	inj.sim.At(at, func() { inj.fail(node) })
+	inj.sim.At(at, cn.failFn)
 }
 
-func (inj *FailureInjector) fail(node int) {
+func (inj *FailureInjector) fail(cn *failureCycle) {
 	// The node is up by construction: failures and repairs of one node
 	// alternate on the timeline. A failed FailNode would therefore be a
 	// bug; surface it loudly.
-	if err := inj.eng.FailNode(node); err != nil {
-		panic(fmt.Sprintf("engine: failure injection on node %d: %v", node, err))
+	if err := inj.eng.FailNode(cn.node); err != nil {
+		panic(fmt.Sprintf("engine: failure injection on node %d: %v", cn.node, err))
 	}
 	inj.failures++
 	repair := inj.rng.ExpFloat64() * inj.cfg.MTTRSec
 	inj.downSecs += repair
-	inj.sim.After(simtime.Duration(repair), func() {
-		if err := inj.eng.RepairNode(node); err != nil {
-			panic(fmt.Sprintf("engine: repair of node %d: %v", node, err))
-		}
-		inj.repairs++
-		inj.scheduleFailure(node)
-	})
+	inj.sim.After(simtime.Duration(repair), cn.repairFn)
+}
+
+func (inj *FailureInjector) repair(cn *failureCycle) {
+	if err := inj.eng.RepairNode(cn.node); err != nil {
+		panic(fmt.Sprintf("engine: repair of node %d: %v", cn.node, err))
+	}
+	inj.repairs++
+	inj.scheduleFailure(cn)
 }

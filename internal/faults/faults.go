@@ -170,6 +170,38 @@ type Injector struct {
 	stragglersInjected   int
 }
 
+// churnCycle is the pre-bound bookkeeping of one crash/recover process:
+// for stochastic churn one per eligible node (re-armed forever), for a
+// trace one per scheduled outage. The fail/repair/re-arm callbacks are
+// allocated once at Attach and reused for every cycle, so steady churn
+// schedules no closures.
+type churnCycle struct {
+	inj  *Injector
+	node int
+	// repairSec is the pending down duration: drawn together with the
+	// failure gap (stochastic) or fixed by the trace entry.
+	repairSec float64
+	// rearm re-schedules the next stochastic failure after each cycle;
+	// trace cycles fire once.
+	rearm    bool
+	failFn   func()
+	repairFn func()
+	rearmFn  func()
+}
+
+// newChurnCycle binds the callbacks of one crash/recover process.
+func (inj *Injector) newChurnCycle(node int, rearm bool) *churnCycle {
+	cn := &churnCycle{inj: inj, node: node, rearm: rearm}
+	cn.failFn = func() { inj.fail(cn) }
+	cn.repairFn = func() { inj.repair(cn) }
+	cn.rearmFn = func() {
+		if cn.rearm {
+			inj.scheduleFailure(cn)
+		}
+	}
+	return cn
+}
+
 // Attach validates the plan against the engine's cluster and arms it:
 // churn processes are scheduled on the virtual clock and the task-fault
 // hook is installed on the engine. The injector is live for the rest of
@@ -201,7 +233,7 @@ func Attach(sim *simtime.Simulation, eng *engine.Engine, cfg Config) (*Injector,
 				}
 			}
 			for _, n := range nodes {
-				inj.scheduleFailure(n)
+				inj.scheduleFailure(inj.newChurnCycle(n, true))
 			}
 		}
 	}
@@ -213,64 +245,66 @@ func Attach(sim *simtime.Simulation, eng *engine.Engine, cfg Config) (*Injector,
 	return inj, nil
 }
 
-// scheduleTrace replays an explicit outage schedule.
+// scheduleTrace replays an explicit outage schedule: one pre-bound cycle
+// per outage, all allocated here at Attach.
 func (inj *Injector) scheduleTrace(outages []Outage) {
 	for _, o := range outages {
-		o := o
-		inj.sim.At(simtime.Time(o.AtSec), func() { inj.fail(o.Node, o.DurationSec) })
+		cn := inj.newChurnCycle(o.Node, false)
+		cn.repairSec = o.DurationSec
+		inj.sim.At(simtime.Time(o.AtSec), cn.failFn)
 	}
 }
 
-// scheduleFailure arms the next stochastic failure of a node, staying
-// inside the horizon so the event queue drains.
-func (inj *Injector) scheduleFailure(node int) {
+// scheduleFailure arms the node's next stochastic failure, staying
+// inside the horizon so the event queue drains. The repair duration is
+// drawn with the gap (one draw pair per cycle, in cycle order) and
+// parked on the cycle until the failure fires.
+func (inj *Injector) scheduleFailure(cn *churnCycle) {
 	gap := inj.churnRng.ExpFloat64() * inj.cfg.Churn.MTTFSec
 	at := inj.sim.Now().Add(simtime.Duration(gap))
 	if at.Seconds() > inj.cfg.Churn.HorizonSec {
 		return
 	}
-	repair := inj.churnRng.ExpFloat64() * inj.cfg.Churn.MTTRSec
-	inj.sim.At(at, func() {
-		inj.fail(node, repair)
-	})
+	cn.repairSec = inj.churnRng.ExpFloat64() * inj.cfg.Churn.MTTRSec
+	inj.sim.At(at, cn.failFn)
 }
 
-// fail takes the node down for the given duration and schedules its
-// repair; stochastic churn then re-arms the node's next failure. The
+// fail takes the cycle's node down for its drawn duration and schedules
+// the repair; stochastic churn then re-arms the node's next failure. The
 // injector's own cycle alternates fail/repair per node, but another
 // layer (e.g. a federation-level outage, which fails every node of a
 // member) may hold the node down already or repair it early — those
 // cases are skipped, not errors, so the two layers compose.
-func (inj *Injector) fail(node int, durationSec float64) {
-	if inj.eng.Cluster().NodeDown(node) {
+func (inj *Injector) fail(cn *churnCycle) {
+	if inj.eng.Cluster().NodeDown(cn.node) {
 		// Another injection layer owns this node's failure; skip the cycle
 		// and re-arm after the would-be repair.
-		inj.sim.After(simtime.Duration(durationSec), func() {
-			if ch := inj.cfg.Churn; len(ch.Outages) == 0 {
-				inj.scheduleFailure(node)
-			}
-		})
+		inj.sim.After(simtime.Duration(cn.repairSec), cn.rearmFn)
 		return
 	}
-	if err := inj.eng.FailNode(node); err != nil {
-		panic(fmt.Sprintf("faults: failing node %d: %v", node, err))
+	if err := inj.eng.FailNode(cn.node); err != nil {
+		panic(fmt.Sprintf("faults: failing node %d: %v", cn.node, err))
 	}
 	inj.nodeFailures++
-	inj.downSeconds += durationSec
-	inj.sim.After(simtime.Duration(durationSec), func() {
-		// Repair only if the node is still down; a cluster-level recovery
-		// sweeping the whole member cannot happen (outage recovery repairs
-		// only nodes the outage itself failed), but stay defensive.
-		if inj.eng.Cluster().NodeDown(node) {
-			if err := inj.eng.RepairNode(node); err != nil {
-				panic(fmt.Sprintf("faults: repairing node %d: %v", node, err))
-			}
-			inj.nodeRepairs++
+	inj.downSeconds += cn.repairSec
+	inj.sim.After(simtime.Duration(cn.repairSec), cn.repairFn)
+}
+
+// repair ends one cycle: the node is repaired if this layer's failure
+// still holds, and stochastic churn re-arms.
+func (inj *Injector) repair(cn *churnCycle) {
+	// Repair only if the node is still down; a cluster-level recovery
+	// sweeping the whole member cannot happen (outage recovery repairs
+	// only nodes the outage itself failed), but stay defensive.
+	if inj.eng.Cluster().NodeDown(cn.node) {
+		if err := inj.eng.RepairNode(cn.node); err != nil {
+			panic(fmt.Sprintf("faults: repairing node %d: %v", cn.node, err))
 		}
-		if ch := inj.cfg.Churn; len(ch.Outages) == 0 {
-			inj.scheduleFailure(node)
-		}
-	})
+		inj.nodeRepairs++
+	}
+	if cn.rearm {
+		inj.scheduleFailure(cn)
+	}
 }
 
 // TaskStarted implements engine.TaskFaultInjector: it draws the straggler

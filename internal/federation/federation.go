@@ -110,6 +110,9 @@ type Member struct {
 	// recovery repairs exactly those and composes with node-level churn
 	// injectors running on the same member.
 	outageFailed []bool
+	// li is the federation's shared load index; routing policies and the
+	// backlog getters read this member's slice of it.
+	li *LoadIndex
 }
 
 // Available reports whether the member is currently routable (not in a
@@ -121,25 +124,14 @@ func (m *Member) Available() bool { return !m.down }
 // dispatch first, equal classes are FIFO ahead of it) plus the running job
 // (dispatch is non-preemptive from the new arrival's point of view unless
 // it outranks the current job, which the +1 conservatively ignores).
-func (m *Member) Backlog(class int) int {
-	n := 0
-	for k := m.Scheduler.Classes() - 1; k >= class; k-- {
-		n += m.Scheduler.QueuedJobsInClass(k)
-	}
-	if m.Scheduler.Busy() {
-		n++
-	}
-	return n
-}
+// The count is served from the federation's load index in O(1); it is
+// maintained incrementally at every scheduler transition rather than
+// recounted per call.
+func (m *Member) Backlog(class int) int { return m.li.Backlog(m.Index, class) }
 
-// TotalQueued returns all buffered jobs plus the running one.
-func (m *Member) TotalQueued() int {
-	n := m.Scheduler.QueuedJobs()
-	if m.Scheduler.Busy() {
-		n++
-	}
-	return n
-}
+// TotalQueued returns all buffered jobs plus the running one, served from
+// the load index in O(1).
+func (m *Member) TotalQueued() int { return m.li.TotalQueued(m.Index) }
 
 // Utilization returns the member's instantaneous busy-slot fraction.
 func (m *Member) Utilization() float64 { return m.Cluster.Utilization() }
@@ -159,6 +151,8 @@ type Federation struct {
 	// outages records the per-member windows ScheduleOutage has planned,
 	// so overlapping plans are rejected up front.
 	outages map[int][]outageWindow
+	// index is the incrementally maintained routing state (see LoadIndex).
+	index *LoadIndex
 }
 
 // outageWindow is one planned [at, end) outage of a member.
@@ -224,10 +218,29 @@ func New(cfg Config) (*Federation, error) {
 		f.members = append(f.members, &Member{
 			Name: name, Index: i,
 			Cluster: clu, Engine: eng, Scheduler: sch, FS: fs,
+			// Pre-sized so outage onset allocates nothing on the hot path.
+			outageFailed: make([]bool, cluCfg.Nodes),
 		})
+	}
+	// Attach the load index last, so it observes every state transition
+	// from a known-empty start. Each member pushes its scheduler queue/
+	// occupancy flips, task-slot occupancy, sprint state and power state
+	// into the shared index as they happen.
+	f.index = newLoadIndex(f.members, cfg.Policy.Classes, cfg.Policy.Sprint != nil)
+	for i, m := range f.members {
+		m.li = f.index
+		m.Scheduler.SetObserver(memberObserver{li: f.index, m: i})
+		m.Cluster.OnOccupancyChange(func(busySlots int) { f.index.occupancyChanged(i, busySlots) })
+		m.Cluster.OnPowerChange(func(poweredNodes int) { f.index.powerChanged(i, poweredNodes) })
+		m.Cluster.OnSpeedChange(func(_, _ float64) { f.index.sprintingChanged(i, m.Cluster.Sprinting()) })
 	}
 	return f, nil
 }
+
+// Index returns the federation's load index: the incrementally
+// maintained per-member routing state the policies read. The index is
+// shared and read-only for callers.
+func (f *Federation) Index() *LoadIndex { return f.index }
 
 // dataConfig fills the zero fields of a per-member dfs config with the
 // dfs defaults, field by field, so e.g. Config.Data =
@@ -368,12 +381,10 @@ func (f *Federation) SetMemberDown(i int, down bool) error {
 		return fmt.Errorf("federation: member %s already down=%v", m.Name, down)
 	}
 	m.down = down
+	f.index.setAvailable(i, !down)
 	nodes := m.Cluster.Config().Nodes
 	if down {
 		f.downMembers++
-		if m.outageFailed == nil {
-			m.outageFailed = make([]bool, nodes)
-		}
 		for n := 0; n < nodes; n++ {
 			if !m.Cluster.NodeDown(n) {
 				if err := m.Engine.FailNode(n); err != nil {
@@ -386,7 +397,7 @@ func (f *Federation) SetMemberDown(i int, down bool) error {
 	}
 	f.downMembers--
 	for n := 0; n < nodes; n++ {
-		if m.outageFailed != nil && m.outageFailed[n] {
+		if m.outageFailed[n] {
 			m.outageFailed[n] = false
 			if !m.Cluster.NodeDown(n) {
 				continue // someone else repaired it meanwhile

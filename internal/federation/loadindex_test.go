@@ -1,0 +1,403 @@
+package federation
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"dias/internal/cluster"
+	"dias/internal/core"
+	"dias/internal/engine"
+	"dias/internal/simtime"
+)
+
+// indexJob builds a small two-stage job template for index tests.
+func indexJob(partitions int) *engine.Job {
+	input := make(engine.Dataset, partitions)
+	for p := range input {
+		input[p] = engine.Partition{{Key: fmt.Sprintf("k%d", p), Value: 1.0}}
+	}
+	return &engine.Job{
+		Name:      "index-probe",
+		Input:     input,
+		SizeBytes: 1 << 20,
+		Stages: []engine.Stage{
+			{Name: "map", Kind: engine.ShuffleMap, OutPartitions: 4},
+			{Name: "out", Kind: engine.Result, Deps: []int{0}},
+		},
+	}
+}
+
+// verifyIndexAgainstRecompute compares every index field and heap argmin
+// against a brute-force recomputation from the polled getters the index
+// replaced.
+func verifyIndexAgainstRecompute(t *testing.T, f *Federation, at simtime.Time) {
+	t.Helper()
+	li := f.Index()
+	classes := li.Classes()
+	for i, m := range f.Members() {
+		busy := 0
+		if m.Scheduler.Busy() {
+			busy = 1
+		}
+		if got, want := li.Busy(i), m.Scheduler.Busy(); got != want {
+			t.Fatalf("t=%v member %d: index busy %v, scheduler %v", at, i, got, want)
+		}
+		if got, want := li.BusySlots(i), m.Cluster.BusySlots(); got != want {
+			t.Fatalf("t=%v member %d: index busy slots %d, cluster %d", at, i, got, want)
+		}
+		if got, want := li.TotalQueued(i), m.Scheduler.QueuedJobs()+busy; got != want {
+			t.Fatalf("t=%v member %d: index total queued %d, recomputed %d", at, i, got, want)
+		}
+		if got, want := li.Sprinting(i), m.Cluster.Sprinting(); got != want {
+			t.Fatalf("t=%v member %d: index sprinting %v, cluster %v", at, i, got, want)
+		}
+		if got, want := li.PoweredNodes(i), m.Cluster.PoweredNodes(); got != want {
+			t.Fatalf("t=%v member %d: index powered %d, cluster %d", at, i, got, want)
+		}
+		if got, want := li.Available(i), m.Available(); got != want {
+			t.Fatalf("t=%v member %d: index available %v, member %v", at, i, got, want)
+		}
+		for c := 0; c < classes; c++ {
+			if got, want := li.QueuedInClass(i, c), m.Scheduler.QueuedJobsInClass(c); got != want {
+				t.Fatalf("t=%v member %d class %d: index queued %d, scheduler %d", at, i, c, got, want)
+			}
+			backlog := busy
+			for k := classes - 1; k >= c; k-- {
+				backlog += m.Scheduler.QueuedJobsInClass(k)
+			}
+			if got := li.Backlog(i, c); got != backlog {
+				t.Fatalf("t=%v member %d class %d: index backlog %d, recomputed %d", at, i, c, got, backlog)
+			}
+		}
+	}
+	// Heap argmins must match the linear scans they replace, with the
+	// same tiebreaks.
+	for c := 0; c < classes; c++ {
+		wantJSQ, wantSpr := 0, 0
+		for i := 1; i < li.Members(); i++ {
+			bi, bw := li.Backlog(i, c), li.Backlog(wantJSQ, c)
+			if bi < bw || (bi == bw && li.BusySlots(i) < li.BusySlots(wantJSQ)) {
+				wantJSQ = i
+			}
+			if li.Backlog(i, c) < li.Backlog(wantSpr, c) {
+				wantSpr = i
+			}
+		}
+		if got, ok := li.bestJSQ(c); !ok || got != wantJSQ {
+			t.Fatalf("t=%v class %d: jsq heap top %d (ok=%v), scan %d", at, c, got, ok, wantJSQ)
+		}
+		// The spr heaps are maintained (and read) only without a sprint
+		// policy; sprint-configured federations answer SprintAware by scan.
+		if !li.sprintConfigured {
+			if got, ok := li.bestBacklog(c); !ok || got != wantSpr {
+				t.Fatalf("t=%v class %d: backlog heap top %d (ok=%v), scan %d", at, c, got, ok, wantSpr)
+			}
+		}
+	}
+	wantLL := 0
+	for i := 1; i < li.Members(); i++ {
+		ui, uw := li.Utilization(i), li.Utilization(wantLL)
+		if ui < uw || (ui == uw && li.TotalQueued(i) < li.TotalQueued(wantLL)) {
+			wantLL = i
+		}
+	}
+	if got := li.bestLeastLoaded(); got != wantLL {
+		t.Fatalf("t=%v: least-loaded heap top %d, scan %d", at, got, wantLL)
+	}
+	verifyHeapInvariants(t, li)
+}
+
+// verifyHeapInvariants checks the structural invariants of every
+// maintained heap: position maps consistent with the heap array and the
+// min-heap ordering satisfied at every edge.
+func verifyHeapInvariants(t *testing.T, li *LoadIndex) {
+	t.Helper()
+	heaps := make([]*memberHeap, 0, 2*li.classes+1)
+	for c := range li.jsq {
+		heaps = append(heaps, &li.jsq[c])
+		if !li.sprintConfigured {
+			heaps = append(heaps, &li.spr[c])
+		}
+	}
+	heaps = append(heaps, &li.ll)
+	for _, h := range heaps {
+		if len(h.order) != li.n || len(h.pos) != li.n {
+			t.Fatalf("heap kind %d class %d: sized %d/%d for %d members",
+				h.kind, h.class, len(h.order), len(h.pos), li.n)
+		}
+		for i, m := range h.order {
+			if h.pos[m] != int32(i) {
+				t.Fatalf("heap kind %d class %d: order[%d]=%d but pos[%d]=%d",
+					h.kind, h.class, i, m, m, h.pos[m])
+			}
+		}
+		for i := 1; i < len(h.order); i++ {
+			parent := (i - 1) / 2
+			if h.less(h.order[i], h.order[parent]) {
+				t.Fatalf("heap kind %d class %d: order[%d] < parent order[%d]",
+					h.kind, h.class, i, parent)
+			}
+		}
+	}
+}
+
+// TestLoadIndexMatchesRecompute drives randomized arrive/dispatch/
+// complete/sprint/outage/commission sequences through a federation and
+// asserts, at random checkpoints, that the incrementally maintained
+// index equals a brute-force recomputation from scratch.
+func TestLoadIndexMatchesRecompute(t *testing.T) {
+	seeds := []int64{1, 7, 23, 40, 77}
+	if testing.Short() {
+		seeds = seeds[:2]
+	}
+	for _, seed := range seeds {
+		for _, withSprint := range []bool{true, false} {
+			seed, withSprint := seed, withSprint
+			t.Run(fmt.Sprintf("seed%d/sprint=%v", seed, withSprint), func(t *testing.T) {
+				const classes = 3
+				sprint := core.SprintPolicy{
+					TimeoutSec:     []float64{4, 2, 0},
+					BudgetJoules:   30_000,
+					DrainWatts:     900,
+					ReplenishWatts: 300,
+				}
+				policy := core.PolicyDA([]float64{0, 0.1, 0.2})
+				if withSprint {
+					policy = core.PolicyDiAS([]float64{0, 0.1, 0.2}, sprint)
+				}
+				members := []MemberSpec{
+					{}, // default testbed
+					{Cluster: cluster.Config{Nodes: 4, CoresPerNode: 2, BaseFreqMHz: 800,
+						SprintFreqMHz: 2400, SprintSpeedup: 2.5, IdleWatts: 60, BusyWatts: 180, SprintWatts: 270}},
+					{Cluster: cluster.Config{Nodes: 6, CoresPerNode: 3, BaseFreqMHz: 800,
+						SprintFreqMHz: 2400, SprintSpeedup: 2.0, IdleWatts: 60, BusyWatts: 180, SprintWatts: 270}},
+					{},
+				}
+				f, err := New(Config{
+					Members: members,
+					Policy:  policy,
+					Routing: NewJoinShortestQueue(),
+					Seed:    seed,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				rng := rand.New(rand.NewSource(seed))
+				job := indexJob(6)
+				const horizon = 400.0
+				jobs := 60
+				if testing.Short() {
+					jobs = 30
+				}
+				for j := 0; j < jobs; j++ {
+					f.SubmitAt(rng.Float64()*horizon, rng.Intn(classes), job)
+				}
+				// Cluster-level outages: up to two non-overlapping windows per
+				// member on a random subset.
+				for i := range members {
+					if rng.Intn(2) == 0 {
+						continue
+					}
+					start := rng.Float64() * horizon / 2
+					dur := 10 + rng.Float64()*40
+					if err := f.ScheduleOutage(i, start, dur); err != nil {
+						t.Fatal(err)
+					}
+					if rng.Intn(2) == 0 {
+						if err := f.ScheduleOutage(i, start+dur+5+rng.Float64()*20, 5+rng.Float64()*20); err != nil {
+							t.Fatal(err)
+						}
+					}
+				}
+				// Elastic churn: alternate decommission/commission of each
+				// member's highest node at increasing times.
+				for i, m := range f.Members() {
+					node := m.Cluster.Config().Nodes - 1
+					at := rng.Float64() * horizon / 2
+					down := true
+					for hops := rng.Intn(4); hops > 0; hops-- {
+						at += 5 + rng.Float64()*40
+						m, d := m, down
+						f.Sim().At(simtime.Time(at), func() {
+							var err error
+							if d {
+								err = m.Engine.DecommissionNode(node)
+							} else {
+								err = m.Engine.CommissionNode(node)
+							}
+							if err != nil {
+								t.Errorf("member %d node %d toggle(down=%v): %v", m.Index, node, d, err)
+							}
+						})
+						down = !down
+						_ = i
+					}
+				}
+				// Checkpoints: recompute-from-scratch comparisons at random
+				// instants across the run.
+				checks := 40
+				if testing.Short() {
+					checks = 15
+				}
+				for c := 0; c < checks; c++ {
+					at := simtime.Time(rng.Float64() * horizon * 1.2)
+					f.Sim().At(at, func() { verifyIndexAgainstRecompute(t, f, at) })
+				}
+				f.Run()
+				// Terminal state: everything drained, index agrees one last time.
+				verifyIndexAgainstRecompute(t, f, f.Sim().Now())
+				for i := range f.Members() {
+					if li := f.Index(); li.TotalQueued(i) != 0 || li.Busy(i) {
+						t.Fatalf("member %d not drained: queued %d busy %v", i, li.TotalQueued(i), li.Busy(i))
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestRoutingDuringOutageMatchesScan pins the policies' fallback path:
+// with a member down the dispatcher hands policies a filtered candidate
+// slice, where heap answers are invalid and a linear scan over the index
+// getters must reproduce the original polled-scan decisions.
+func TestRoutingDuringOutageMatchesScan(t *testing.T) {
+	f, err := New(Config{
+		Members: make([]MemberSpec, 4),
+		Policy:  core.PolicyNP(2),
+		Routing: NewRoundRobin(),
+		Seed:    1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := indexJob(4)
+	// Uneven backlogs: member i gets i buffered arrivals (plus the one it
+	// is running).
+	for i, m := range f.Members() {
+		for j := 0; j <= i; j++ {
+			if err := m.Scheduler.Arrive(j%2, job); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := f.SetMemberDown(0, true); err != nil {
+		t.Fatal(err)
+	}
+	candidates := make([]*Member, 0, 3)
+	for _, m := range f.Members() {
+		if m.Available() {
+			candidates = append(candidates, m)
+		}
+	}
+	// Home is in candidate coordinates: candidate 1 is member 2 here.
+	arr := Arrival{Class: 1, Job: job, Home: 1}
+	wantMember := map[string]int{
+		// Member 1 (candidate 0) has the smallest (backlog, busy) among
+		// the available members; ties with member 2 break to the lower
+		// candidate index, matching the original polled scans.
+		"JSQ": 1, "LeastLoaded": 1, "SprintAware": 1,
+		// DataLocal stays on its data home (member 2): the home backlog
+		// does not exceed the JSQ alternative by the spill threshold.
+		"DataLocal": 2,
+	}
+	for _, p := range []RoutingPolicy{
+		NewJoinShortestQueue(), NewLeastLoaded(), NewSprintAware(), NewDataLocal(1),
+	} {
+		got := p.Route(arr, candidates)
+		if got < 0 || got >= len(candidates) {
+			t.Fatalf("%s routed out of range: %d", p.Name(), got)
+		}
+		if candidates[got].Index != wantMember[p.Name()] {
+			t.Fatalf("%s routed to member %d, want member %d",
+				p.Name(), candidates[got].Index, wantMember[p.Name()])
+		}
+	}
+	if err := f.SetMemberDown(0, false); err != nil {
+		t.Fatal(err)
+	}
+	if li := f.Index(); li.DownMembers() != 0 || !li.Available(0) {
+		t.Fatalf("index availability not restored: down=%d available0=%v",
+			li.DownMembers(), li.Available(0))
+	}
+}
+
+// TestRoutingReorderedSliceHonorsContract pins Route's documented
+// contract — the return value indexes the caller's slice — against the
+// heap fast path: a caller-reordered full-length slice must not be
+// answered with a member id that points at a different member.
+func TestRoutingReorderedSliceHonorsContract(t *testing.T) {
+	f, err := New(Config{
+		Members: make([]MemberSpec, 4),
+		Policy:  core.PolicyNP(2),
+		Routing: NewRandom(1),
+		Seed:    1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := indexJob(4)
+	for i, m := range f.Members() {
+		for j := 0; j <= i; j++ {
+			if err := m.Scheduler.Arrive(j%2, job); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Reverse the full member slice: same length, every member up, but
+	// positions no longer match member indices.
+	reversed := make([]*Member, 0, 4)
+	for i := 3; i >= 0; i-- {
+		reversed = append(reversed, f.Members()[i])
+	}
+	arr := Arrival{Class: 1, Job: job, Home: -1}
+	for _, p := range []RoutingPolicy{
+		NewJoinShortestQueue(), NewLeastLoaded(), NewSprintAware(),
+	} {
+		got := p.Route(arr, reversed)
+		// Member 0 has the smallest backlog/utilization; in the reversed
+		// slice it sits at position 3.
+		if got != 3 || reversed[got].Index != 0 {
+			t.Fatalf("%s on reversed slice routed to position %d (member %d), want position 3 (member 0)",
+				p.Name(), got, reversed[got].Index)
+		}
+	}
+}
+
+// TestBacklogClamping pins the degenerate-class behaviour the heaps do
+// not maintain: out-of-range classes fall back to scans with the same
+// clamping the polled loops had.
+func TestBacklogClamping(t *testing.T) {
+	f, err := New(Config{
+		Members: make([]MemberSpec, 2),
+		Policy:  core.PolicyNP(2),
+		Routing: NewRandom(1),
+		Seed:    1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := indexJob(4)
+	m := f.Members()[1]
+	for j := 0; j < 3; j++ {
+		if err := m.Scheduler.Arrive(1, job); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One dispatched (busy) + two buffered in class 1.
+	if got := m.Backlog(5); got != 1 {
+		t.Fatalf("above-range class backlog %d, want 1 (running job only)", got)
+	}
+	if got := m.Backlog(-1); got != 3 {
+		t.Fatalf("below-range class backlog %d, want 3", got)
+	}
+	// Heap-backed routing still answers for in-range classes, and the
+	// out-of-range class falls back to the scan without panicking.
+	jsq := NewJoinShortestQueue()
+	if got := jsq.Route(Arrival{Class: 5, Job: job, Home: -1}, f.Members()); got != 0 {
+		t.Fatalf("out-of-range class routed to %d, want 0 (idle member)", got)
+	}
+	if got := jsq.Route(Arrival{Class: 1, Job: job, Home: -1}, f.Members()); got != 0 {
+		t.Fatalf("class 1 routed to %d, want 0 (idle member)", got)
+	}
+}

@@ -102,6 +102,15 @@ func NewAccumulator(classes, expectedRecords int, warmupFraction float64) *Accum
 	for k := range a.out {
 		a.out[k].Class = k
 	}
+	// Pre-size the retained percentile samples from the expected total so
+	// long streaming runs do not regrow them per wave of completions. The
+	// per-class split is an estimate (class mixes are uneven); appends
+	// stay amortized past it.
+	if post := expectedRecords - a.skip; post > 0 && classes > 0 {
+		for k := range a.samples {
+			a.samples[k].Reserve(post / classes)
+		}
+	}
 	return a
 }
 

@@ -81,6 +81,15 @@ func (s *Sample) Add(x float64) {
 	s.sorted = false
 }
 
+// Reserve grows the sample's capacity to hold at least n observations
+// without further allocation. A hint, not a bound: Add keeps working
+// past it.
+func (s *Sample) Reserve(n int) {
+	if extra := n - cap(s.xs); extra > 0 {
+		s.xs = append(make([]float64, 0, n), s.xs...)
+	}
+}
+
 // AddAll records a batch of observations.
 func (s *Sample) AddAll(xs []float64) {
 	s.xs = append(s.xs, xs...)
