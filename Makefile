@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short test-race bench bench-smoke bench-baseline bench-check determinism profile staticcheck fmt fmt-check vet experiments
+.PHONY: build test test-short test-race bench bench-smoke bench-baseline bench-check determinism profile staticcheck fmt fmt-check vet experiments apicompat
 
 # The reduced figure set and scale the smoke/baseline/gate pipeline runs.
 # Changing it requires regenerating the committed baseline (bench-baseline).
@@ -76,6 +76,16 @@ determinism:
 # go install honnef.co/go/tools/cmd/staticcheck@latest).
 staticcheck:
 	staticcheck ./...
+
+# The CI API-compatibility gate: the dias facade package is the supported
+# API (README.md). Diffs its exported symbols against APICOMPAT_BASE and
+# fails on incompatible changes unless the HEAD commit message contains
+# "api-break: <reason>". The script guards for the missing tool with an
+# install hint (CI installs it; locally:
+# go install golang.org/x/exp/cmd/apidiff@latest).
+APICOMPAT_BASE ?= origin/main
+apicompat:
+	./ci/apidiff.sh $(APICOMPAT_BASE)
 
 # Format in place.
 fmt:

@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# API-compatibility gate for the dias facade package (the supported API,
+# see README.md). Exports the facade's API at a base ref via a temporary
+# git worktree, diffs it against the working tree with apidiff, and fails
+# on incompatible changes — unless the HEAD commit message contains the
+# marker "api-break:", which records a deliberate break.
+#
+# Usage: ci/apidiff.sh [BASE_REF]   (default origin/main)
+# Requires: go install golang.org/x/exp/cmd/apidiff@latest
+set -euo pipefail
+
+BASE_REF="${1:-origin/main}"
+
+if ! command -v apidiff >/dev/null 2>&1; then
+    echo "apidiff not found in PATH; install it with:" >&2
+    echo "  go install golang.org/x/exp/cmd/apidiff@latest" >&2
+    exit 1
+fi
+
+if ! base="$(git rev-parse --verify --quiet "${BASE_REF}^{commit}")"; then
+    echo "apidiff: base ref ${BASE_REF} does not resolve (shallow clone?); skipping" >&2
+    exit 0
+fi
+head="$(git rev-parse HEAD)"
+if [ "$base" = "$head" ]; then
+    # Push builds on the base branch compare HEAD to itself; use the
+    # parent so the gate still covers the landed commit.
+    if ! base="$(git rev-parse --verify --quiet HEAD~1)"; then
+        echo "apidiff: no parent commit to compare against; skipping" >&2
+        exit 0
+    fi
+fi
+
+tmp="$(mktemp -d)"
+export_file="$tmp/base.export"
+worktree="$tmp/base"
+cleanup() {
+    git worktree remove --force "$worktree" >/dev/null 2>&1 || true
+    rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+git worktree add --detach "$worktree" "$base" >/dev/null
+(cd "$worktree" && apidiff -w "$export_file" .)
+
+report="$(apidiff -incompatible "$export_file" .)"
+if [ -z "$report" ]; then
+    echo "apidiff: dias facade is compatible with ${BASE_REF} (${base})"
+    exit 0
+fi
+
+echo "apidiff: incompatible changes to the dias facade vs ${BASE_REF} (${base}):"
+echo "$report"
+if git log -1 --pretty=%B | grep -qi 'api-break:'; then
+    echo "apidiff: commit message carries the api-break: marker; break accepted"
+    exit 0
+fi
+echo "apidiff: the dias package is the supported API (README.md)." >&2
+echo "apidiff: restore compatibility, or mark a deliberate break by adding" >&2
+echo "apidiff: a line containing 'api-break: <reason>' to the commit message." >&2
+exit 1

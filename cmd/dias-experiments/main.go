@@ -1,11 +1,14 @@
 // dias-experiments regenerates the paper's tables and figures.
 //
-//	dias-experiments [-fig 4|5|6|7|8|9|10|11|table2|ablations|extensions|
-//	                       federation-scaleout|federation-hetero|all]
+//	dias-experiments [-fig list|all|NAME[,NAME...]]
 //	                 [-jobs N] [-seed S] [-workers W] [-replicas R]
 //	                 [-bench-out BENCH_results.json]
 //
-// -fig also accepts a comma-separated list (e.g. -fig 7,federation-scaleout).
+// -fig list prints every registered figure with its description; -fig also
+// accepts a comma-separated list (e.g. -fig 7,federation-scaleout). The
+// figure set is the experiments package's driver registry — each driver
+// self-registers with experiments.Register, so this binary has no
+// hand-maintained figure switch.
 //
 // Output is the textual form of each figure: baseline absolutes plus
 // relative differences, exactly the quantities the paper plots. Every
@@ -36,7 +39,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure(s) to regenerate, comma-separated: motivation,4,5,6,7,8,9,10,11,table2,ablations,extensions,faults,elasticity,federation-scaleout,federation-hetero,federation-outage,all")
+	fig := flag.String("fig", "all", "figure(s) to regenerate, comma-separated; 'list' prints the catalogue")
 	jobs := flag.Int("jobs", 0, "arrivals per scenario (0 = full scale)")
 	seed := flag.Int64("seed", 1, "experiment seed")
 	workers := flag.Int("workers", 0, "concurrent simulation runs per figure (0 = one per CPU core)")
@@ -44,6 +47,10 @@ func main() {
 	benchOut := flag.String("bench-out", "BENCH_results.json", "write the machine-readable benchmark report here (empty = skip)")
 	flag.Parse()
 
+	if *fig == "list" {
+		listFigures()
+		return
+	}
 	scale := experiments.FullScale()
 	scale.Seed = *seed
 	scale.Workers = *workers
@@ -63,6 +70,18 @@ func main() {
 	if err := run(*fig, scale, *replicas, *benchOut); err != nil {
 		fmt.Fprintln(os.Stderr, "dias-experiments:", err)
 		os.Exit(1)
+	}
+}
+
+// listFigures prints the driver catalogue in run order.
+func listFigures() {
+	fmt.Println("Registered figures (run order under -fig all):")
+	for _, d := range experiments.Drivers() {
+		notes := ""
+		if d.SkipInAll {
+			notes = "  [not in 'all']"
+		}
+		fmt.Printf("  %-21s %s%s\n", d.Name, d.Description, notes)
 	}
 }
 
@@ -118,38 +137,6 @@ type figureReport struct {
 	Scenarios []runner.Summary `json:"scenarios,omitempty"`
 }
 
-// figureOutput is one figure's rendered text plus its scenario results
-// (nil for figures without a scenario grid).
-type figureOutput struct {
-	text      fmt.Stringer
-	scenarios []metrics.ScenarioResult
-}
-
-// comp flattens a comparison figure into its scenario results.
-func comp(f *experiments.ComparisonFigure) []metrics.ScenarioResult {
-	return append([]metrics.ScenarioResult{f.Baseline}, f.Others...)
-}
-
-// relabel suffixes scenario names so steps that bundle several sub-figures
-// (8's variants, 11's budgets, the extension sets) stay unique by name in
-// the benchmark report — name is the only identifier runner.Summary carries.
-func relabel(suffix string, rs []metrics.ScenarioResult) []metrics.ScenarioResult {
-	out := make([]metrics.ScenarioResult, len(rs))
-	for i, s := range rs {
-		s.Name += suffix
-		out[i] = s
-	}
-	return out
-}
-
-// plain adapts a figure without a scenario grid to the step signature.
-func plain[T fmt.Stringer](fn func(experiments.Scale) (T, error)) func(experiments.Scale) (figureOutput, error) {
-	return func(sc experiments.Scale) (figureOutput, error) {
-		r, err := fn(sc)
-		return figureOutput{text: r}, err
-	}
-}
-
 func run(fig string, scale experiments.Scale, replicas int, benchOut string) error {
 	// -fig accepts a comma-separated selection; "all" anywhere in the list
 	// wins.
@@ -161,179 +148,17 @@ func run(fig string, scale experiments.Scale, replicas int, benchOut string) err
 	}
 	all := want["all"]
 	delete(want, "all")
-	type step struct {
-		name string
-		fn   func(experiments.Scale) (figureOutput, error)
-	}
-	steps := []step{
-		{"motivation", plain(experiments.Motivation)},
-		{"4", plain(experiments.Figure4)},
-		{"5", plain(experiments.Figure5)},
-		{"6", plain(experiments.Figure6)},
-		{"7", func(sc experiments.Scale) (figureOutput, error) {
-			r, err := experiments.Figure7(sc)
-			if err != nil {
-				return figureOutput{}, err
-			}
-			return figureOutput{text: r, scenarios: comp(r)}, nil
-		}},
-		{"8", func(sc experiments.Scale) (figureOutput, error) {
-			var out multi
-			var scens []metrics.ScenarioResult
-			for _, v := range []experiments.Figure8Variant{
-				experiments.Figure8EqualSizes, experiments.Figure8MoreHigh, experiments.Figure8HalfLoad,
-			} {
-				r, err := experiments.Figure8(v, sc)
-				if err != nil {
-					return figureOutput{}, err
-				}
-				out = append(out, r)
-				scens = append(scens, relabel("-"+string(v), comp(r))...)
-			}
-			return figureOutput{text: out, scenarios: scens}, nil
-		}},
-		{"9", func(sc experiments.Scale) (figureOutput, error) {
-			r, err := experiments.Figure9(sc)
-			if err != nil {
-				return figureOutput{}, err
-			}
-			return figureOutput{text: r, scenarios: comp(r)}, nil
-		}},
-		{"10", func(sc experiments.Scale) (figureOutput, error) {
-			r, err := experiments.Figure10(graphScale(sc))
-			if err != nil {
-				return figureOutput{}, err
-			}
-			return figureOutput{text: r, scenarios: comp(r)}, nil
-		}},
-		{"11", func(sc experiments.Scale) (figureOutput, error) {
-			r, err := experiments.Figure11(graphScale(sc))
-			if err != nil {
-				return figureOutput{}, err
-			}
-			scens := append([]metrics.ScenarioResult{r.Limited.Baseline, r.NPS},
-				relabel("-limited", r.Limited.Others)...)
-			scens = append(scens, relabel("-unlimited", r.Unlimited.Others)...)
-			return figureOutput{text: r, scenarios: scens}, nil
-		}},
-		{"table2", func(sc experiments.Scale) (figureOutput, error) {
-			r, err := experiments.Figure11(graphScale(sc))
-			if err != nil {
-				return figureOutput{}, err
-			}
-			return figureOutput{text: stringer(r.Table2())}, nil
-		}},
-		{"ablations", func(sc experiments.Scale) (figureOutput, error) {
-			var out multi
-			var scens []metrics.ScenarioResult
-			st, err := experiments.AblationSprintTimeout(graphScale(sc))
-			if err != nil {
-				return figureOutput{}, err
-			}
-			out = append(out, st)
-			scens = append(scens, comp(st)...)
-			ml, err := experiments.AblationModelLevel(sc)
-			if err != nil {
-				return figureOutput{}, err
-			}
-			out = append(out, ml)
-			dt, err := experiments.AblationDropTiming(sc)
-			if err != nil {
-				return figureOutput{}, err
-			}
-			out = append(out, stringer(fmt.Sprintf(
-				"Ablation: early drop timing\n  full exec %.1fs, theta=0.5 exec %.1fs (%.0f%% saved)\n",
-				dt.FullExecSec, dt.DroppedExecSec, 100*(1-dt.DroppedExecSec/dt.FullExecSec))))
-			er, err := experiments.AblationEvictionResume(sc)
-			if err != nil {
-				return figureOutput{}, err
-			}
-			out = append(out, stringer(fmt.Sprintf(
-				"Ablation: preemptive-repeat eviction\n  resource waste %.1f%% of machine time\n",
-				er.ResourceWastePct)))
-			scens = append(scens, er)
-			return figureOutput{text: out, scenarios: scens}, nil
-		}},
-		{"faults", func(sc experiments.Scale) (figureOutput, error) {
-			r, err := experiments.FaultTolerance(faultScale(sc))
-			if err != nil {
-				return figureOutput{}, err
-			}
-			return figureOutput{text: r, scenarios: r.Scenarios()}, nil
-		}},
-		{"elasticity", func(sc experiments.Scale) (figureOutput, error) {
-			r, err := experiments.Elasticity(faultScale(sc))
-			if err != nil {
-				return figureOutput{}, err
-			}
-			return figureOutput{text: r, scenarios: r.Scenarios()}, nil
-		}},
-		{"federation-outage", func(sc experiments.Scale) (figureOutput, error) {
-			r, err := experiments.FederationOutage(fedExpScale(sc))
-			if err != nil {
-				return figureOutput{}, err
-			}
-			return figureOutput{text: r, scenarios: r.Scenarios()}, nil
-		}},
-		{"federation-scaleout", func(sc experiments.Scale) (figureOutput, error) {
-			r, err := experiments.FederationScaleOut(fedExpScale(sc))
-			if err != nil {
-				return figureOutput{}, err
-			}
-			return figureOutput{text: r, scenarios: r.Scenarios()}, nil
-		}},
-		{"federation-hetero", func(sc experiments.Scale) (figureOutput, error) {
-			r, err := experiments.FederationHeterogeneous(fedExpScale(sc))
-			if err != nil {
-				return figureOutput{}, err
-			}
-			return figureOutput{text: r, scenarios: r.Scenarios()}, nil
-		}},
-		{"extensions", func(sc experiments.Scale) (figureOutput, error) {
-			var out multi
-			var scens []metrics.ScenarioResult
-			b, err := experiments.ExtensionBursty(sc)
-			if err != nil {
-				return figureOutput{}, err
-			}
-			out = append(out, b)
-			scens = append(scens, relabel("-poisson", comp(b.Poisson))...)
-			scens = append(scens, relabel("-bursty", comp(b.Bursty))...)
-			v, err := experiments.ExtensionVariableSizes(sc)
-			if err != nil {
-				return figureOutput{}, err
-			}
-			out = append(out, v)
-			scens = append(scens, relabel("-varsize", comp(v))...)
-			f, err := experiments.ExtensionFailures(sc)
-			if err != nil {
-				return figureOutput{}, err
-			}
-			out = append(out, f)
-			scens = append(scens, relabel("-failures", comp(f))...)
-			a, err := experiments.ExtensionAdaptive(sc)
-			if err != nil {
-				return figureOutput{}, err
-			}
-			out = append(out, a)
-			return figureOutput{text: out, scenarios: scens}, nil
-		}},
-	}
 	// Fail fast on typos: every requested name must exist before anything
 	// runs, so a bad entry cannot waste the valid figures' run time.
-	known := make(map[string]bool, len(steps))
-	for _, s := range steps {
-		known[s.name] = true
-	}
 	var unknown []string
 	for name := range want {
-		if !known[name] {
+		if _, ok := experiments.Lookup(name); !ok {
 			unknown = append(unknown, name)
 		}
 	}
 	if len(unknown) > 0 {
 		sort.Strings(unknown)
-		return fmt.Errorf("unknown figure(s) %q", strings.Join(unknown, ","))
+		return fmt.Errorf("unknown figure(s) %q (see -fig list)", strings.Join(unknown, ","))
 	}
 	if !all && len(want) == 0 {
 		return fmt.Errorf("no figure selected in %q", fig)
@@ -349,55 +174,54 @@ func run(fig string, scale experiments.Scale, replicas int, benchOut string) err
 		JobsPerScenario: scale.Jobs,
 	}
 	start := time.Now()
-	for _, s := range steps {
-		if !all && !want[s.name] {
+	for _, d := range experiments.Drivers() {
+		if !all && !want[d.Name] {
 			continue
 		}
-		// table2 duplicates figure 11's run; skip it under -fig all.
-		if all && s.name == "table2" {
+		if all && d.SkipInAll {
 			continue
 		}
 		figStart := time.Now()
-		sc0 := scale
+		sc0 := d.Scaled(scale)
 		sc0.Seed = seeds[0]
-		first, err := s.fn(sc0)
+		first, err := d.Run(sc0)
 		if err != nil {
-			return fmt.Errorf("figure %s (seed %d): %w", s.name, seeds[0], err)
+			return fmt.Errorf("figure %s (seed %d): %w", d.Name, seeds[0], err)
 		}
-		fmt.Println(first.text.String())
+		fmt.Println(first.Text.String())
 		fmt.Println()
-		perSeed := [][]metrics.ScenarioResult{first.scenarios}
+		perSeed := [][]metrics.ScenarioResult{first.Scenarios}
 		// Replicas beyond the first only feed the aggregates; figures
 		// without a scenario grid (motivation, 4-6, table2) have nothing
 		// to aggregate, so they run once regardless of -replicas. The
 		// replica loop itself is serial (pool of one): each figure already
 		// fans its own grid across every core.
-		if len(first.scenarios) > 0 && len(seeds) > 1 {
+		if len(first.Scenarios) > 0 && len(seeds) > 1 {
 			rest, err := runner.Replicated(context.Background(), runner.New(1), seeds[1:],
 				func(_ context.Context, sd int64) ([]metrics.ScenarioResult, error) {
-					sc := scale
+					sc := d.Scaled(scale)
 					sc.Seed = sd
-					out, err := s.fn(sc)
+					out, err := d.Run(sc)
 					if err != nil {
 						return nil, err
 					}
-					return out.scenarios, nil
+					return out.Scenarios, nil
 				})
 			if err != nil {
-				return fmt.Errorf("figure %s replicas: %w", s.name, err)
+				return fmt.Errorf("figure %s replicas: %w", d.Name, err)
 			}
 			perSeed = append(perSeed, rest...)
 		}
-		fr := figureReport{Name: s.name, WallClockSec: time.Since(figStart).Seconds()}
-		if len(first.scenarios) > 0 {
+		fr := figureReport{Name: d.Name, WallClockSec: time.Since(figStart).Seconds()}
+		if len(first.Scenarios) > 0 {
 			repSeeds := seeds[:len(perSeed)]
 			sums, err := runner.SummarizeAll(repSeeds, perSeed)
 			if err != nil {
-				return fmt.Errorf("figure %s: aggregating replicas: %w", s.name, err)
+				return fmt.Errorf("figure %s: aggregating replicas: %w", d.Name, err)
 			}
 			fr.Scenarios = sums
 			if len(repSeeds) > 1 {
-				printAggregates(s.name, sums)
+				printAggregates(d.Name, sums)
 			}
 		}
 		report.Figures = append(report.Figures, fr)
@@ -410,33 +234,6 @@ func run(fig string, scale experiments.Scale, replicas int, benchOut string) err
 		fmt.Fprintf(os.Stderr, "dias-experiments: wrote %s (%.1fs total)\n", benchOut, report.TotalWallClockSec)
 	}
 	return nil
-}
-
-// graphScale caps arrivals for the graph figures, whose jobs are ~10x
-// heavier per arrival.
-func graphScale(sc experiments.Scale) experiments.Scale {
-	if sc.Jobs > 300 {
-		sc.Jobs = 300
-	}
-	return sc
-}
-
-// fedExpScale caps arrivals for the federation figures: their grids run
-// dozens of whole-federation simulations per figure.
-func fedExpScale(sc experiments.Scale) experiments.Scale {
-	if sc.Jobs > 250 {
-		sc.Jobs = 250
-	}
-	return sc
-}
-
-// faultScale caps arrivals for the fault/elasticity figures: their grids
-// run up to 18 faulty whole-cluster simulations per figure.
-func faultScale(sc experiments.Scale) experiments.Scale {
-	if sc.Jobs > 300 {
-		sc.Jobs = 300
-	}
-	return sc
 }
 
 // gitSHA stamps the report with the commit being measured.
@@ -472,23 +269,4 @@ func writeReport(path string, r *benchReport) error {
 		return fmt.Errorf("writing benchmark report: %w", err)
 	}
 	return nil
-}
-
-// stringer adapts a plain string to fmt.Stringer.
-type stringer string
-
-func (s stringer) String() string { return string(s) }
-
-// multi concatenates several results.
-type multi []fmt.Stringer
-
-func (m multi) String() string {
-	out := ""
-	for i, s := range m {
-		if i > 0 {
-			out += "\n"
-		}
-		out += s.String()
-	}
-	return out
 }

@@ -17,6 +17,8 @@
 //   - internal/queueing  M[K]/PH[K]/1 priority-queue solver + simulator
 //   - internal/core      DiAS: buffers, deflator, sprinter, policies,
 //     and the closed-loop AdaptiveDeflator
+//   - internal/admission overload control: token-bucket, queue-depth and
+//     SLO-budget shedding ahead of the buffers
 //   - internal/mmap      MMAP[K] arrival processes (bursty traffic)
 //   - internal/trace     scheduler event log, replayable as workload
 //   - internal/faults    fault/churn injection: node crash/recover
@@ -34,6 +36,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"dias/internal/admission"
 	"dias/internal/cluster"
 	"dias/internal/core"
 	"dias/internal/dfs"
@@ -59,11 +62,24 @@ type StackConfig struct {
 	// crash/recover processes (stochastic or trace-driven), per-task
 	// failures with bounded retries, and stragglers. See internal/faults.
 	Faults *faults.Config
-	// Autoscale, when non-nil, drives elastic capacity through a
+	// Admission, when non-nil, gates every arrival before it is buffered
+	// (see internal/admission and AdmissionPolicies). On a single stack a
+	// Defer verdict degrades to a rejection. Nil admits everything and is
+	// byte-identical to the "always" policy.
+	Admission admission.Policy
+	// Scaling, when non-nil, drives elastic capacity through a
 	// core.Autoscaler: the cluster is provisioned at Cluster.Nodes and the
-	// scale policy commissions/decommissions nodes inside the configured
-	// bounds at run time.
+	// scale policy (see ScalePolicies) commissions/decommissions nodes
+	// inside the configured bounds at run time.
+	Scaling *core.AutoscalerConfig
+	// Autoscale is the old name for Scaling.
+	//
+	// Deprecated: use Scaling. Setting both is an error.
 	Autoscale *core.AutoscalerConfig
+	// Deflation, when non-nil, builds the deflator for this stack (see
+	// DeflationPolicies). Setting both Deflation and Policy.Deflator is an
+	// error.
+	Deflation DeflatorFactory
 	// Seed drives all randomness; runs are reproducible per seed.
 	Seed int64
 }
@@ -79,7 +95,7 @@ type Stack struct {
 	// Faults is the armed injector (nil unless StackConfig.Faults is set).
 	Faults *faults.Injector
 	// Autoscaler is the armed capacity controller (nil unless
-	// StackConfig.Autoscale is set). Feed it completions by wiring
+	// StackConfig.Scaling is set). Feed it completions by wiring
 	// Policy.OnRecord to Autoscaler.Observe, or use NewStack which does.
 	Autoscaler *core.Autoscaler
 }
@@ -93,6 +109,13 @@ func NewStack(cfg StackConfig) (*Stack, error) {
 	if cfg.Cost == zero {
 		cfg.Cost = engine.DefaultCostModel()
 	}
+	scaling := cfg.Scaling
+	if cfg.Autoscale != nil {
+		if scaling != nil {
+			return nil, fmt.Errorf("dias: set StackConfig.Scaling or the deprecated Autoscale, not both")
+		}
+		scaling = cfg.Autoscale
+	}
 	sim := simtime.New()
 	clu, err := cluster.New(sim, cfg.Cluster)
 	if err != nil {
@@ -103,8 +126,22 @@ func NewStack(cfg StackConfig) (*Stack, error) {
 		return nil, fmt.Errorf("building engine: %w", err)
 	}
 	policy := cfg.Policy
+	if cfg.Admission != nil {
+		if policy.Admission != nil {
+			return nil, fmt.Errorf("dias: set StackConfig.Admission or Policy.Admission, not both")
+		}
+		policy.Admission = cfg.Admission
+	}
+	if cfg.Deflation != nil {
+		if policy.Deflator != nil {
+			return nil, fmt.Errorf("dias: set StackConfig.Deflation or Policy.Deflator, not both")
+		}
+		if policy.Deflator, err = cfg.Deflation(sim); err != nil {
+			return nil, fmt.Errorf("building deflator: %w", err)
+		}
+	}
 	stack := &Stack{Sim: sim, Cluster: clu, Engine: eng}
-	if cfg.Autoscale != nil {
+	if scaling != nil {
 		// The autoscaler's latency signal taps the same record stream the
 		// caller's hook sees; the autoscaler itself is built after the
 		// scheduler, so the closure binds the stack field late.
@@ -128,8 +165,8 @@ func NewStack(cfg StackConfig) (*Stack, error) {
 			return nil, fmt.Errorf("arming fault injection: %w", err)
 		}
 	}
-	if cfg.Autoscale != nil {
-		if stack.Autoscaler, err = core.NewAutoscaler(sim, clu, eng, sch, *cfg.Autoscale); err != nil {
+	if scaling != nil {
+		if stack.Autoscaler, err = core.NewAutoscaler(sim, clu, eng, sch, *scaling); err != nil {
 			return nil, fmt.Errorf("arming autoscaler: %w", err)
 		}
 	}
@@ -195,6 +232,12 @@ type FederationConfig struct {
 	// Routing picks each arrival's destination; nil means join-shortest-
 	// queue.
 	Routing federation.RoutingPolicy
+	// Admission, when non-nil, is a per-member policy factory (admission
+	// policies are stateful, so each member needs its own instance). A
+	// Defer verdict re-routes the arrival to the next member with room;
+	// when every member defers it is rejected at the routed member. Nil
+	// admits everything.
+	Admission func() admission.Policy
 	// Data, when non-nil, enables the cross-cluster data model: every
 	// member gets its own dfs and off-home routing pays WAN input fetches.
 	Data *dfs.Config
@@ -217,10 +260,11 @@ func NewFederation(cfg FederationConfig) (*federation.Federation, error) {
 		members[i] = federation.MemberSpec{Cluster: c, Cost: cfg.Cost}
 	}
 	return federation.New(federation.Config{
-		Members: members,
-		Policy:  cfg.Policy,
-		Routing: cfg.Routing,
-		Data:    cfg.Data,
-		Seed:    cfg.Seed,
+		Members:   members,
+		Policy:    cfg.Policy,
+		Routing:   cfg.Routing,
+		Admission: cfg.Admission,
+		Data:      cfg.Data,
+		Seed:      cfg.Seed,
 	})
 }

@@ -18,6 +18,7 @@ import (
 	"dias/internal/core"
 	"dias/internal/engine"
 	"dias/internal/metrics"
+	"dias/internal/simtime"
 	"dias/internal/workload"
 )
 
@@ -105,30 +106,29 @@ func run() error {
 	}
 
 	// Adaptive: target 3x the low job's unloaded execution, ceiling 0.4.
+	// StackConfig.Deflation binds the controller to the stack's clock at
+	// construction time; the closure keeps the concrete handle for the
+	// decision log below.
 	var ctl *core.AdaptiveDeflator
 	adaptive, err := func() (*dias.Stack, error) {
-		stack, err := dias.NewStack(dias.StackConfig{Policy: core.PolicyNP(2), Seed: 1})
-		if err != nil {
-			return nil, err
-		}
-		ctl, err = core.NewAdaptiveDeflator(stack.Sim, core.AdaptiveConfig{
-			TargetResponseSec: []float64{60, 0},
-			MaxTheta:          []float64{0.4, 0},
-			Window:            6,
-			Step:              0.05,
-			Hysteresis:        0.6,
+		stack, err := dias.NewStack(dias.StackConfig{
+			Policy: core.PolicyNP(2),
+			Deflation: func(sim *simtime.Simulation) (core.Deflator, error) {
+				var err error
+				ctl, err = core.NewAdaptiveDeflator(sim, core.AdaptiveConfig{
+					TargetResponseSec: []float64{60, 0},
+					MaxTheta:          []float64{0.4, 0},
+					Window:            6,
+					Step:              0.05,
+					Hysteresis:        0.6,
+				})
+				return ctl, err
+			},
+			Seed: 1,
 		})
 		if err != nil {
 			return nil, err
 		}
-		// Rebuild the scheduler with the controller installed.
-		sch, err := core.New(stack.Sim, stack.Cluster, stack.Engine, core.Config{
-			Classes: 2, Deflator: ctl,
-		})
-		if err != nil {
-			return nil, err
-		}
-		stack.Scheduler = sch
 		replay, err := workload.NewReplay(arrivals)
 		if err != nil {
 			return nil, err

@@ -43,7 +43,14 @@ func run() error {
 	highJob := analytics.WordPopularityJob("high", corpus[:len(corpus)/2], 10, 1<<27)
 
 	// Provision 16 nodes but let a backlog autoscaler run 4..16 of them;
-	// scale-in is suppressed while the sprinter is active.
+	// scale-in is suppressed while the sprinter is active. The scale
+	// policy resolves by name from the facade registry.
+	scalePolicy, err := dias.ScalePolicies().New("backlog", dias.ScaleOptions{
+		ScaleOutAbove: 3, ScaleInBelow: 1, Step: 3,
+	})
+	if err != nil {
+		return err
+	}
 	cluCfg := cluster.DefaultConfig()
 	cluCfg.Nodes = 16
 	stack, err := dias.NewStack(dias.StackConfig{
@@ -62,8 +69,8 @@ func run() error {
 			},
 			Seed: 11,
 		},
-		Autoscale: &core.AutoscalerConfig{
-			Policy:       core.BacklogScalePolicy{ScaleOutAbove: 3, ScaleInBelow: 1, Step: 3},
+		Scaling: &core.AutoscalerConfig{
+			Policy:       scalePolicy,
 			MinNodes:     4,
 			MaxNodes:     16,
 			InitialNodes: 8,

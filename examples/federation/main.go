@@ -16,6 +16,7 @@ import (
 	"math/rand"
 	"os"
 
+	"dias"
 	"dias/internal/analytics"
 	"dias/internal/cluster"
 	"dias/internal/core"
@@ -127,11 +128,15 @@ func run() error {
 		return err
 	}
 	fmt.Println("3-cluster federation (east, west, half-size edge), DA(0,20), 9:1 stream:")
-	for _, routing := range []federation.RoutingPolicy{
-		federation.NewRoundRobin(),
-		federation.NewJoinShortestQueue(),
-		federation.NewDataLocal(4),
-	} {
+	// Routing policies resolve by name through the facade registry; the
+	// options struct carries every per-policy knob (only data-local reads
+	// the spill bound).
+	registry := dias.RoutingPolicies()
+	for _, name := range []string{"round-robin", "jsq", "data-local"} {
+		routing, err := registry.New(name, dias.RoutingOptions{DataLocalSpill: 4})
+		if err != nil {
+			return err
+		}
 		if err := runPolicy(routing, jobs); err != nil {
 			return err
 		}

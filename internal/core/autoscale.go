@@ -244,10 +244,11 @@ func NewAutoscaler(sim *simtime.Simulation, clu *cluster.Cluster, eng *engine.En
 	return a, nil
 }
 
-// Observe feeds one completed job into the latency smoother. Failed jobs
-// are excluded: their response times describe aborts, not service.
+// Observe feeds one completed job into the latency smoother. Failed and
+// rejected jobs are excluded: their response times describe aborts and
+// sheds, not service.
 func (a *Autoscaler) Observe(rec JobRecord) {
-	if rec.Failed {
+	if rec.Failed || rec.Rejected {
 		return
 	}
 	if a.completions == 0 {

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math"
 
+	"dias/internal/admission"
 	"dias/internal/cluster"
 	"dias/internal/engine"
 	"dias/internal/ring"
@@ -75,6 +76,12 @@ type Config struct {
 	Deflator Deflator
 	// Sprint enables the sprinter; nil disables sprinting.
 	Sprint *SprintPolicy
+	// Admission, when non-nil, gates every arrival before it is buffered:
+	// rejected jobs never enter a buffer and are reported as rejection
+	// records (JobRecord.Rejected) instead of completions. Nil admits
+	// everything, byte-identical to admission.AlwaysAdmit. Policies that
+	// implement admission.Learner are fed every completion.
+	Admission admission.Policy
 	// KeepOutputs retains job outputs in records (needed for accuracy
 	// measurements; costs memory on long runs).
 	KeepOutputs bool
@@ -213,6 +220,11 @@ type JobRecord struct {
 	// exhausted; its latency fields describe the failed run, not a
 	// completed service.
 	Failed bool
+	// Rejected reports a job the admission policy shed at arrival: it
+	// never entered a buffer, so every latency field is zero and
+	// ArrivedAt == FinishedAt. Every submitted job produces exactly one
+	// record — completed, failed, or rejected.
+	Rejected bool
 	// Output holds the job result records when Config.KeepOutputs is set.
 	Output []engine.Record
 }
@@ -250,6 +262,11 @@ type Scheduler struct {
 	// obs, when non-nil, receives queue/occupancy transitions (see
 	// StateObserver).
 	obs StateObserver
+	// admLearner caches the admission policy's Learner side (nil when the
+	// policy does not learn), so completions avoid a type assertion each.
+	admLearner admission.Learner
+	// rejected counts admission-shed jobs per class.
+	rejected []int
 
 	records []JobRecord
 
@@ -272,11 +289,15 @@ func New(sim *simtime.Simulation, clu *cluster.Cluster, eng *engine.Engine, cfg 
 		return nil, err
 	}
 	s := &Scheduler{
-		sim:     sim,
-		clu:     clu,
-		eng:     eng,
-		cfg:     cfg,
-		buffers: make([]ring.Deque[*entry], cfg.Classes),
+		sim:      sim,
+		clu:      clu,
+		eng:      eng,
+		cfg:      cfg,
+		buffers:  make([]ring.Deque[*entry], cfg.Classes),
+		rejected: make([]int, cfg.Classes),
+	}
+	if l, ok := cfg.Admission.(admission.Learner); ok {
+		s.admLearner = l
 	}
 	if cfg.Sprint != nil {
 		s.sprintTimer = simtime.NewTimer(sim)
@@ -288,14 +309,46 @@ func New(sim *simtime.Simulation, clu *cluster.Cluster, eng *engine.Engine, cfg 
 	return s, nil
 }
 
-// Arrive enqueues a class-k job at the current virtual time. It must be
-// called from simulation context (an event callback).
+// Arrive submits a class-k job at the current virtual time: the admission
+// policy (if any) gates it, and an admitted job is enqueued. A shed job is
+// reported as a rejection record; a Defer verdict also sheds, since a
+// single stack has nowhere else to send it (the federation dispatcher
+// uses Offer to spill deferred arrivals across members instead). It must
+// be called from simulation context (an event callback).
 func (s *Scheduler) Arrive(class int, job *engine.Job) error {
+	dec, err := s.Offer(class, job)
+	if err != nil {
+		return err
+	}
+	if dec == admission.Defer {
+		s.Reject(class, job)
+	}
+	return nil
+}
+
+// Offer submits a class-k job for admission: Accept enqueues it, Reject
+// records the shed, and Defer does nothing — the caller owns a deferred
+// job and must either place it elsewhere or hand it back to Reject.
+func (s *Scheduler) Offer(class int, job *engine.Job) (admission.Decision, error) {
 	if class < 0 || class >= s.cfg.Classes {
-		return fmt.Errorf("core: class %d out of [0,%d)", class, s.cfg.Classes)
+		return admission.Reject, fmt.Errorf("core: class %d out of [0,%d)", class, s.cfg.Classes)
 	}
 	if job == nil {
-		return errors.New("core: nil job")
+		return admission.Reject, errors.New("core: nil job")
+	}
+	if s.cfg.Admission != nil {
+		info := admission.JobInfo{Name: job.Name, Class: class, SizeBytes: job.SizeBytes}
+		switch dec := s.cfg.Admission.Admit(s.sim.Now(), info, s); dec {
+		case admission.Accept:
+			// Fall through to the enqueue below.
+		case admission.Reject:
+			s.Reject(class, job)
+			return admission.Reject, nil
+		case admission.Defer:
+			return admission.Defer, nil
+		default:
+			return admission.Reject, fmt.Errorf("core: admission policy %s returned %v", s.cfg.Admission.Name(), dec)
+		}
 	}
 	en := s.newEntry(class, job)
 	s.trace(trace.Arrival, en, "")
@@ -305,13 +358,47 @@ func (s *Scheduler) Arrive(class int, job *engine.Job) error {
 	}
 	if s.current == nil {
 		s.dispatchNext()
-		return nil
+		return admission.Accept, nil
 	}
 	if s.cfg.Preemptive && class > s.current.class {
 		s.evictCurrent()
 		s.dispatchNext()
 	}
-	return nil
+	return admission.Accept, nil
+}
+
+// Reject sheds a class-k job at the current virtual time: it counts the
+// rejection and emits a rejection record (Rejected true, zero latencies)
+// through the same record stream completions use, so every submitted job
+// yields exactly one record. The federation dispatcher calls this when a
+// deferred arrival finds no member willing to take it.
+func (s *Scheduler) Reject(class int, job *engine.Job) {
+	if class >= 0 && class < len(s.rejected) {
+		s.rejected[class]++
+	}
+	if s.cfg.Trace != nil {
+		name := ""
+		if job != nil {
+			name = job.Name
+		}
+		s.cfg.Trace.Record(s.sim.Now(), trace.Reject, name, class, "")
+	}
+	now := s.sim.Now()
+	rec := JobRecord{
+		Class:      class,
+		ArrivedAt:  now,
+		FinishedAt: now,
+		Rejected:   true,
+	}
+	if job != nil {
+		rec.Name = job.Name
+	}
+	if s.cfg.OnRecord != nil {
+		s.cfg.OnRecord(rec)
+	}
+	if !s.cfg.DiscardRecords {
+		s.records = append(s.records, rec)
+	}
 }
 
 // evictCurrent kills the running job and returns it to the head of its
@@ -453,6 +540,9 @@ func (s *Scheduler) onComplete(en *entry, res engine.JobResult) {
 	if s.cfg.Deflator != nil {
 		s.cfg.Deflator.Observe(rec)
 	}
+	if s.admLearner != nil && !rec.Failed {
+		s.admLearner.Observe(rec.Class, rec.ExecSec, rec.ResponseSec)
+	}
 	s.freeEntry(en)
 	s.dispatchNext()
 }
@@ -563,8 +653,45 @@ func (s *Scheduler) QueuedJobsInClass(class int) int {
 	return s.buffers[class].Len()
 }
 
+// Backlog returns the number of jobs that would precede a new class-k
+// arrival: buffered jobs of class >= k (higher classes dispatch first,
+// equal classes are FIFO ahead of it) plus the running job. This is the
+// admission.State view policies read at decision time, matching the
+// federation Member.Backlog semantics.
+func (s *Scheduler) Backlog(class int) int {
+	if class < 0 {
+		class = 0
+	}
+	var n int
+	for k := class; k < len(s.buffers); k++ {
+		n += s.buffers[k].Len()
+	}
+	if s.current != nil {
+		n++
+	}
+	return n
+}
+
 // Classes returns the number of priority classes the scheduler serves.
 func (s *Scheduler) Classes() int { return s.cfg.Classes }
+
+// RejectedJobs returns the number of admission-shed jobs so far.
+func (s *Scheduler) RejectedJobs() int {
+	var n int
+	for _, r := range s.rejected {
+		n += r
+	}
+	return n
+}
+
+// RejectedJobsInClass returns the admission-shed count of one class;
+// out-of-range classes report zero.
+func (s *Scheduler) RejectedJobsInClass(class int) int {
+	if class < 0 || class >= len(s.rejected) {
+		return 0
+	}
+	return s.rejected[class]
+}
 
 // Busy reports whether a job is currently in the engine.
 func (s *Scheduler) Busy() bool { return s.current != nil }

@@ -121,3 +121,38 @@ func SelectDropRatios(grid []float64, curve AccuracyCurve, cons KnobConstraints,
 	}
 	return nil, errors.New("core: no feasible drop-ratio vector under the given constraints")
 }
+
+// StaticDeflator serves fixed per-class drop-ratio vectors through the
+// Deflator interface — the paper's offline-selected thresholds in a form
+// the deflation-policy registry can construct without a simulation handle
+// (unlike AdaptiveDeflator, it never adjusts and ignores completions).
+type StaticDeflator struct {
+	ratios [][]float64
+}
+
+// NewStaticDeflator builds a deflator returning ratios[k] for class k
+// (nil entries mean no dropping). Every ratio must lie in [0, 1).
+func NewStaticDeflator(ratios [][]float64) (*StaticDeflator, error) {
+	if len(ratios) == 0 {
+		return nil, errors.New("core: static deflator has no classes")
+	}
+	for k, rs := range ratios {
+		for s, r := range rs {
+			if r < 0 || r >= 1 {
+				return nil, fmt.Errorf("core: class %d stage %d drop ratio %g out of [0,1)", k, s, r)
+			}
+		}
+	}
+	return &StaticDeflator{ratios: ratios}, nil
+}
+
+// DropRatios implements Deflator.
+func (d *StaticDeflator) DropRatios(class int) []float64 {
+	if class < 0 || class >= len(d.ratios) {
+		return nil
+	}
+	return d.ratios[class]
+}
+
+// Observe implements Deflator; a static deflator never adapts.
+func (d *StaticDeflator) Observe(JobRecord) {}

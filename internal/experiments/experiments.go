@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"dias/internal/admission"
 	"dias/internal/analytics"
 	"dias/internal/cluster"
 	"dias/internal/core"
@@ -150,6 +151,11 @@ type scenario struct {
 	// standard aggregates (e.g. slowdown accumulators). The scheduler
 	// never materializes a record slice.
 	observe func(core.JobRecord)
+	// admit, when non-nil, builds a fresh admission policy for this run
+	// (policies are stateful, so scenarios never share instances) and
+	// installs it into the policy config. Deferred arrivals degrade to
+	// rejections on a single stack — there is nowhere to re-route.
+	admit func() admission.Policy
 }
 
 // run executes the scenario to completion, streaming completed-job
@@ -176,6 +182,9 @@ func (sc scenario) run() (metrics.ScenarioResult, error) {
 		return metrics.ScenarioResult{}, err
 	}
 	policy := sc.policy
+	if sc.admit != nil {
+		policy.Admission = sc.admit()
+	}
 	if sc.deflator != nil {
 		d, err := sc.deflator(sim)
 		if err != nil {
@@ -287,6 +296,7 @@ func (sc scenario) run() (metrics.ScenarioResult, error) {
 	if res.MakespanSec > 0 {
 		res.MeanPoweredNodes = clu.PoweredNodeSeconds() / res.MakespanSec
 	}
+	res.FillOverload()
 	return res, nil
 }
 

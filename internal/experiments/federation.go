@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"dias/internal/admission"
 	"dias/internal/cluster"
 	"dias/internal/core"
 	"dias/internal/dfs"
@@ -100,6 +101,10 @@ type fedScenario struct {
 	// timeline before the run (the routing stressor: in-flight work on the
 	// member re-executes after recovery, arrivals route around it).
 	outages []memberOutage
+	// admit, when non-nil, is the per-member admission-policy factory
+	// (federation.Config.Admission): members shed or spill arrivals
+	// instead of buffering unconditionally.
+	admit func() admission.Policy
 }
 
 // memberOutage is one scheduled cluster-level outage.
@@ -122,6 +127,7 @@ func (sc fedScenario) run() (metrics.FederationScenarioResult, error) {
 		Members:        sc.members,
 		Policy:         federationPolicy(),
 		Routing:        sc.policy.make(sc.scale.Seed + 17),
+		Admission:      sc.admit,
 		Data:           &data,
 		Seed:           sc.scale.Seed,
 		OnRecord:       acc.Add,
@@ -185,6 +191,7 @@ func (sc fedScenario) run() (metrics.FederationScenarioResult, error) {
 	if totalBusy > 0 {
 		res.Overall.ResourceWastePct = 100 * totalWaste / totalBusy
 	}
+	res.Overall.FillOverload()
 	return res, nil
 }
 

@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func overloadScale() Scale {
+	s := Scale{Jobs: 40, WarmupFraction: 0, Seed: 5}
+	if testing.Short() {
+		s.Jobs = 24
+	}
+	return s
+}
+
+// TestOverloadFigure drives the sweep at small scale and checks its
+// headline claims: per-row conservation, a non-zero rejection fraction for
+// token-bucket at 3x, and a tail-latency win bought with that shed work.
+func TestOverloadFigure(t *testing.T) {
+	fig, err := Overload(overloadScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 admission policies x 4 loads on one stack + 3 federation rows.
+	if got := len(fig.Rows); got != 19 {
+		t.Fatalf("%d rows, want 19", got)
+	}
+	rows := make(map[string]int, len(fig.Rows))
+	for i, r := range fig.Rows {
+		rows[r.Name] = i
+		var jobs, failed, rejected int
+		for _, cs := range r.PerClass {
+			jobs += cs.Jobs
+			failed += cs.FailedJobs
+			rejected += cs.RejectedJobs
+		}
+		// Conservation: every submission in every cell is exactly one of
+		// completed, failed or rejected (federation rows shard the same
+		// arrival count across their members).
+		want := overloadScale().Jobs
+		if jobs+failed+rejected != want {
+			t.Errorf("%s: %d+%d+%d outcomes for %d submissions", r.Name, jobs, failed, rejected, want)
+		}
+		if r.RejectedJobs != rejected {
+			t.Errorf("%s: RejectedJobs %d != per-class sum %d", r.Name, r.RejectedJobs, rejected)
+		}
+		if r.GoodputJobsPerSec <= 0 {
+			t.Errorf("%s: goodput %g", r.Name, r.GoodputJobsPerSec)
+		}
+	}
+	always, ok1 := rows["always/3.0x"]
+	tb, ok2 := rows["token-bucket/3.0x"]
+	if !ok1 || !ok2 {
+		t.Fatalf("missing 3.0x rows in %v", fig.Rows)
+	}
+	if fig.Rows[tb].RejectedPct <= 0 {
+		t.Error("token-bucket at 3x rejected nothing")
+	}
+	if fig.Rows[always].RejectedPct != 0 {
+		t.Error("always-admit rejected work")
+	}
+	// The shed work must buy a low-class tail-latency win.
+	lowP95 := func(i int) float64 {
+		for _, cs := range fig.Rows[i].PerClass {
+			if cs.Class == 0 {
+				return cs.P95ResponseSec
+			}
+		}
+		t.Fatalf("%s has no class-0 stats", fig.Rows[i].Name)
+		return 0
+	}
+	if lowP95(tb) >= lowP95(always) {
+		t.Errorf("token-bucket low P95 %.1fs not below always %.1fs at 3x", lowP95(tb), lowP95(always))
+	}
+	// P99 streams through the histogram; it must be present and ordered
+	// against P95 on the overloaded admit-all row.
+	for _, cs := range fig.Rows[always].PerClass {
+		if cs.Jobs > 0 && cs.P99ResponseSec < cs.P95ResponseSec*0.95 {
+			t.Errorf("%s class %d: P99 %.1fs below P95 %.1fs", fig.Rows[always].Name,
+				cs.Class, cs.P99ResponseSec, cs.P95ResponseSec)
+		}
+	}
+	if !strings.Contains(fig.String(), "Rejected") {
+		t.Error("rendered table missing the rejected-work column")
+	}
+}
+
+// TestOverloadWorkerCountInvariance: the sweep is bit-identical at any
+// worker count, like every other grid.
+func TestOverloadWorkerCountInvariance(t *testing.T) {
+	serial := overloadScale()
+	serial.Workers = 1
+	parallel := overloadScale()
+	parallel.Workers = 8
+	want, err := Overload(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Overload(parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("overload grid differs between 1 and 8 workers:\nserial:\n%s\nparallel:\n%s", want, got)
+	}
+}
+
+// TestDriverRegistry covers the self-registration surface the CLI runs on.
+func TestDriverRegistry(t *testing.T) {
+	names := DriverNames()
+	if len(names) == 0 {
+		t.Fatal("no registered drivers")
+	}
+	// The paper figures run first and the overload sweep is registered;
+	// registration order is the CLI's run order.
+	if names[0] != "motivation" {
+		t.Errorf("first driver %q, want motivation", names[0])
+	}
+	seen := make(map[string]bool)
+	for _, d := range Drivers() {
+		if d.Description == "" {
+			t.Errorf("driver %q has no description", d.Name)
+		}
+		if d.Run == nil {
+			t.Errorf("driver %q has no run function", d.Name)
+		}
+		if seen[d.Name] {
+			t.Errorf("driver %q listed twice", d.Name)
+		}
+		seen[d.Name] = true
+	}
+	for _, want := range []string{"7", "table2", "federation-scaleout", "overload"} {
+		if _, ok := Lookup(want); !ok {
+			t.Errorf("driver %q not registered", want)
+		}
+	}
+	if d, _ := Lookup("table2"); !d.SkipInAll {
+		t.Error("table2 must be excluded from -fig all")
+	}
+	if _, ok := Lookup("no-such-figure"); ok {
+		t.Error("unknown name resolves")
+	}
+	// MaxJobs caps bite through Scaled and leave smaller scales alone.
+	d, _ := Lookup("overload")
+	if d.MaxJobs == 0 {
+		t.Fatal("overload driver has no job cap")
+	}
+	if got := d.Scaled(Scale{Jobs: 10_000}).Jobs; got != d.MaxJobs {
+		t.Errorf("Scaled left %d jobs above the %d cap", got, d.MaxJobs)
+	}
+	if got := d.Scaled(Scale{Jobs: 8}).Jobs; got != 8 {
+		t.Errorf("Scaled changed an in-bounds scale to %d", got)
+	}
+	// Double registration is a programming error and must panic.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("duplicate Register did not panic")
+			}
+		}()
+		Register("motivation", DriverMeta{}, func(Scale) (DriverOutput, error) {
+			return DriverOutput{}, nil
+		})
+	}()
+}

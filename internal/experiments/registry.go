@@ -1,0 +1,94 @@
+package experiments
+
+// The driver registry replaces a hand-maintained switch in
+// cmd/dias-experiments: every figure registers itself here with a name,
+// a one-line description and its scale limits, and the command binary
+// iterates the registry. Adding a figure is one Register call next to the
+// driver — the CLI's -fig parsing, "list" output and benchmark report pick
+// it up automatically.
+
+import (
+	"fmt"
+
+	"dias/internal/metrics"
+)
+
+// DriverOutput is one figure run: the rendered text plus the scenario
+// results feeding the replica aggregates and the benchmark report (nil for
+// figures without a scenario grid).
+type DriverOutput struct {
+	Text fmt.Stringer
+	// Scenarios holds the per-scenario results for figures that expose
+	// scenario grids; model-validation figures leave it nil.
+	Scenarios []metrics.ScenarioResult
+}
+
+// DriverFunc regenerates one figure at the given scale.
+type DriverFunc func(Scale) (DriverOutput, error)
+
+// DriverMeta describes a registered figure driver.
+type DriverMeta struct {
+	// Description is the one-line summary "-fig list" prints.
+	Description string
+	// MaxJobs caps Scale.Jobs for this driver (0 = no cap). Heavier
+	// figures — graph analytics, whole-federation grids — cap their
+	// arrivals so a full-scale run stays tractable.
+	MaxJobs int
+	// SkipInAll excludes the driver from "-fig all" (e.g. table2, which
+	// duplicates figure 11's run).
+	SkipInAll bool
+}
+
+// Driver is one registered figure.
+type Driver struct {
+	Name string
+	DriverMeta
+	Run DriverFunc
+}
+
+// Scaled applies the driver's MaxJobs cap to the scale.
+func (d Driver) Scaled(sc Scale) Scale {
+	if d.MaxJobs > 0 && sc.Jobs > d.MaxJobs {
+		sc.Jobs = d.MaxJobs
+	}
+	return sc
+}
+
+var (
+	driverOrder []string
+	driverByKey = make(map[string]Driver)
+)
+
+// Register adds a figure driver under a unique name. Drivers are listed
+// and run in registration order. Register panics on a duplicate or empty
+// name — both are programming errors in an init-time registry.
+func Register(name string, meta DriverMeta, fn DriverFunc) {
+	if name == "" || fn == nil {
+		panic("experiments: Register with empty name or nil driver")
+	}
+	if _, dup := driverByKey[name]; dup {
+		panic(fmt.Sprintf("experiments: driver %q registered twice", name))
+	}
+	driverOrder = append(driverOrder, name)
+	driverByKey[name] = Driver{Name: name, DriverMeta: meta, Run: fn}
+}
+
+// Drivers lists every registered driver in registration order.
+func Drivers() []Driver {
+	out := make([]Driver, len(driverOrder))
+	for i, name := range driverOrder {
+		out[i] = driverByKey[name]
+	}
+	return out
+}
+
+// Lookup resolves a driver by name.
+func Lookup(name string) (Driver, bool) {
+	d, ok := driverByKey[name]
+	return d, ok
+}
+
+// DriverNames lists the registry keys in registration order.
+func DriverNames() []string {
+	return append([]string(nil), driverOrder...)
+}

@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"dias/internal/admission"
 	"dias/internal/cluster"
 	"dias/internal/core"
 	"dias/internal/dfs"
@@ -58,6 +59,15 @@ type Config struct {
 	Policy core.Config
 	// Routing picks the destination member for each arrival.
 	Routing RoutingPolicy
+	// Admission, when non-nil, builds one admission policy per member
+	// (policies are stateful — token buckets, learned histograms — so a
+	// single instance cannot be shared across schedulers; hence a factory,
+	// not an instance, and Policy.Admission must stay nil). A member
+	// answering Defer makes the dispatcher spill the arrival to the other
+	// routable members in deterministic order; if every member defers, the
+	// job is rejected at the originally routed member. Policies answering
+	// Reject shed locally without spilling.
+	Admission func() admission.Policy
 	// Data, when non-nil, gives every member its own simulated dfs so
 	// RegisterInput can place job inputs and cross-cluster routing pays
 	// WAN fetches. Zero-value fields default individually to
@@ -88,6 +98,9 @@ func (c Config) validate() error {
 	}
 	if c.Policy.OnRecord != nil || c.Policy.Trace != nil {
 		return errors.New("federation: set record/trace hooks on Config, not Config.Policy")
+	}
+	if c.Policy.Admission != nil {
+		return errors.New("federation: set Config.Admission (a per-member factory), not Config.Policy.Admission")
 	}
 	return nil
 }
@@ -151,6 +164,9 @@ type Federation struct {
 	// outages records the per-member windows ScheduleOutage has planned,
 	// so overlapping plans are rejected up front.
 	outages map[int][]outageWindow
+	// spilled counts arrivals deferred by their routed member's admission
+	// policy and re-routed to (accepted by) another member.
+	spilled int
 	// index is the incrementally maintained routing state (see LoadIndex).
 	index *LoadIndex
 }
@@ -210,6 +226,9 @@ func New(cfg Config) (*Federation, error) {
 		if cfg.OnRecord != nil {
 			idx := i
 			policy.OnRecord = func(rec core.JobRecord) { cfg.OnRecord(idx, rec) }
+		}
+		if cfg.Admission != nil {
+			policy.Admission = cfg.Admission()
 		}
 		sch, err := core.New(f.sim, clu, eng, policy)
 		if err != nil {
@@ -355,13 +374,55 @@ func (f *Federation) dispatch(class int, job *engine.Job) {
 			f.cfg.Routing.Name(), i, len(candidates)))
 	}
 	m := candidates[i]
-	f.routed[m.Index]++
-	// Arrival errors are programming errors (bad class/job); surface them
-	// loudly rather than silently dropping workload, like dias.Stack.
-	if err := m.Scheduler.Arrive(class, job); err != nil {
+	if f.cfg.Admission == nil {
+		f.routed[m.Index]++
+		// Arrival errors are programming errors (bad class/job); surface them
+		// loudly rather than silently dropping workload, like dias.Stack.
+		if err := m.Scheduler.Arrive(class, job); err != nil {
+			panic(fmt.Sprintf("federation: arrival on %s failed: %v", m.Name, err))
+		}
+		return
+	}
+	// With admission in play the routed member may shed (Reject) or ask the
+	// federation to place the job elsewhere (Defer). A deferred arrival
+	// spills through the remaining candidates in routing-view order starting
+	// just after the first choice — deterministic and allocation-free; the
+	// spilled members' own policies decide again with their local state. If
+	// everyone defers, the job is rejected where it was first routed, so the
+	// rejection is accounted exactly once, at the member the routing policy
+	// actually picked.
+	dec, err := m.Scheduler.Offer(class, job)
+	if err != nil {
 		panic(fmt.Sprintf("federation: arrival on %s failed: %v", m.Name, err))
 	}
+	switch dec {
+	case admission.Accept:
+		f.routed[m.Index]++
+		return
+	case admission.Reject:
+		return
+	}
+	for off := 1; off < len(candidates); off++ {
+		c := candidates[(i+off)%len(candidates)]
+		dec, err = c.Scheduler.Offer(class, job)
+		if err != nil {
+			panic(fmt.Sprintf("federation: spilled arrival on %s failed: %v", c.Name, err))
+		}
+		switch dec {
+		case admission.Accept:
+			f.routed[c.Index]++
+			f.spilled++
+			return
+		case admission.Reject:
+			return
+		}
+	}
+	m.Scheduler.Reject(class, job)
 }
+
+// Spilled returns how many arrivals were deferred by their routed member's
+// admission policy and accepted elsewhere.
+func (f *Federation) Spilled() int { return f.spilled }
 
 // SetMemberDown starts (down = true) or ends a cluster-level outage of
 // member i. An outage removes the member from routing and fails every up

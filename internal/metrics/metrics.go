@@ -12,9 +12,12 @@ import (
 type ClassStats struct {
 	Class int
 	Jobs  int
-	// Response/queue/exec times in seconds.
+	// Response/queue/exec times in seconds. P95 is exact (retained
+	// samples); P99 is streamed through a fixed-bucket log-scale histogram
+	// (stats.LogHistogram), accurate to within one bucket width (<4.4%).
 	MeanResponseSec float64
 	P95ResponseSec  float64
+	P99ResponseSec  float64
 	MeanQueueSec    float64
 	MeanExecSec     float64
 	// Evictions suffered by this class's jobs.
@@ -28,6 +31,11 @@ type ClassStats struct {
 	// TaskRetries sums the failure-aborted task attempts re-executed by
 	// this class's jobs, completed and failed alike.
 	TaskRetries int
+	// RejectedJobs counts jobs the admission policy shed at arrival; like
+	// failed jobs they are excluded from the latency statistics, so a
+	// policy cannot improve its latency columns by rejecting work without
+	// the rejection showing up here.
+	RejectedJobs int
 }
 
 // ScenarioResult is one policy's outcome on a workload.
@@ -53,6 +61,36 @@ type ScenarioResult struct {
 	// provisioned size when an elastic controller scales capacity in (zero
 	// when the driver does not record it).
 	MeanPoweredNodes float64
+	// RejectedJobs counts admission-shed jobs (post-warmup) and
+	// RejectedPct is their share of all post-warmup outcomes
+	// (completed + failed + rejected) — the H5 mechanism column: a
+	// latency "win" earned by shedding reads as a high RejectedPct, a win
+	// earned by smoothing bursts does not.
+	RejectedJobs int
+	RejectedPct  float64
+	// GoodputJobsPerSec is completed (not failed, not rejected) post-warmup
+	// jobs per second of makespan — the throughput the latency columns
+	// actually describe.
+	GoodputJobsPerSec float64
+}
+
+// FillOverload derives the rejected-work and goodput fields from the
+// per-class stats and the makespan; drivers call it once after PerClass
+// and MakespanSec are set.
+func (r *ScenarioResult) FillOverload() {
+	var completed, failed, rejected int
+	for _, cs := range r.PerClass {
+		completed += cs.Jobs
+		failed += cs.FailedJobs
+		rejected += cs.RejectedJobs
+	}
+	r.RejectedJobs = rejected
+	if total := completed + failed + rejected; total > 0 {
+		r.RejectedPct = 100 * float64(rejected) / float64(total)
+	}
+	if r.MakespanSec > 0 {
+		r.GoodputJobsPerSec = float64(completed) / r.MakespanSec
+	}
 }
 
 // clampWarmup normalizes a warmup fraction into [0, 0.9].
@@ -84,8 +122,18 @@ type Accumulator struct {
 	queues  []stats.Stream
 	execs   []stats.Stream
 	drops   []stats.Stream
+	hists   []*stats.LogHistogram
 	final   []ClassStats
 }
+
+// Response-time histogram shape: geometric buckets spanning 1ms..1e6s with
+// ~4.3% relative width, allocated once per class at construction so Add
+// stays allocation-free on the streaming path.
+const (
+	respHistLo      = 1e-3
+	respHistHi      = 1e6
+	respHistBuckets = 480
+)
 
 // NewAccumulator returns an accumulator for the given class count sized
 // for expectedRecords completions.
@@ -98,9 +146,15 @@ func NewAccumulator(classes, expectedRecords int, warmupFraction float64) *Accum
 		queues:  make([]stats.Stream, classes),
 		execs:   make([]stats.Stream, classes),
 		drops:   make([]stats.Stream, classes),
+		hists:   make([]*stats.LogHistogram, classes),
 	}
 	for k := range a.out {
 		a.out[k].Class = k
+		h, err := stats.NewLogHistogram(respHistLo, respHistHi, respHistBuckets)
+		if err != nil {
+			panic(err) // constant, always-valid shape
+		}
+		a.hists[k] = h
 	}
 	// Pre-size the retained percentile samples from the expected total so
 	// long streaming runs do not regrow them per wave of completions. The
@@ -121,6 +175,11 @@ func (a *Accumulator) Add(r core.JobRecord) {
 		return
 	}
 	k := r.Class
+	if r.Rejected {
+		// Shed at arrival: no latency to account, only the lost work.
+		a.out[k].RejectedJobs++
+		return
+	}
 	a.out[k].TaskRetries += r.Retries
 	if r.Failed {
 		// A failed job's "response" measures an abort, not a service; keep
@@ -131,6 +190,7 @@ func (a *Accumulator) Add(r core.JobRecord) {
 	a.out[k].Jobs++
 	a.out[k].Evictions += r.Evictions
 	a.samples[k].Add(r.ResponseSec)
+	a.hists[k].Add(r.ResponseSec)
 	a.queues[k].Add(r.QueueSec)
 	a.execs[k].Add(r.ExecSec)
 	a.drops[k].Add(r.EffectiveDropRatio)
@@ -152,6 +212,7 @@ func (a *Accumulator) Classes() []ClassStats {
 		out[k] = a.out[k]
 		out[k].MeanResponseSec = a.samples[k].Mean()
 		out[k].P95ResponseSec = a.samples[k].Percentile(95)
+		out[k].P99ResponseSec = a.hists[k].Percentile(99)
 		out[k].MeanQueueSec = a.queues[k].Mean()
 		out[k].MeanExecSec = a.execs[k].Mean()
 		out[k].MeanEffectiveDrop = a.drops[k].Mean()
@@ -243,26 +304,28 @@ func FormatComparisonTable(baseline ScenarioResult, others ...ScenarioResult) st
 	return b.String()
 }
 
-// FormatFaultTable renders scenarios along the failure and capacity axes:
-// per-class response statistics next to failed-job counts, task retries,
-// failure waste and the time-average powered-node count — the columns the
-// fault-tolerance and elasticity figures compare.
-func FormatFaultTable(results ...ScenarioResult) string {
+// formatScenarioTable renders the scenario-grid tables (fault, elasticity,
+// overload) from one skeleton: a header line, then one row per scenario ×
+// class in descending class order. The scenario name and its scenario-level
+// tail cells appear only on the first (highest-class) row of each group.
+// classCells writes the per-class columns (including their leading
+// separator), tailCells the scenario-level columns appended to first rows.
+func formatScenarioTable(header string, nameWidth int, results []ScenarioResult,
+	classCells func(b *strings.Builder, cs ClassStats),
+	tailCells func(b *strings.Builder, r ScenarioResult)) string {
 	var b strings.Builder
-	b.WriteString("Scenario                  Class     Mean [s]     P95 [s]   Jobs  Failed  Retries  FailWaste  AvgNodes\n")
+	b.WriteString(header)
 	for _, r := range results {
 		classes := len(r.PerClass)
 		for k := classes - 1; k >= 0; k-- {
-			cs := r.PerClass[k]
 			name := ""
 			if k == classes-1 {
 				name = r.Name
 			}
-			fmt.Fprintf(&b, "%-25s %-7s %10.2f  %10.2f  %5d  %6d  %7d",
-				name, classLabel(k, classes), cs.MeanResponseSec, cs.P95ResponseSec,
-				cs.Jobs, cs.FailedJobs, cs.TaskRetries)
+			fmt.Fprintf(&b, "%-*s %-7s", nameWidth, name, classLabel(k, classes))
+			classCells(&b, r.PerClass[k])
 			if k == classes-1 {
-				fmt.Fprintf(&b, "  %8.1f%%  %8.1f", r.FailureWastePct, r.MeanPoweredNodes)
+				tailCells(&b, r)
 			}
 			b.WriteString("\n")
 		}
@@ -270,31 +333,57 @@ func FormatFaultTable(results ...ScenarioResult) string {
 	return b.String()
 }
 
+// FormatFaultTable renders scenarios along the failure and capacity axes:
+// per-class response statistics next to failed-job counts, task retries,
+// failure waste and the time-average powered-node count — the columns the
+// fault-tolerance and elasticity figures compare.
+func FormatFaultTable(results ...ScenarioResult) string {
+	return formatScenarioTable(
+		"Scenario                  Class     Mean [s]     P95 [s]   Jobs  Failed  Retries  FailWaste  AvgNodes\n",
+		25, results,
+		func(b *strings.Builder, cs ClassStats) {
+			fmt.Fprintf(b, " %10.2f  %10.2f  %5d  %6d  %7d",
+				cs.MeanResponseSec, cs.P95ResponseSec, cs.Jobs, cs.FailedJobs, cs.TaskRetries)
+		},
+		func(b *strings.Builder, r ScenarioResult) {
+			fmt.Fprintf(b, "  %8.1f%%  %8.1f", r.FailureWastePct, r.MeanPoweredNodes)
+		})
+}
+
 // FormatElasticityTable renders the elastic-capacity comparison: per-class
 // response next to the capacity actually paid for (time-average powered
 // nodes) and the energy bill, the latency/cost frontier an autoscaler
 // trades along.
 func FormatElasticityTable(results ...ScenarioResult) string {
-	var b strings.Builder
-	b.WriteString("Scenario            Class     Mean [s]     P95 [s]   Jobs   AvgNodes  Energy [MJ]  Makespan [s]\n")
-	for _, r := range results {
-		classes := len(r.PerClass)
-		for k := classes - 1; k >= 0; k-- {
-			cs := r.PerClass[k]
-			name := ""
-			if k == classes-1 {
-				name = r.Name
-			}
-			fmt.Fprintf(&b, "%-19s %-7s %10.2f  %10.2f  %5d",
-				name, classLabel(k, classes), cs.MeanResponseSec, cs.P95ResponseSec, cs.Jobs)
-			if k == classes-1 {
-				fmt.Fprintf(&b, "   %8.1f  %11.2f  %12.1f",
-					r.MeanPoweredNodes, r.EnergyJoules/1e6, r.MakespanSec)
-			}
-			b.WriteString("\n")
-		}
-	}
-	return b.String()
+	return formatScenarioTable(
+		"Scenario            Class     Mean [s]     P95 [s]   Jobs   AvgNodes  Energy [MJ]  Makespan [s]\n",
+		19, results,
+		func(b *strings.Builder, cs ClassStats) {
+			fmt.Fprintf(b, " %10.2f  %10.2f  %5d",
+				cs.MeanResponseSec, cs.P95ResponseSec, cs.Jobs)
+		},
+		func(b *strings.Builder, r ScenarioResult) {
+			fmt.Fprintf(b, "   %8.1f  %11.2f  %12.1f",
+				r.MeanPoweredNodes, r.EnergyJoules/1e6, r.MakespanSec)
+		})
+}
+
+// FormatOverloadTable renders the offered-load sweep: per-class latency
+// (mean, exact p95, histogram p99) and the jobs completed vs shed, plus the
+// scenario-level rejected-work fraction and goodput. Keeping latency and
+// rejection in adjacent columns is the point: an admission policy that
+// "wins" the latency columns by shedding shows the price in the same row.
+func FormatOverloadTable(results ...ScenarioResult) string {
+	return formatScenarioTable(
+		"Scenario                Class     Mean [s]     P95 [s]     P99 [s]   Jobs  Rejected   RejPct  Goodput [j/min]\n",
+		23, results,
+		func(b *strings.Builder, cs ClassStats) {
+			fmt.Fprintf(b, " %10.2f  %10.2f  %10.2f  %5d  %8d",
+				cs.MeanResponseSec, cs.P95ResponseSec, cs.P99ResponseSec, cs.Jobs, cs.RejectedJobs)
+		},
+		func(b *strings.Builder, r ScenarioResult) {
+			fmt.Fprintf(b, "  %6.1f%%  %15.2f", r.RejectedPct, r.GoodputJobsPerSec*60)
+		})
 }
 
 // FormatDecompositionTable renders Table 2: mean queueing and execution

@@ -1,0 +1,122 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestLogHistogramValidation(t *testing.T) {
+	cases := []struct {
+		lo, hi float64
+		n      int
+	}{
+		{0, 1, 10},
+		{-1, 1, 10},
+		{1, 1, 10},
+		{2, 1, 10},
+		{1, 2, 0},
+		{math.NaN(), 1, 10},
+	}
+	for _, c := range cases {
+		if _, err := NewLogHistogram(c.lo, c.hi, c.n); err == nil {
+			t.Errorf("NewLogHistogram(%g, %g, %d): accepted", c.lo, c.hi, c.n)
+		}
+	}
+}
+
+func TestLogHistogramEmptyAndEdges(t *testing.T) {
+	h, err := NewLogHistogram(1e-3, 1e6, 480)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("empty quantile = %g", got)
+	}
+	h.Add(2)
+	h.Add(8)
+	if got := h.Quantile(0); got != 2 {
+		t.Errorf("p=0 = %g, want exact min", got)
+	}
+	if got := h.Quantile(1); got != 8 {
+		t.Errorf("p=1 = %g, want exact max", got)
+	}
+	if h.Count() != 2 {
+		t.Errorf("count = %d", h.Count())
+	}
+}
+
+func TestLogHistogramClampsOutOfRange(t *testing.T) {
+	h, err := NewLogHistogram(1, 100, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Add(0.001) // below lo: bucket 0
+	h.Add(1e9)   // above hi: last bucket
+	if h.Count() != 2 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	// Out-of-range observations saturate into the edge buckets; p=0/p=1
+	// still answer the exact min/max, and every quantile stays inside the
+	// observed range.
+	if got := h.Quantile(0); got != 0.001 {
+		t.Errorf("p=0 = %g, want exact min", got)
+	}
+	if got := h.Quantile(1); got != 1e9 {
+		t.Errorf("p=1 = %g, want exact max", got)
+	}
+	for _, p := range []float64{0.01, 0.5, 0.99} {
+		if got := h.Quantile(p); got < 0.001 || got > 1e9 {
+			t.Errorf("p=%g = %g outside observed range", p, got)
+		}
+	}
+}
+
+// TestLogHistogramQuantileAccuracy is the headline guarantee: any quantile
+// answered from the histogram is within one bucket's relative width of the
+// exact sorted-sample quantile (same ceil(p*n) order statistic).
+func TestLogHistogramQuantileAccuracy(t *testing.T) {
+	h, err := NewLogHistogram(1e-3, 1e6, 480)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	const n = 20000
+	xs := make([]float64, n)
+	for i := range xs {
+		// Lognormal response-time-like shape spanning several decades.
+		xs[i] = math.Exp(rng.NormFloat64()*1.5 + 2)
+		h.Add(xs[i])
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	tol := math.Log(1 + h.BucketRelWidth())
+	for _, p := range []float64{0.01, 0.10, 0.50, 0.90, 0.95, 0.99, 0.999} {
+		rank := int(math.Ceil(p * n))
+		if rank < 1 {
+			rank = 1
+		}
+		exact := sorted[rank-1]
+		got := h.Quantile(p)
+		if got <= 0 {
+			t.Fatalf("p=%g: non-positive %g", p, got)
+		}
+		if d := math.Abs(math.Log(got / exact)); d > tol+1e-12 {
+			t.Errorf("p=%g: got %g exact %g (log-error %.4f > %.4f)", p, got, exact, d, tol)
+		}
+	}
+}
+
+func TestLogHistogramPercentileAlias(t *testing.T) {
+	h, err := NewLogHistogram(1e-3, 1e3, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 100; i++ {
+		h.Add(float64(i))
+	}
+	if h.Percentile(95) != h.Quantile(0.95) {
+		t.Error("Percentile(95) != Quantile(0.95)")
+	}
+}

@@ -25,6 +25,8 @@ const (
 	SprintStart
 	SprintStop
 	Complete
+	// Reject marks an arrival the admission policy shed before buffering.
+	Reject
 )
 
 var kindNames = map[Kind]string{
@@ -34,6 +36,7 @@ var kindNames = map[Kind]string{
 	SprintStart: "sprint-start",
 	SprintStop:  "sprint-stop",
 	Complete:    "complete",
+	Reject:      "reject",
 }
 
 // String returns the wire name of the kind.

@@ -1,0 +1,268 @@
+package dias
+
+// Named-policy registries: every pluggable policy family of the middleware
+// — routing (where an arrival runs), admission (whether it runs at all),
+// scaling (how much capacity is powered), deflation (how much accuracy is
+// traded for latency) — is constructible by name through one uniform
+// surface. Callers that wire policies from configuration files or CLI
+// flags resolve "jsq" or "token-bucket" here instead of reaching into the
+// internal packages; callers that know the concrete type at compile time
+// can keep using the internal constructors directly.
+//
+// Each family shares one typed options struct; every named policy reads
+// only the fields it documents and ignores the rest, so one options value
+// can parameterize a whole sweep.
+
+import (
+	"fmt"
+
+	"dias/internal/admission"
+	"dias/internal/core"
+	"dias/internal/federation"
+	"dias/internal/simtime"
+)
+
+// PolicyInfo describes one named policy of a family.
+type PolicyInfo struct {
+	// Name is the registry key (stable, kebab-case).
+	Name string
+	// Description is a one-line summary for listings and docs.
+	Description string
+}
+
+// PolicyFamily is an immutable, ordered registry of named policy
+// constructors sharing one options type. P is the constructed policy type,
+// O the family's options struct.
+type PolicyFamily[P, O any] struct {
+	family  string
+	entries []policyEntry[P, O]
+}
+
+type policyEntry[P, O any] struct {
+	info  PolicyInfo
+	build func(O) (P, error)
+}
+
+// Family returns the family's name ("routing", "admission", ...).
+func (f *PolicyFamily[P, O]) Family() string { return f.family }
+
+// Policies lists the registered policies in registration order.
+func (f *PolicyFamily[P, O]) Policies() []PolicyInfo {
+	out := make([]PolicyInfo, len(f.entries))
+	for i, e := range f.entries {
+		out[i] = e.info
+	}
+	return out
+}
+
+// Names lists the registry keys in registration order.
+func (f *PolicyFamily[P, O]) Names() []string {
+	out := make([]string, len(f.entries))
+	for i, e := range f.entries {
+		out[i] = e.info.Name
+	}
+	return out
+}
+
+// New constructs the named policy from the options. Unknown names error
+// and list the known ones.
+func (f *PolicyFamily[P, O]) New(name string, opts O) (P, error) {
+	for _, e := range f.entries {
+		if e.info.Name == name {
+			return e.build(opts)
+		}
+	}
+	var zero P
+	return zero, fmt.Errorf("dias: unknown %s policy %q (have %v)", f.family, name, f.Names())
+}
+
+// RoutingOptions parameterizes RoutingPolicies constructors. Each policy
+// reads only its own fields: Seed drives "random", DataLocalSpill bounds
+// "data-local", and the rest take no options.
+type RoutingOptions struct {
+	// Seed drives the "random" policy's RNG (other policies ignore it).
+	Seed int64
+	// DataLocalSpill is the backlog at which "data-local" abandons the
+	// data home for the shortest queue; 0 means the default (4).
+	DataLocalSpill int
+}
+
+// RoutingPolicies returns the federation routing-policy registry: how the
+// dispatcher picks a member cluster for each arrival.
+func RoutingPolicies() *PolicyFamily[federation.RoutingPolicy, RoutingOptions] {
+	return &PolicyFamily[federation.RoutingPolicy, RoutingOptions]{
+		family: "routing",
+		entries: []policyEntry[federation.RoutingPolicy, RoutingOptions]{
+			{PolicyInfo{"random", "uniform random member"},
+				func(o RoutingOptions) (federation.RoutingPolicy, error) {
+					return federation.NewRandom(o.Seed), nil
+				}},
+			{PolicyInfo{"round-robin", "members in rotation"},
+				func(RoutingOptions) (federation.RoutingPolicy, error) {
+					return federation.NewRoundRobin(), nil
+				}},
+			{PolicyInfo{"jsq", "join shortest queue (class-aware backlog)"},
+				func(RoutingOptions) (federation.RoutingPolicy, error) {
+					return federation.NewJoinShortestQueue(), nil
+				}},
+			{PolicyInfo{"least-loaded", "lowest utilization-normalized load"},
+				func(RoutingOptions) (federation.RoutingPolicy, error) {
+					return federation.NewLeastLoaded(), nil
+				}},
+			{PolicyInfo{"sprint-aware", "shortest queue, sprint budget as tie-break"},
+				func(RoutingOptions) (federation.RoutingPolicy, error) {
+					return federation.NewSprintAware(), nil
+				}},
+			{PolicyInfo{"data-local", "data home unless its backlog exceeds the spill bound"},
+				func(o RoutingOptions) (federation.RoutingPolicy, error) {
+					spill := o.DataLocalSpill
+					if spill == 0 {
+						spill = 4
+					}
+					return federation.NewDataLocal(spill), nil
+				}},
+		},
+	}
+}
+
+// AdmissionOptions parameterizes AdmissionPolicies constructors. Each
+// policy reads only its own fields; Spill applies to every shedding policy
+// (Defer instead of Reject, so a federation re-routes the overflow).
+type AdmissionOptions struct {
+	// Rate[k] and Burst[k] parameterize "token-bucket": class k's
+	// sustained admission rate (jobs/sec) and burst capacity.
+	Rate  []float64
+	Burst []float64
+	// MaxBacklog[k] parameterizes "queue-depth": the largest backlog a
+	// class-k arrival joins.
+	MaxBacklog []int
+	// BudgetSec[k], Quantile and MinObservations parameterize
+	// "slo-budget": the per-class wait budget, the learned service-time
+	// quantile the wait prediction uses (0 = 0.95), and the completions
+	// required before the predictor sheds anything (0 = 8).
+	BudgetSec       []float64
+	Quantile        float64
+	MinObservations int
+	// Spill makes shedding policies answer Defer instead of Reject.
+	Spill bool
+}
+
+// AdmissionPolicies returns the admission-policy registry: whether an
+// arrival is buffered, shed, or (in a federation) re-routed. Policies are
+// stateful — construct one instance per scheduler, never share.
+func AdmissionPolicies() *PolicyFamily[admission.Policy, AdmissionOptions] {
+	return &PolicyFamily[admission.Policy, AdmissionOptions]{
+		family: "admission",
+		entries: []policyEntry[admission.Policy, AdmissionOptions]{
+			{PolicyInfo{"always", "admit everything (no overload control)"},
+				func(AdmissionOptions) (admission.Policy, error) {
+					return admission.AlwaysAdmit{}, nil
+				}},
+			{PolicyInfo{"token-bucket", "per-class sustained rate with bounded burst"},
+				func(o AdmissionOptions) (admission.Policy, error) {
+					return admission.NewTokenBucket(admission.TokenBucketConfig{
+						Rate: o.Rate, Burst: o.Burst, Spill: o.Spill,
+					})
+				}},
+			{PolicyInfo{"queue-depth", "shed past a per-class backlog threshold"},
+				func(o AdmissionOptions) (admission.Policy, error) {
+					return admission.NewQueueDepth(admission.QueueDepthConfig{
+						MaxBacklog: o.MaxBacklog, Spill: o.Spill,
+					})
+				}},
+			{PolicyInfo{"slo-budget", "shed when predicted wait exceeds the class budget"},
+				func(o AdmissionOptions) (admission.Policy, error) {
+					return admission.NewSLOBudget(admission.SLOBudgetConfig{
+						BudgetSec:       o.BudgetSec,
+						Quantile:        o.Quantile,
+						MinObservations: o.MinObservations,
+						Spill:           o.Spill,
+					})
+				}},
+		},
+	}
+}
+
+// ScaleOptions parameterizes ScalePolicies constructors. "backlog" reads
+// the thresholds and Step; "latency" reads TargetSec, Headroom and Step.
+type ScaleOptions struct {
+	// ScaleOutAbove and ScaleInBelow are "backlog"'s thresholds (the band
+	// between them is hysteresis).
+	ScaleOutAbove int
+	ScaleInBelow  int
+	// Step is the node count added or removed per decision (both policies).
+	Step int
+	// TargetSec is "latency"'s response-time setpoint and Headroom its
+	// relative dead band (e.g. 0.25).
+	TargetSec float64
+	Headroom  float64
+}
+
+// ScalePolicies returns the autoscaling-policy registry: how many nodes an
+// elastic deployment powers (see core.AutoscalerConfig.Policy).
+func ScalePolicies() *PolicyFamily[core.ScalePolicy, ScaleOptions] {
+	return &PolicyFamily[core.ScalePolicy, ScaleOptions]{
+		family: "scaling",
+		entries: []policyEntry[core.ScalePolicy, ScaleOptions]{
+			{PolicyInfo{"backlog", "scale on queue depth with a hysteresis band"},
+				func(o ScaleOptions) (core.ScalePolicy, error) {
+					return core.BacklogScalePolicy{
+						ScaleOutAbove: o.ScaleOutAbove,
+						ScaleInBelow:  o.ScaleInBelow,
+						Step:          o.Step,
+					}, nil
+				}},
+			{PolicyInfo{"latency", "track a mean-response setpoint"},
+				func(o ScaleOptions) (core.ScalePolicy, error) {
+					return core.LatencyScalePolicy{
+						TargetSec: o.TargetSec,
+						Headroom:  o.Headroom,
+						Step:      o.Step,
+					}, nil
+				}},
+		},
+	}
+}
+
+// DeflatorFactory builds a deflator bound to a stack's simulation at
+// construction time (the adaptive deflator schedules on the virtual
+// clock, so it cannot exist before the clock does). StackConfig.Deflation
+// accepts one directly.
+type DeflatorFactory func(*simtime.Simulation) (core.Deflator, error)
+
+// DeflationOptions parameterizes DeflationPolicies constructors. "static"
+// reads DropRatios; "adaptive" reads Adaptive.
+type DeflationOptions struct {
+	// DropRatios[k] is "static"'s fixed per-stage drop-ratio vector for
+	// class k (nil entry = no dropping).
+	DropRatios [][]float64
+	// Adaptive is "adaptive"'s controller configuration.
+	Adaptive core.AdaptiveConfig
+}
+
+// DeflationPolicies returns the deflation-policy registry: how drop ratios
+// are chosen at dispatch time. Constructors return a DeflatorFactory
+// because the adaptive controller needs the stack's simulation handle;
+// static policies ignore it.
+func DeflationPolicies() *PolicyFamily[DeflatorFactory, DeflationOptions] {
+	return &PolicyFamily[DeflatorFactory, DeflationOptions]{
+		family: "deflation",
+		entries: []policyEntry[DeflatorFactory, DeflationOptions]{
+			{PolicyInfo{"static", "fixed offline-selected drop ratios"},
+				func(o DeflationOptions) (DeflatorFactory, error) {
+					d, err := core.NewStaticDeflator(o.DropRatios)
+					if err != nil {
+						return nil, err
+					}
+					return func(*simtime.Simulation) (core.Deflator, error) { return d, nil }, nil
+				}},
+			{PolicyInfo{"adaptive", "walk drop ratios online to hold latency targets"},
+				func(o DeflationOptions) (DeflatorFactory, error) {
+					cfg := o.Adaptive
+					return func(sim *simtime.Simulation) (core.Deflator, error) {
+						return core.NewAdaptiveDeflator(sim, cfg)
+					}, nil
+				}},
+		},
+	}
+}
