@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short test-race bench bench-smoke bench-baseline bench-check determinism profile staticcheck fmt fmt-check vet experiments apicompat
+.PHONY: build test test-short test-race bench bench-smoke bench-baseline bench-check determinism profile staticcheck fmt fmt-check vet experiments apicompat hypotheses hypotheses-check
 
 # The reduced figure set and scale the smoke/baseline/gate pipeline runs.
 # Changing it requires regenerating the committed baseline (bench-baseline).
@@ -101,3 +101,16 @@ vet:
 # Regenerate every figure in parallel and write BENCH_results.json.
 experiments:
 	$(GO) run ./cmd/dias-experiments -bench-out BENCH_results.json
+
+# Regenerate the committed hypothesis findings (hypotheses/*/FINDINGS.md
+# and hypotheses/README.md) after an intentional behavior change; review
+# the diff like any other.
+hypotheses:
+	$(GO) run ./cmd/dias-hypotheses
+
+# The CI hypotheses lane: re-run every hypothesis grid and byte-compare
+# against the committed findings. A policy change that flips a verdict —
+# or shifts the evidence tables — fails here until the findings are
+# regenerated and reviewed.
+hypotheses-check:
+	$(GO) run ./cmd/dias-hypotheses -check

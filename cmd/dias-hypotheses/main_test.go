@@ -1,0 +1,67 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dias/internal/hypotheses"
+)
+
+func TestSelectSpecs(t *testing.T) {
+	specs := hypotheses.All()
+	all, full, err := selectSpecs(specs, "all")
+	if err != nil || !full || len(all) != len(specs) {
+		t.Fatalf("all: got %d specs, full=%v, err=%v", len(all), full, err)
+	}
+	// Short prefix and full ID both resolve; selection keeps spec order.
+	sel, full, err := selectSpecs(specs, "h2,"+specs[0].ID)
+	if err != nil || full {
+		t.Fatalf("subset: full=%v, err=%v", full, err)
+	}
+	if len(sel) != 2 || sel[0].ID != specs[0].ID || !strings.HasPrefix(sel[1].ID, "h2") {
+		t.Fatalf("subset resolved to %v", ids(sel))
+	}
+	// Selecting every ID individually counts as the full set.
+	var everyID []string
+	for _, s := range specs {
+		everyID = append(everyID, s.ID)
+	}
+	if _, full, err = selectSpecs(specs, strings.Join(everyID, ",")); err != nil || !full {
+		t.Fatalf("enumerated full set: full=%v, err=%v", full, err)
+	}
+	if _, _, err = selectSpecs(specs, "h9"); err == nil {
+		t.Fatal("expected error for unknown id")
+	}
+	if _, _, err = selectSpecs(specs, " , "); err == nil {
+		t.Fatal("expected error for empty selection")
+	}
+}
+
+func ids(specs []hypotheses.Spec) []string {
+	out := make([]string, len(specs))
+	for i, s := range specs {
+		out[i] = s.ID
+	}
+	return out
+}
+
+func TestMatches(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "FINDINGS.md")
+	// Missing file is a mismatch, not an error.
+	same, err := matches(path, "content")
+	if err != nil || same {
+		t.Fatalf("missing file: same=%v err=%v", same, err)
+	}
+	if err := os.WriteFile(path, []byte("content"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if same, err = matches(path, "content"); err != nil || !same {
+		t.Fatalf("identical file: same=%v err=%v", same, err)
+	}
+	if same, err = matches(path, "drifted"); err != nil || same {
+		t.Fatalf("drifted file: same=%v err=%v", same, err)
+	}
+}

@@ -1,0 +1,283 @@
+package hypotheses
+
+import "fmt"
+
+// Outcome is one check's resolution: a verdict (Confirmed / Refuted /
+// Inconclusive — the composite ConfirmedWithNuance exists only at the
+// hypothesis level), a one-line summary, and the per-seed evidence lines
+// the summary compresses.
+type Outcome struct {
+	Verdict Verdict
+	Summary string
+	PerSeed []string
+}
+
+// Check judges one aspect of the evidence. Implementations must be
+// deterministic and read-only.
+type Check interface {
+	// Kind is the check's type name for the rendered finding.
+	Kind() string
+	// Claim states what the check asserts, in prose.
+	Claim() string
+	// Evaluate judges the evidence. An error means the evidence is
+	// malformed (unknown cell or metric), not that the claim failed.
+	Evaluate(ev *Evidence) (Outcome, error)
+}
+
+// --- Dominance ---------------------------------------------------------------
+
+// Dominance asserts that metric values in the Superior cell beat the
+// Inferior cell in every seed, by at least MinRelGainPct. All seeds win →
+// Confirmed; no seed wins → Refuted; a split → Inconclusive.
+type Dominance struct {
+	// Metric is the compared value's name.
+	Metric string
+	// Superior is claimed to beat Inferior.
+	Superior, Inferior string
+	// LowerIsBetter orients the comparison (true for latency metrics).
+	LowerIsBetter bool
+	// MinRelGainPct is the required relative improvement in percent; a win
+	// smaller than this does not count (0 = any improvement counts).
+	MinRelGainPct float64
+}
+
+// Kind implements Check.
+func (d Dominance) Kind() string { return "dominance" }
+
+// Claim implements Check.
+func (d Dominance) Claim() string {
+	dir := "higher"
+	if d.LowerIsBetter {
+		dir = "lower"
+	}
+	s := fmt.Sprintf("%s is %s in %q than in %q across all seeds", d.Metric, dir, d.Superior, d.Inferior)
+	if d.MinRelGainPct > 0 {
+		s += fmt.Sprintf(" (by ≥ %s%%)", trimFloat(d.MinRelGainPct))
+	}
+	return s
+}
+
+// Evaluate implements Check.
+func (d Dominance) Evaluate(ev *Evidence) (Outcome, error) {
+	sup, inf := ev.Cell(d.Superior), ev.Cell(d.Inferior)
+	if sup == nil || inf == nil {
+		return Outcome{}, fmt.Errorf("hypotheses: dominance cells %q/%q not in evidence", d.Superior, d.Inferior)
+	}
+	supXs, infXs := sup.Values(d.Metric), inf.Values(d.Metric)
+	wins := 0
+	out := Outcome{}
+	for i, seed := range ev.Seeds {
+		s, n := supXs[i], infXs[i]
+		// Relative gain of the superior cell, oriented so positive = win.
+		var gainPct float64
+		if d.LowerIsBetter {
+			if n != 0 {
+				gainPct = 100 * (n - s) / n
+			}
+		} else {
+			if n != 0 {
+				gainPct = 100 * (s - n) / n
+			}
+		}
+		won := gainPct > d.MinRelGainPct
+		if won {
+			wins++
+		}
+		mark := "win"
+		if !won {
+			mark = "loss"
+		}
+		out.PerSeed = append(out.PerSeed, fmt.Sprintf(
+			"seed %d: %s %s=%s vs %s=%s (gain %s%%) — %s",
+			seed, d.Metric, d.Superior, trimFloat(s), d.Inferior, trimFloat(n),
+			trimFloat(gainPct), mark))
+	}
+	supE, infE := sup.Estimate(d.Metric), inf.Estimate(d.Metric)
+	switch {
+	case wins == len(ev.Seeds):
+		out.Verdict = Confirmed
+		out.Summary = fmt.Sprintf("%q beats %q on %s in %d/%d seeds (mean %s vs %s)",
+			d.Superior, d.Inferior, d.Metric, wins, len(ev.Seeds),
+			trimFloat(supE.Mean), trimFloat(infE.Mean))
+	case wins == 0:
+		out.Verdict = Refuted
+		out.Summary = fmt.Sprintf("%q never beats %q on %s (0/%d seeds; mean %s vs %s)",
+			d.Superior, d.Inferior, d.Metric, len(ev.Seeds),
+			trimFloat(supE.Mean), trimFloat(infE.Mean))
+	default:
+		out.Verdict = Inconclusive
+		out.Summary = fmt.Sprintf("%q beats %q on %s in only %d/%d seeds",
+			d.Superior, d.Inferior, d.Metric, wins, len(ev.Seeds))
+	}
+	return out, nil
+}
+
+// --- Threshold ---------------------------------------------------------------
+
+// Threshold asserts that a metric crosses a bound along the cell axis (in
+// spec order): in every seed the first cell sits below Bound and the last
+// at or above it. All seeds cross → Confirmed; every seed stays entirely
+// on one side → Refuted; anything else → Inconclusive.
+type Threshold struct {
+	// Metric is the tracked value's name.
+	Metric string
+	// Bound is the crossing level.
+	Bound float64
+}
+
+// Kind implements Check.
+func (t Threshold) Kind() string { return "threshold" }
+
+// Claim implements Check.
+func (t Threshold) Claim() string {
+	return fmt.Sprintf("%s crosses %s along the varied axis (below at the first cell, at/above at the last)",
+		t.Metric, trimFloat(t.Bound))
+}
+
+// Evaluate implements Check.
+func (t Threshold) Evaluate(ev *Evidence) (Outcome, error) {
+	if len(ev.Cells) < 2 {
+		return Outcome{}, fmt.Errorf("hypotheses: threshold needs ≥2 cells")
+	}
+	out := Outcome{}
+	crossed, allBelow, allAbove := 0, 0, 0
+	for i, seed := range ev.Seeds {
+		below, above := 0, 0
+		firstAt := ""
+		vals := make([]string, 0, len(ev.Cells))
+		for c := range ev.Cells {
+			v := ev.Cells[c].PerSeed[i].Values[t.Metric]
+			vals = append(vals, fmt.Sprintf("%s=%s", ev.Cells[c].Name, trimFloat(v)))
+			if v >= t.Bound {
+				above++
+				if firstAt == "" {
+					firstAt = ev.Cells[c].Name
+				}
+			} else {
+				below++
+			}
+		}
+		first := ev.Cells[0].PerSeed[i].Values[t.Metric]
+		last := ev.Cells[len(ev.Cells)-1].PerSeed[i].Values[t.Metric]
+		state := "no crossing"
+		switch {
+		case first < t.Bound && last >= t.Bound:
+			crossed++
+			state = "crosses at " + firstAt
+		case above == 0:
+			allBelow++
+			state = "entirely below"
+		case below == 0:
+			allAbove++
+			state = "entirely at/above"
+		}
+		out.PerSeed = append(out.PerSeed, fmt.Sprintf(
+			"seed %d: %s — %s", seed, joinComma(vals), state))
+	}
+	n := len(ev.Seeds)
+	switch {
+	case crossed == n:
+		out.Verdict = Confirmed
+		out.Summary = fmt.Sprintf("%s crosses %s along the axis in %d/%d seeds",
+			t.Metric, trimFloat(t.Bound), crossed, n)
+	case allBelow == n:
+		out.Verdict = Refuted
+		out.Summary = fmt.Sprintf("%s never reaches %s in any cell of any seed",
+			t.Metric, trimFloat(t.Bound))
+	case allAbove == n:
+		out.Verdict = Refuted
+		out.Summary = fmt.Sprintf("%s is at/above %s already in the first cell of every seed",
+			t.Metric, trimFloat(t.Bound))
+	default:
+		out.Verdict = Inconclusive
+		out.Summary = fmt.Sprintf("%s crosses %s in only %d/%d seeds",
+			t.Metric, trimFloat(t.Bound), crossed, n)
+	}
+	return out, nil
+}
+
+// --- Invariant ---------------------------------------------------------------
+
+// Invariant asserts that a metric stays inside [Min, Max] in every cell
+// and every seed — e.g. job conservation (gap exactly 0) or a rejection
+// rate staying under a bound. Any violation → Refuted, otherwise
+// Confirmed; Invariant never answers Inconclusive.
+type Invariant struct {
+	// Metric is the constrained value's name.
+	Metric string
+	// Min and Max bound the allowed range, inclusive.
+	Min, Max float64
+	// Cells restricts the check to the named cells; empty means all.
+	Cells []string
+}
+
+// Kind implements Check.
+func (v Invariant) Kind() string { return "invariant" }
+
+// Claim implements Check.
+func (v Invariant) Claim() string {
+	where := "every cell"
+	if len(v.Cells) > 0 {
+		where = fmt.Sprintf("cells %v", v.Cells)
+	}
+	return fmt.Sprintf("%s stays within [%s, %s] in %s, every seed",
+		v.Metric, trimFloat(v.Min), trimFloat(v.Max), where)
+}
+
+// Evaluate implements Check.
+func (v Invariant) Evaluate(ev *Evidence) (Outcome, error) {
+	selected := ev.Cells
+	if len(v.Cells) > 0 {
+		selected = nil
+		for _, name := range v.Cells {
+			ce := ev.Cell(name)
+			if ce == nil {
+				return Outcome{}, fmt.Errorf("hypotheses: invariant cell %q not in evidence", name)
+			}
+			selected = append(selected, *ce)
+		}
+	}
+	out := Outcome{}
+	violations := 0
+	for i, seed := range ev.Seeds {
+		vals := make([]string, 0, len(selected))
+		bad := ""
+		for c := range selected {
+			x := selected[c].PerSeed[i].Values[v.Metric]
+			vals = append(vals, fmt.Sprintf("%s=%s", selected[c].Name, trimFloat(x)))
+			if x < v.Min || x > v.Max {
+				violations++
+				if bad == "" {
+					bad = selected[c].Name
+				}
+			}
+		}
+		state := "holds"
+		if bad != "" {
+			state = "VIOLATED at " + bad
+		}
+		out.PerSeed = append(out.PerSeed, fmt.Sprintf(
+			"seed %d: %s — %s", seed, joinComma(vals), state))
+	}
+	if violations == 0 {
+		out.Verdict = Confirmed
+		out.Summary = fmt.Sprintf("%s within [%s, %s] across all cells and seeds",
+			v.Metric, trimFloat(v.Min), trimFloat(v.Max))
+	} else {
+		out.Verdict = Refuted
+		out.Summary = fmt.Sprintf("%s leaves [%s, %s] in %d cell-seed pairs",
+			v.Metric, trimFloat(v.Min), trimFloat(v.Max), violations)
+	}
+	return out, nil
+}
+
+func joinComma(parts []string) string {
+	s := ""
+	for i, p := range parts {
+		if i > 0 {
+			s += ", "
+		}
+		s += p
+	}
+	return s
+}

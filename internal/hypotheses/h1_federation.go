@@ -1,0 +1,120 @@
+package hypotheses
+
+import (
+	"fmt"
+
+	"dias"
+	"dias/internal/experiments"
+	"dias/internal/federation"
+)
+
+// mustRouting resolves a routing policy from the dias registry into the
+// per-run factory a federation cell needs. The names are static spec
+// constants validated at registration, so a resolution failure is a
+// programming error.
+func mustRouting(name string) func(seed int64) federation.RoutingPolicy {
+	if _, ok := dias.RoutingPolicies().Lookup(name); !ok {
+		panic(fmt.Sprintf("hypotheses: unknown routing policy %q", name))
+	}
+	return func(seed int64) federation.RoutingPolicy {
+		p, err := dias.RoutingPolicies().New(name, dias.RoutingOptions{Seed: seed})
+		if err != nil {
+			panic(err) // unreachable: name validated above
+		}
+		return p
+	}
+}
+
+// H1: JSQ's win over random routing is a queueing effect, so it should
+// only clear a meaningful margin once members actually queue — i.e. above
+// a utilization threshold, not uniformly.
+func H1() Spec {
+	const members = 4
+	type utilCell struct {
+		name string
+		util float64
+	}
+	axis := []utilCell{
+		{"util-030", 0.30},
+		{"util-055", 0.55},
+		{"util-075", 0.75},
+		{"util-090", 0.90},
+	}
+	cells := make([]Cell, len(axis))
+	for i, u := range axis {
+		u := u
+		cells[i] = Cell{
+			Name: u.name,
+			Detail: fmt.Sprintf("%d homogeneous members at %.0f%% per-cluster nominal load; paired jsq and random runs, same seed and workload",
+				members, 100*u.util),
+			Run: func(seed int64, jobs int) (CellResult, error) {
+				w, err := experiments.NewReferenceWorkload(seed)
+				if err != nil {
+					return CellResult{}, err
+				}
+				run := func(policy string) (p95 float64, res CellResult, err error) {
+					r, err := w.RunFederationCell(experiments.FederationCell{
+						Name:        u.name + "-" + policy,
+						Jobs:        jobs,
+						Members:     members,
+						Utilization: u.util,
+						Routing:     mustRouting(policy),
+					})
+					if err != nil {
+						return 0, CellResult{}, err
+					}
+					return r.PerClass[0].P95ResponseSec, CellResult{Scenario: r}, nil
+				}
+				jsqP95, jsqRes, err := run("jsq")
+				if err != nil {
+					return CellResult{}, err
+				}
+				randP95, _, err := run("random")
+				if err != nil {
+					return CellResult{}, err
+				}
+				gain := 0.0
+				if randP95 > 0 {
+					gain = 100 * (randP95 - jsqP95) / randP95
+				}
+				jsqRes.Values = map[string]float64{
+					"p95-low-jsq":    jsqP95,
+					"p95-low-random": randP95,
+					"jsq-gain-pct":   gain,
+				}
+				return jsqRes, nil
+			},
+		}
+	}
+	return Spec{
+		ID:     "h1-jsq-vs-random-utilization",
+		Title:  "JSQ beats random routing only above a utilization threshold",
+		Family: "federation",
+		Claim: "Join-shortest-queue routing improves low-class P95 latency over random routing " +
+			"by a meaningful margin (≥10%) only once per-member utilization is high enough for " +
+			"queues to form; at low utilization the two are within noise of each other.",
+		Varied: "per-cluster nominal utilization (0.30 → 0.90), everything else identical",
+		Controlled: []string{
+			"4 homogeneous default member clusters, DiAS per-member policy (DA(0,20) + sprinting)",
+			"two-class reference text workload, 9:1 low:high mix, data homes round-robin",
+			"paired runs: jsq and random see the same seed, workload and arrival stream",
+		},
+		Seeds: []int64{42, 123, 456},
+		Jobs:  160,
+		Metrics: []Metric{
+			{Name: "p95-low-jsq", Unit: "s", Desc: "low-class P95 response under JSQ routing"},
+			{Name: "p95-low-random", Unit: "s", Desc: "low-class P95 response under random routing"},
+			{Name: "jsq-gain-pct", Unit: "%", Desc: "JSQ's relative P95 improvement over random (positive = JSQ better)"},
+		},
+		Cells: cells,
+		Primary: []Check{
+			Threshold{Metric: "jsq-gain-pct", Bound: 10},
+		},
+		Notes: "The cell aggregates table reports the JSQ run of each pair (the paired random run " +
+			"appears in the p95-low-random evidence row). The refutation is informative: with " +
+			"minute-scale jobs and only 4 members, random routing collides enough arrivals onto " +
+			"one member to hurt P95 even at 30% nominal load, so JSQ's margin is far above 10% " +
+			"across the whole probed range — there is no low-utilization regime where the two " +
+			"are equivalent.",
+	}
+}

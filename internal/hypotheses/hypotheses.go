@@ -1,0 +1,176 @@
+// Package hypotheses is the methodology layer on top of the experiment
+// runner: a hypothesis declares a behavioral claim about the middleware,
+// exactly one varied dimension realized as two or more cell
+// configurations, a multi-seed run grid, and typed checks that turn the
+// measured evidence into a verdict — Confirmed, Confirmed with nuance,
+// Refuted, or Inconclusive — with per-seed evidence attached.
+//
+// The point is falsifiability as a regression surface: each hypothesis
+// renders a deterministic FINDINGS.md (no timestamps, no environment),
+// committed under hypotheses/, and the dias-hypotheses command's -check
+// mode re-runs the grid and diffs the committed files byte for byte. A
+// policy change that silently flips a verdict fails CI the same way a
+// broken test does.
+//
+// Cells execute through runner.Map (deterministic order, worker-count
+// invariant) and aggregate through runner.Summarize / runner.EstimateOf,
+// so the evidence carries mean ± 95% CI across seeds next to the raw
+// per-seed values the checks judge.
+package hypotheses
+
+import (
+	"fmt"
+
+	"dias/internal/metrics"
+	"dias/internal/runner"
+)
+
+// Verdict is a hypothesis or check resolution.
+type Verdict string
+
+const (
+	// Confirmed: every primary check held across all seeds.
+	Confirmed Verdict = "Confirmed"
+	// ConfirmedWithNuance: the primary claim held, but a nuance check
+	// failed — the headline effect is real and the declared mechanism or
+	// side condition is not what the claim assumed.
+	ConfirmedWithNuance Verdict = "Confirmed with nuance"
+	// Refuted: a primary check failed in the direction opposite the claim.
+	Refuted Verdict = "Refuted"
+	// Inconclusive: the evidence is split across seeds or cells; neither
+	// confirmation nor refutation is honest.
+	Inconclusive Verdict = "Inconclusive"
+)
+
+// Metric documents one named value a hypothesis's cells report. Names key
+// CellResult.Values and are what checks reference.
+type Metric struct {
+	Name string
+	Unit string
+	Desc string
+}
+
+// CellResult is one cell's outcome under one seed: the scenario-level
+// aggregates plus the hypothesis's derived named values.
+type CellResult struct {
+	Scenario metrics.ScenarioResult
+	Values   map[string]float64
+}
+
+// Cell is one point of the varied dimension. Run executes the cell under
+// one seed; it must be deterministic in (seed, jobs) and set no global
+// state, because cells fan out across runner workers.
+type Cell struct {
+	// Name identifies the cell in checks and rendered tables.
+	Name string
+	// Detail is the one-line description of what this cell configures.
+	Detail string
+	// Run executes the cell.
+	Run func(seed int64, jobs int) (CellResult, error)
+}
+
+// Spec declares one hypothesis: the claim, the controlled experiment that
+// probes it, and the checks that judge the evidence.
+type Spec struct {
+	// ID is the stable directory-name slug (e.g. "h1-jsq-vs-random").
+	ID string
+	// Title is the short human headline.
+	Title string
+	// Claim is the falsifiable statement under test.
+	Claim string
+	// Family names the subsystem exercised (federation, admission, faults).
+	Family string
+	// Varied names the single dimension the cells vary; Controlled lists
+	// what is deliberately held fixed.
+	Varied     string
+	Controlled []string
+	// Seeds is the replicate grid; every cell runs under every seed.
+	Seeds []int64
+	// Jobs is the arrival count per simulation run — sized so the full
+	// grid is CI-cheap.
+	Jobs int
+	// Metrics documents the derived values cells report.
+	Metrics []Metric
+	// Cells realize the varied dimension, in presentation order.
+	Cells []Cell
+	// Primary checks judge the claim itself; Nuance checks probe the
+	// claimed mechanism or side conditions. A failed nuance check demotes
+	// Confirmed to ConfirmedWithNuance instead of refuting.
+	Primary []Check
+	Nuance  []Check
+	// Notes is free-form context rendered at the end of FINDINGS.md.
+	Notes string
+}
+
+// Validate rejects specs that cannot produce a well-formed finding.
+func (s *Spec) Validate() error {
+	if s.ID == "" || s.Claim == "" {
+		return fmt.Errorf("hypotheses: spec %q missing id or claim", s.ID)
+	}
+	if len(s.Cells) < 2 {
+		return fmt.Errorf("hypotheses: %s: %d cells; a controlled comparison needs at least 2", s.ID, len(s.Cells))
+	}
+	if s.Varied == "" {
+		return fmt.Errorf("hypotheses: %s declares no varied dimension", s.ID)
+	}
+	if len(s.Seeds) == 0 {
+		return fmt.Errorf("hypotheses: %s has no seeds", s.ID)
+	}
+	if s.Jobs < 10 {
+		return fmt.Errorf("hypotheses: %s: %d jobs is too few", s.ID, s.Jobs)
+	}
+	if len(s.Primary) == 0 {
+		return fmt.Errorf("hypotheses: %s has no primary check", s.ID)
+	}
+	seen := map[string]bool{}
+	for _, c := range s.Cells {
+		if c.Name == "" || c.Run == nil {
+			return fmt.Errorf("hypotheses: %s has a cell without name or run", s.ID)
+		}
+		if seen[c.Name] {
+			return fmt.Errorf("hypotheses: %s: duplicate cell %q", s.ID, c.Name)
+		}
+		seen[c.Name] = true
+	}
+	return nil
+}
+
+// CellEvidence is one cell's measured evidence across all seeds.
+type CellEvidence struct {
+	Name    string
+	Detail  string
+	PerSeed []CellResult // index-aligned with Evidence.Seeds
+	// Summary aggregates the per-seed scenario results (runner.Summarize).
+	Summary runner.Summary
+}
+
+// Values returns the cell's per-seed series for one named metric.
+func (ce *CellEvidence) Values(metric string) []float64 {
+	out := make([]float64, len(ce.PerSeed))
+	for i, r := range ce.PerSeed {
+		out[i] = r.Values[metric]
+	}
+	return out
+}
+
+// Estimate aggregates the per-seed series of one metric (mean ± CI95).
+func (ce *CellEvidence) Estimate(metric string) runner.Estimate {
+	return runner.EstimateOf(ce.Values(metric))
+}
+
+// Evidence is the full measured grid of one hypothesis run, in spec cell
+// order.
+type Evidence struct {
+	Seeds []int64
+	Cells []CellEvidence
+}
+
+// Cell returns the named cell's evidence, or nil when absent.
+func (ev *Evidence) Cell(name string) *CellEvidence {
+	for i := range ev.Cells {
+		if ev.Cells[i].Name == name {
+			return &ev.Cells[i]
+		}
+	}
+	return nil
+}

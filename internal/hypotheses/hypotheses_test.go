@@ -1,0 +1,337 @@
+package hypotheses
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	"dias/internal/metrics"
+)
+
+// evidenceFrom builds a synthetic Evidence grid: values[cell][metric][seedIdx].
+func evidenceFrom(seeds []int64, cells []string, values map[string]map[string][]float64) *Evidence {
+	ev := &Evidence{Seeds: seeds}
+	for _, name := range cells {
+		ce := CellEvidence{Name: name}
+		for i := range seeds {
+			vals := map[string]float64{}
+			for metric, series := range values[name] {
+				vals[metric] = series[i]
+			}
+			ce.PerSeed = append(ce.PerSeed, CellResult{Values: vals})
+		}
+		ev.Cells = append(ev.Cells, ce)
+	}
+	return ev
+}
+
+func TestDominanceVerdicts(t *testing.T) {
+	seeds := []int64{1, 2, 3}
+	cases := []struct {
+		name  string
+		check Dominance
+		a, b  []float64 // fast, slow per seed
+		want  Verdict
+	}{
+		{
+			name:  "all seeds win",
+			check: Dominance{Metric: "lat", Superior: "fast", Inferior: "slow", LowerIsBetter: true},
+			a:     []float64{10, 11, 12}, b: []float64{20, 21, 22},
+			want: Confirmed,
+		},
+		{
+			name:  "no seed wins",
+			check: Dominance{Metric: "lat", Superior: "fast", Inferior: "slow", LowerIsBetter: true},
+			a:     []float64{30, 31, 32}, b: []float64{20, 21, 22},
+			want: Refuted,
+		},
+		{
+			name:  "split is inconclusive",
+			check: Dominance{Metric: "lat", Superior: "fast", Inferior: "slow", LowerIsBetter: true},
+			a:     []float64{10, 31, 12}, b: []float64{20, 21, 22},
+			want: Inconclusive,
+		},
+		{
+			name: "win below MinRelGainPct does not count",
+			check: Dominance{Metric: "lat", Superior: "fast", Inferior: "slow",
+				LowerIsBetter: true, MinRelGainPct: 10},
+			a: []float64{19.5, 19.5, 19.5}, b: []float64{20, 20, 20},
+			want: Refuted,
+		},
+		{
+			name:  "higher is better orientation",
+			check: Dominance{Metric: "goodput", Superior: "fast", Inferior: "slow"},
+			a:     []float64{5, 5, 5}, b: []float64{4, 4, 4},
+			want: Confirmed,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			metric := tc.check.Metric
+			ev := evidenceFrom(seeds, []string{"fast", "slow"}, map[string]map[string][]float64{
+				"fast": {metric: tc.a},
+				"slow": {metric: tc.b},
+			})
+			out, err := tc.check.Evaluate(ev)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out.Verdict != tc.want {
+				t.Fatalf("verdict = %s, want %s (summary: %s)", out.Verdict, tc.want, out.Summary)
+			}
+			if len(out.PerSeed) != len(seeds) {
+				t.Fatalf("PerSeed lines = %d, want %d", len(out.PerSeed), len(seeds))
+			}
+		})
+	}
+}
+
+func TestDominanceUnknownCell(t *testing.T) {
+	ev := evidenceFrom([]int64{1}, []string{"a"}, map[string]map[string][]float64{
+		"a": {"m": {1}},
+	})
+	if _, err := (Dominance{Metric: "m", Superior: "a", Inferior: "nope"}).Evaluate(ev); err == nil {
+		t.Fatal("expected error for unknown inferior cell")
+	}
+}
+
+func TestThresholdVerdicts(t *testing.T) {
+	seeds := []int64{1, 2}
+	cells := []string{"low", "mid", "high"}
+	cases := []struct {
+		name   string
+		series map[string][]float64 // per cell, per seed
+		want   Verdict
+	}{
+		{
+			name: "crosses in all seeds",
+			series: map[string][]float64{
+				"low": {2, 3}, "mid": {8, 12}, "high": {15, 18},
+			},
+			want: Confirmed,
+		},
+		{
+			name: "never reaches the bound",
+			series: map[string][]float64{
+				"low": {1, 2}, "mid": {3, 4}, "high": {5, 6},
+			},
+			want: Refuted,
+		},
+		{
+			name: "already above everywhere",
+			series: map[string][]float64{
+				"low": {11, 12}, "mid": {13, 14}, "high": {15, 16},
+			},
+			want: Refuted,
+		},
+		{
+			name: "split across seeds",
+			series: map[string][]float64{
+				"low": {2, 2}, "mid": {8, 8}, "high": {15, 6},
+			},
+			want: Inconclusive,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			values := map[string]map[string][]float64{}
+			for cell, series := range tc.series {
+				values[cell] = map[string][]float64{"gain": series}
+			}
+			ev := evidenceFrom(seeds, cells, values)
+			out, err := (Threshold{Metric: "gain", Bound: 10}).Evaluate(ev)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out.Verdict != tc.want {
+				t.Fatalf("verdict = %s, want %s (summary: %s)", out.Verdict, tc.want, out.Summary)
+			}
+		})
+	}
+}
+
+func TestInvariantVerdicts(t *testing.T) {
+	seeds := []int64{1, 2}
+	ev := evidenceFrom(seeds, []string{"a", "b"}, map[string]map[string][]float64{
+		"a": {"gap": {0, 0}, "rej": {3, 4}},
+		"b": {"gap": {0, 0}, "rej": {40, 50}},
+	})
+	out, err := (Invariant{Metric: "gap", Min: 0, Max: 0}).Evaluate(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Verdict != Confirmed {
+		t.Fatalf("gap invariant = %s, want Confirmed", out.Verdict)
+	}
+	// Restricted to cell b, the rejection bound must report the violation.
+	out, err = (Invariant{Metric: "rej", Min: 0, Max: 5, Cells: []string{"b"}}).Evaluate(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Verdict != Refuted {
+		t.Fatalf("rej invariant = %s, want Refuted", out.Verdict)
+	}
+	// Restricted to cell a, the same bound holds.
+	out, err = (Invariant{Metric: "rej", Min: 0, Max: 5, Cells: []string{"a"}}).Evaluate(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Verdict != Confirmed {
+		t.Fatalf("rej invariant on a = %s, want Confirmed", out.Verdict)
+	}
+	if _, err := (Invariant{Metric: "rej", Cells: []string{"nope"}}).Evaluate(ev); err == nil {
+		t.Fatal("expected error for unknown invariant cell")
+	}
+}
+
+func TestCombinePrecedence(t *testing.T) {
+	pr := func(v Verdict) CheckResult { return CheckResult{Role: "primary", Outcome: Outcome{Verdict: v}} }
+	nu := func(v Verdict) CheckResult { return CheckResult{Role: "nuance", Outcome: Outcome{Verdict: v}} }
+	cases := []struct {
+		name   string
+		checks []CheckResult
+		want   Verdict
+	}{
+		{"all confirmed", []CheckResult{pr(Confirmed), pr(Confirmed)}, Confirmed},
+		{"nuance failure demotes", []CheckResult{pr(Confirmed), nu(Refuted)}, ConfirmedWithNuance},
+		{"refuted beats inconclusive regardless of order",
+			[]CheckResult{pr(Inconclusive), pr(Refuted), nu(Confirmed)}, Refuted},
+		{"inconclusive beats nuance demotion",
+			[]CheckResult{pr(Inconclusive), nu(Refuted)}, Inconclusive},
+		{"refuted primary wins over clean nuance",
+			[]CheckResult{pr(Refuted), nu(Confirmed)}, Refuted},
+	}
+	for _, tc := range cases {
+		if got := combine(tc.checks); got != tc.want {
+			t.Errorf("%s: combine = %s, want %s", tc.name, got, tc.want)
+		}
+	}
+}
+
+// syntheticSpec is a sim-free hypothesis whose cell values are pure
+// functions of (cell, seed), for exercising Run's grid plumbing.
+func syntheticSpec() Spec {
+	mkCell := func(name string, base float64) Cell {
+		return Cell{
+			Name:   name,
+			Detail: fmt.Sprintf("synthetic cell at base %g", base),
+			Run: func(seed int64, jobs int) (CellResult, error) {
+				lat := base + float64(seed%7)
+				return CellResult{
+					Scenario: metrics.ScenarioResult{
+						Name: "driver-internal-name", // Run must override this
+						PerClass: []metrics.ClassStats{{
+							Jobs: jobs, MeanResponseSec: lat, P95ResponseSec: 2 * lat,
+						}},
+					},
+					Values: map[string]float64{"lat": lat},
+				}, nil
+			},
+		}
+	}
+	return Spec{
+		ID:     "hx-synthetic",
+		Title:  "Synthetic grid plumbing",
+		Claim:  "cell fast beats cell slow on lat",
+		Family: "test",
+		Varied: "base latency",
+		Seeds:  []int64{42, 123, 456},
+		Jobs:   50,
+		Metrics: []Metric{
+			{Name: "lat", Unit: "s", Desc: "synthetic latency"},
+		},
+		Cells: []Cell{mkCell("fast", 10), mkCell("slow", 100)},
+		Primary: []Check{
+			Dominance{Metric: "lat", Superior: "fast", Inferior: "slow", LowerIsBetter: true},
+		},
+	}
+}
+
+func TestRunGridAndRenderDeterminism(t *testing.T) {
+	spec := syntheticSpec()
+	r1, err := Run(context.Background(), spec, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, err := Run(context.Background(), syntheticSpec(), Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Verdict != Confirmed {
+		t.Fatalf("verdict = %s, want Confirmed", r1.Verdict)
+	}
+	// Evidence regrouping is positional: every cell must carry its own name
+	// (not the driver's) and one result per seed.
+	for _, ce := range r1.Evidence.Cells {
+		if len(ce.PerSeed) != len(spec.Seeds) {
+			t.Fatalf("cell %s: %d per-seed results, want %d", ce.Name, len(ce.PerSeed), len(spec.Seeds))
+		}
+		if ce.Summary.Name != ce.Name {
+			t.Fatalf("cell %s: summary named %q", ce.Name, ce.Summary.Name)
+		}
+	}
+	if got := r1.Evidence.Cell("slow").Values("lat"); got[0] != 100 {
+		t.Fatalf("slow seed-42 lat = %g, want 100 (42%%7=0)", got[0])
+	}
+	// Rendered findings must be byte-identical across worker counts and
+	// across repeated renders — the -check contract.
+	a, b := Render(r1), Render(r4)
+	if a != b {
+		t.Fatal("rendered findings differ between worker counts")
+	}
+	if a != Render(r1) {
+		t.Fatal("repeated Render of the same result differs")
+	}
+	for _, want := range []string{
+		"# HX: Synthetic grid plumbing",
+		"**Verdict: Confirmed**",
+		"seed 42", "seed 123", "seed 456",
+		"[primary/dominance]",
+		"## Verdict",
+	} {
+		if !strings.Contains(a, want) {
+			t.Errorf("rendered findings missing %q", want)
+		}
+	}
+	idx := RenderIndex([]*Result{r1})
+	if !strings.Contains(idx, "[hx](hx-synthetic/FINDINGS.md)") {
+		t.Errorf("index missing hypothesis link:\n%s", idx)
+	}
+}
+
+func TestRunRejectsInvalidSpecs(t *testing.T) {
+	base := syntheticSpec()
+	mutations := map[string]func(*Spec){
+		"no cells":       func(s *Spec) { s.Cells = s.Cells[:1] },
+		"no seeds":       func(s *Spec) { s.Seeds = nil },
+		"no primary":     func(s *Spec) { s.Primary = nil },
+		"no varied":      func(s *Spec) { s.Varied = "" },
+		"too few jobs":   func(s *Spec) { s.Jobs = 5 },
+		"duplicate cell": func(s *Spec) { s.Cells[1].Name = s.Cells[0].Name },
+	}
+	for name, mutate := range mutations {
+		spec := syntheticSpec()
+		mutate(&spec)
+		if _, err := Run(context.Background(), spec, Options{Workers: 1}); err == nil {
+			t.Errorf("%s: Run accepted an invalid spec", name)
+		}
+	}
+	if err := base.Validate(); err != nil {
+		t.Fatalf("base spec should be valid: %v", err)
+	}
+}
+
+func TestRunPropagatesCellErrors(t *testing.T) {
+	spec := syntheticSpec()
+	spec.Cells[1].Run = func(int64, int) (CellResult, error) {
+		return CellResult{}, fmt.Errorf("boom")
+	}
+	_, err := Run(context.Background(), spec, Options{Workers: 2})
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("err = %v, want cell failure", err)
+	}
+	if !strings.Contains(err.Error(), `cell "slow"`) {
+		t.Fatalf("err = %v, want cell name in context", err)
+	}
+}

@@ -1,0 +1,180 @@
+package hypotheses
+
+// Deterministic markdown rendering: FINDINGS.md per hypothesis plus the
+// hypotheses/README.md index. Nothing environment-dependent goes into the
+// output — no timestamps, no hostnames, no git state — because the files
+// are committed and the -check mode diffs regenerated content against them
+// byte for byte.
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"dias/internal/runner"
+)
+
+// trimFloat renders a float compactly and deterministically: up to 4
+// significant digits, no trailing zeros, no exponent for ordinary
+// magnitudes.
+func trimFloat(x float64) string {
+	s := strconv.FormatFloat(x, 'g', 4, 64)
+	// FormatFloat 'g' switches to exponent notation for |x| >= 1e4 at this
+	// precision; latency seconds and percentages stay well under that, and
+	// where they don't the exponent form is still deterministic.
+	return s
+}
+
+// Render produces the hypothesis's FINDINGS.md content.
+func Render(r *Result) string {
+	var b strings.Builder
+	s := &r.Spec
+	fmt.Fprintf(&b, "# %s: %s\n\n", strings.ToUpper(idShort(s.ID)), s.Title)
+	fmt.Fprintf(&b, "- **Verdict: %s**\n", r.Verdict)
+	fmt.Fprintf(&b, "- Family: %s\n", s.Family)
+	fmt.Fprintf(&b, "- Varied dimension: %s\n", s.Varied)
+	fmt.Fprintf(&b, "- Seeds: %s\n", seedList(s.Seeds))
+	fmt.Fprintf(&b, "- Jobs per run: %d\n\n", r.Jobs)
+
+	b.WriteString("## Claim\n\n")
+	fmt.Fprintf(&b, "> %s\n\n", s.Claim)
+
+	b.WriteString("## Experiment design\n\n")
+	if len(s.Controlled) > 0 {
+		b.WriteString("Controlled (held fixed):\n\n")
+		for _, c := range s.Controlled {
+			fmt.Fprintf(&b, "- %s\n", c)
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("Cells (the varied dimension):\n\n")
+	b.WriteString("| Cell | Configuration |\n|---|---|\n")
+	for _, c := range s.Cells {
+		fmt.Fprintf(&b, "| %s | %s |\n", c.Name, c.Detail)
+	}
+	b.WriteString("\nMetrics:\n\n")
+	b.WriteString("| Metric | Unit | Meaning |\n|---|---|---|\n")
+	for _, m := range s.Metrics {
+		fmt.Fprintf(&b, "| %s | %s | %s |\n", m.Name, m.Unit, m.Desc)
+	}
+	b.WriteString("\n")
+
+	b.WriteString("## Evidence\n\n")
+	for _, m := range s.Metrics {
+		fmt.Fprintf(&b, "### %s (%s)\n\n", m.Name, m.Unit)
+		b.WriteString("| Cell |")
+		for _, seed := range r.Evidence.Seeds {
+			fmt.Fprintf(&b, " seed %d |", seed)
+		}
+		b.WriteString(" mean ± CI95 |\n|---|")
+		for range r.Evidence.Seeds {
+			b.WriteString("---|")
+		}
+		b.WriteString("---|\n")
+		for i := range r.Evidence.Cells {
+			ce := &r.Evidence.Cells[i]
+			fmt.Fprintf(&b, "| %s |", ce.Name)
+			for _, v := range ce.Values(m.Name) {
+				fmt.Fprintf(&b, " %s |", trimFloat(v))
+			}
+			e := ce.Estimate(m.Name)
+			fmt.Fprintf(&b, " %s ± %s |\n", trimFloat(e.Mean), trimFloat(e.CI95))
+		}
+		b.WriteString("\n")
+	}
+
+	b.WriteString("### Cell aggregates (runner.Summarize across seeds)\n\n")
+	b.WriteString("| Cell | mean resp (low) | p95 resp (low) | rejected % | goodput jobs/s |\n")
+	b.WriteString("|---|---|---|---|---|\n")
+	for i := range r.Evidence.Cells {
+		ce := &r.Evidence.Cells[i]
+		mr := ce.Summary.PerClass[0].MeanResponseSec
+		p95 := ce.Summary.PerClass[0].P95ResponseSec
+		rej := runnerEstimate(ce, func(r CellResult) float64 { return r.Scenario.RejectedPct })
+		good := runnerEstimate(ce, func(r CellResult) float64 { return r.Scenario.GoodputJobsPerSec })
+		fmt.Fprintf(&b, "| %s | %s ± %s | %s ± %s | %s ± %s | %s ± %s |\n",
+			ce.Name,
+			trimFloat(mr.Mean), trimFloat(mr.CI95),
+			trimFloat(p95.Mean), trimFloat(p95.CI95),
+			trimFloat(rej.Mean), trimFloat(rej.CI95),
+			trimFloat(good.Mean), trimFloat(good.CI95))
+	}
+	b.WriteString("\n")
+
+	b.WriteString("## Checks\n\n")
+	for _, c := range r.Checks {
+		fmt.Fprintf(&b, "### [%s/%s] %s — %s\n\n", c.Role, c.Kind, c.Claim, c.Outcome.Verdict)
+		fmt.Fprintf(&b, "%s\n\n", c.Outcome.Summary)
+		for _, line := range c.Outcome.PerSeed {
+			fmt.Fprintf(&b, "- %s\n", line)
+		}
+		b.WriteString("\n")
+	}
+
+	fmt.Fprintf(&b, "## Verdict\n\n**%s.**", r.Verdict)
+	if s.Notes != "" {
+		fmt.Fprintf(&b, " %s", s.Notes)
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// RenderIndex produces the hypotheses/README.md content from the full
+// result set, in input order.
+func RenderIndex(results []*Result) string {
+	var b strings.Builder
+	b.WriteString(`# Hypotheses
+
+Accumulated, falsifiable findings about the middleware's behavior. Each
+entry declares a behavioral claim, varies exactly one dimension across two
+or more cell configurations, runs every cell under every seed through the
+experiment runner, and resolves typed checks into a verdict. The full
+evidence lives in each entry's FINDINGS.md.
+
+These files are a regression surface: ` + "`dias-hypotheses -check`" + ` re-runs
+every grid and diffs the committed FINDINGS byte for byte, so a policy
+change that silently flips a verdict fails CI. Regenerate with
+` + "`make hypotheses`" + ` after an intentional behavior change and review the
+diff like any other.
+
+| ID | Family | Hypothesis | Verdict | Key evidence |
+|---|---|---|---|---|
+`)
+	for _, r := range results {
+		key := ""
+		for _, c := range r.Checks {
+			if c.Role == "primary" {
+				key = c.Outcome.Summary
+				break
+			}
+		}
+		fmt.Fprintf(&b, "| [%s](%s/FINDINGS.md) | %s | %s | %s | %s |\n",
+			idShort(r.Spec.ID), r.Spec.ID, r.Spec.Family, r.Spec.Title, r.Verdict, key)
+	}
+	return b.String()
+}
+
+// idShort returns the leading "hN" token of a spec ID slug.
+func idShort(id string) string {
+	if i := strings.IndexByte(id, '-'); i > 0 {
+		return id[:i]
+	}
+	return id
+}
+
+func seedList(seeds []int64) string {
+	parts := make([]string, len(seeds))
+	for i, s := range seeds {
+		parts[i] = strconv.FormatInt(s, 10)
+	}
+	return strings.Join(parts, ", ")
+}
+
+// runnerEstimate aggregates a scenario-level field across a cell's seeds.
+func runnerEstimate(ce *CellEvidence, get func(CellResult) float64) runner.Estimate {
+	xs := make([]float64, len(ce.PerSeed))
+	for i, r := range ce.PerSeed {
+		xs[i] = get(r)
+	}
+	return runner.EstimateOf(xs)
+}

@@ -1,0 +1,145 @@
+package hypotheses
+
+import (
+	"context"
+	"fmt"
+
+	"dias/internal/metrics"
+	"dias/internal/runner"
+)
+
+// Options tunes a hypothesis run.
+type Options struct {
+	// Workers bounds the concurrency of the cell × seed grid; 0 uses one
+	// worker per CPU core. Results are bit-identical at any worker count.
+	Workers int
+	// Jobs overrides the spec's per-run arrival count (0 keeps the spec's;
+	// committed findings always use the spec's so -check reproduces them).
+	Jobs int
+}
+
+// CheckResult pairs one check with its outcome.
+type CheckResult struct {
+	Kind    string
+	Claim   string
+	Role    string // "primary" or "nuance"
+	Outcome Outcome
+}
+
+// Result is one executed hypothesis: the evidence grid, every check's
+// outcome, and the combined verdict.
+type Result struct {
+	Spec     Spec
+	Jobs     int // arrivals per run actually used
+	Evidence Evidence
+	Checks   []CheckResult
+	Verdict  Verdict
+}
+
+// Run executes the hypothesis: every cell under every seed through
+// runner.Map, per-cell aggregation through runner.Summarize, then the
+// checks. The only error sources are malformed specs and failed
+// simulation runs — a refuted claim is a successful run.
+func Run(ctx context.Context, spec Spec, opts Options) (*Result, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	jobs := spec.Jobs
+	if opts.Jobs > 0 {
+		jobs = opts.Jobs
+	}
+	// Cell-major grid: task index = cell*len(seeds) + seedIdx. runner.Map
+	// preserves task order, so regrouping below is positional.
+	tasks := make([]runner.Task[CellResult], 0, len(spec.Cells)*len(spec.Seeds))
+	for _, cell := range spec.Cells {
+		for _, seed := range spec.Seeds {
+			cell, seed := cell, seed
+			tasks = append(tasks, func(context.Context) (CellResult, error) {
+				res, err := cell.Run(seed, jobs)
+				if err != nil {
+					return CellResult{}, fmt.Errorf("%s: cell %q seed %d: %w", spec.ID, cell.Name, seed, err)
+				}
+				// Summarize requires one scenario name per cell; the cell
+				// name is that identity regardless of what the underlying
+				// driver called its run.
+				res.Scenario.Name = cell.Name
+				return res, nil
+			})
+		}
+	}
+	grid, err := runner.Map(ctx, runner.New(opts.Workers), tasks)
+	if err != nil {
+		return nil, err
+	}
+	ev := Evidence{Seeds: spec.Seeds}
+	for c, cell := range spec.Cells {
+		perSeed := grid[c*len(spec.Seeds) : (c+1)*len(spec.Seeds)]
+		scens := make([]metrics.ScenarioResult, len(perSeed))
+		for i, r := range perSeed {
+			scens[i] = r.Scenario
+		}
+		summary, err := runner.Summarize(spec.Seeds, scens)
+		if err != nil {
+			return nil, fmt.Errorf("%s: cell %q: %w", spec.ID, cell.Name, err)
+		}
+		ev.Cells = append(ev.Cells, CellEvidence{
+			Name:    cell.Name,
+			Detail:  cell.Detail,
+			PerSeed: perSeed,
+			Summary: summary,
+		})
+	}
+	res := &Result{Spec: spec, Jobs: jobs, Evidence: ev}
+	for _, role := range []struct {
+		name   string
+		checks []Check
+	}{{"primary", spec.Primary}, {"nuance", spec.Nuance}} {
+		for _, chk := range role.checks {
+			out, err := chk.Evaluate(&ev)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %s check: %w", spec.ID, role.name, err)
+			}
+			res.Checks = append(res.Checks, CheckResult{
+				Kind:    chk.Kind(),
+				Claim:   chk.Claim(),
+				Role:    role.name,
+				Outcome: out,
+			})
+		}
+	}
+	res.Verdict = combine(res.Checks)
+	return res, nil
+}
+
+// combine folds check outcomes into the hypothesis verdict: any primary
+// refutation refutes; any primary inconclusive is inconclusive; all
+// primaries confirmed resolves to Confirmed, demoted to
+// ConfirmedWithNuance when a nuance check did not confirm.
+func combine(checks []CheckResult) Verdict {
+	refuted, inconclusive, nuanceClean := false, false, true
+	for _, c := range checks {
+		switch c.Role {
+		case "primary":
+			switch c.Outcome.Verdict {
+			case Refuted:
+				refuted = true
+			case Inconclusive:
+				inconclusive = true
+			}
+		case "nuance":
+			if c.Outcome.Verdict != Confirmed {
+				nuanceClean = false
+			}
+		}
+	}
+	switch {
+	case refuted:
+		return Refuted
+	case inconclusive:
+		return Inconclusive
+	case nuanceClean:
+		return Confirmed
+	default:
+		return ConfirmedWithNuance
+	}
+}

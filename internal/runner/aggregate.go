@@ -35,14 +35,22 @@ func tQuantile(df int64) float64 {
 	return 1.96
 }
 
-func estimateOf(xs []float64) Estimate {
+// EstimateOf aggregates per-seed values of one metric into a mean/CI
+// estimate — the per-seed evidence the hypothesis harness' Dominance
+// checks read (internal/hypotheses). Degenerate inputs stay well-defined:
+// a single value yields a zero-width interval, and near-constant values
+// whose variance cancels to a floating-point negative yield CI95 = 0
+// rather than NaN.
+func EstimateOf(xs []float64) Estimate {
 	var s stats.Stream
 	for _, x := range xs {
 		s.Add(x)
 	}
 	e := Estimate{Mean: s.Mean()}
 	if n := s.Count(); n >= 2 {
-		e.CI95 = tQuantile(n-1) * s.StdDev() / math.Sqrt(float64(n))
+		if ci := tQuantile(n-1) * s.StdDev() / math.Sqrt(float64(n)); ci > 0 {
+			e.CI95 = ci
+		}
 	}
 	return e
 }
@@ -98,7 +106,7 @@ func Summarize(seeds []int64, reps []metrics.ScenarioResult) (Summary, error) {
 		for i, r := range reps {
 			xs[i] = get(r)
 		}
-		return estimateOf(xs)
+		return EstimateOf(xs)
 	}
 	out := Summary{
 		Name:             name,

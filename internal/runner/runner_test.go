@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"reflect"
 	"strings"
@@ -224,7 +225,8 @@ func TestSummarizeMeanAndCI(t *testing.T) {
 
 func TestSummarizeSingleReplicateHasZeroCI(t *testing.T) {
 	s, err := Summarize([]int64{1}, []metrics.ScenarioResult{
-		{Name: "P", PerClass: []metrics.ClassStats{{MeanResponseSec: 42}}},
+		{Name: "P", PerClass: []metrics.ClassStats{{MeanResponseSec: 42, P95ResponseSec: 99}},
+			EnergyJoules: 1e5, MakespanSec: 300},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -232,6 +234,44 @@ func TestSummarizeSingleReplicateHasZeroCI(t *testing.T) {
 	got := s.PerClass[0].MeanResponseSec
 	if got.Mean != 42 || got.CI95 != 0 {
 		t.Fatalf("estimate %+v", got)
+	}
+	// Every field of a single-seed summary must be a zero-width interval —
+	// never NaN: a degenerate run still renders and serializes cleanly.
+	for _, e := range []Estimate{
+		s.PerClass[0].P95ResponseSec, s.PerClass[0].MeanQueueSec,
+		s.EnergyJoules, s.MakespanSec, s.ResourceWastePct,
+		s.FailureWastePct, s.FailedJobs, s.TasksRetried, s.MeanPoweredNodes,
+	} {
+		if math.IsNaN(e.Mean) || math.IsNaN(e.CI95) || e.CI95 != 0 {
+			t.Fatalf("single-seed estimate not a clean zero-width interval: %+v", e)
+		}
+	}
+}
+
+// TestEstimateOfDegenerateInputs pins EstimateOf against the inputs that
+// historically produced NaN or negative intervals: empty, single-value, and
+// near-constant sequences whose Welford m2 rounds negative.
+func TestEstimateOfDegenerateInputs(t *testing.T) {
+	if e := EstimateOf(nil); e.Mean != 0 || e.CI95 != 0 {
+		t.Fatalf("empty input: %+v", e)
+	}
+	if e := EstimateOf([]float64{7.5}); e.Mean != 7.5 || e.CI95 != 0 {
+		t.Fatalf("single value: %+v", e)
+	}
+	// Constant inputs: exactly zero width.
+	if e := EstimateOf([]float64{3, 3, 3, 3}); e.Mean != 3 || e.CI95 != 0 {
+		t.Fatalf("constant input: %+v", e)
+	}
+	// Near-constant values around a large offset stress Welford's m2 into
+	// the rounding regime where it can dip below zero.
+	base := 1e15
+	xs := make([]float64, 64)
+	for i := range xs {
+		xs[i] = base + float64(i%2)*1e-3
+	}
+	e := EstimateOf(xs)
+	if math.IsNaN(e.Mean) || math.IsNaN(e.CI95) || e.CI95 < 0 {
+		t.Fatalf("near-constant input produced NaN/negative CI: %+v", e)
 	}
 }
 

@@ -56,7 +56,9 @@ func (h *LogHistogram) Add(x float64) {
 	i := 0
 	if x >= h.lo {
 		i = int((math.Log(x) - h.logLo) * h.invLogG)
-		if i >= len(h.counts) {
+		if i >= len(h.counts) || i < 0 {
+			// i < 0 happens for x = +Inf: int(Inf) is the most negative
+			// int, which the upper check alone would miss.
 			i = len(h.counts) - 1
 		}
 	}

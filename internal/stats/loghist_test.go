@@ -108,6 +108,107 @@ func TestLogHistogramQuantileAccuracy(t *testing.T) {
 	}
 }
 
+// FuzzLogHistogramQuantile fuzzes the accuracy bound over arbitrary
+// observation sets: for any data derived from the fuzzed seed/shape, every
+// quantile whose order statistic falls inside [lo, hi) must be within one
+// bucket's relative width (<4.4% at 480 buckets over [1e-3,1e6)) of the
+// exact sorted quantile, and quantiles must never leave [min, max].
+func FuzzLogHistogramQuantile(f *testing.F) {
+	f.Add(int64(1), 100, 1.5, 2.0)
+	f.Add(int64(42), 3000, 0.3, -1.0)
+	f.Add(int64(-9), 7, 4.0, 5.5)
+	f.Fuzz(func(t *testing.T, seed int64, n int, sigma, mu float64) {
+		if n < 1 || n > 50000 {
+			return
+		}
+		if math.IsNaN(sigma) || math.IsInf(sigma, 0) || sigma < 0 || sigma > 6 {
+			return
+		}
+		if math.IsNaN(mu) || math.IsInf(mu, 0) || mu < -5 || mu > 10 {
+			return
+		}
+		h, err := NewLogHistogram(1e-3, 1e6, 480)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = math.Exp(rng.NormFloat64()*sigma + mu)
+			h.Add(xs[i])
+		}
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		tol := math.Log(1 + h.BucketRelWidth())
+		if tol >= math.Log(1.045) {
+			t.Fatalf("bucket width %.4f%% not under the documented ~4.4%%", 100*h.BucketRelWidth())
+		}
+		for _, p := range []float64{0, 0.05, 0.25, 0.5, 0.9, 0.95, 0.99, 1} {
+			got := h.Quantile(p)
+			if got < sorted[0] || got > sorted[n-1] {
+				t.Fatalf("p=%g: %g outside observed [%g,%g]", p, got, sorted[0], sorted[n-1])
+			}
+			if p <= 0 || p >= 1 {
+				continue // exact min/max, checked by the range assertion
+			}
+			rank := int(math.Ceil(p * float64(n)))
+			if rank < 1 {
+				rank = 1
+			}
+			exact := sorted[rank-1]
+			// The bound only holds for order statistics inside [lo, hi):
+			// clamped out-of-range observations saturate by design.
+			if exact < 1e-3 || exact >= 1e6 {
+				continue
+			}
+			if d := math.Abs(math.Log(got / exact)); d > tol+1e-12 {
+				t.Fatalf("p=%g: got %g exact %g (log-error %.4f > %.4f)", p, got, exact, d, tol)
+			}
+		}
+	})
+}
+
+// TestLogHistogramDegenerateObservations pins the documented clamping for
+// observations a quantile sketch over positive response times should never
+// see but must survive: zeros, negatives, NaN, and values past hi.
+func TestLogHistogramDegenerateObservations(t *testing.T) {
+	h, err := NewLogHistogram(1e-3, 1e6, 480)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Zero, negative and NaN land in bucket 0 without panicking.
+	h.Add(0)
+	h.Add(-12.5)
+	h.Add(math.NaN())
+	if h.Count() != 3 {
+		t.Fatalf("count = %d, want 3", h.Count())
+	}
+	// A real observation dominates the upper quantiles.
+	h.Add(50)
+	if got := h.Quantile(1); got != 50 {
+		t.Fatalf("p=1 = %g, want exact max 50", got)
+	}
+	if got := h.Quantile(0.99); math.IsNaN(got) {
+		t.Fatalf("p=0.99 = NaN after degenerate observations")
+	}
+
+	// Overflow: everything at or past hi collapses into the last bucket,
+	// so mid-range quantiles saturate but p=1 stays exact.
+	o, err := NewLogHistogram(1, 100, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{100, 1e6, math.Inf(1)} {
+		o.Add(x)
+	}
+	if got := o.Quantile(1); !math.IsInf(got, 1) {
+		t.Fatalf("p=1 = %g, want exact max +Inf", got)
+	}
+	if got := o.Quantile(0.5); got < 100 {
+		t.Fatalf("p=0.5 = %g, want saturation at or above hi's bucket", got)
+	}
+}
+
 func TestLogHistogramPercentileAlias(t *testing.T) {
 	h, err := NewLogHistogram(1e-3, 1e3, 64)
 	if err != nil {

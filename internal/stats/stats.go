@@ -48,9 +48,10 @@ func (s *Stream) Count() int64 { return s.n }
 func (s *Stream) Mean() float64 { return s.mean }
 
 // Variance returns the unbiased sample variance, or 0 with fewer than two
-// observations.
+// observations. Welford's m2 can round to a tiny negative for
+// near-constant inputs; clamp so StdDev never hits Sqrt of a negative.
 func (s *Stream) Variance() float64 {
-	if s.n < 2 {
+	if s.n < 2 || s.m2 <= 0 {
 		return 0
 	}
 	return s.m2 / float64(s.n-1)

@@ -44,6 +44,37 @@ func TestStreamSingle(t *testing.T) {
 	}
 }
 
+// TestStreamVarianceNeverNegative pins the clamp in Variance: Welford's m2
+// can round microscopically negative for near-constant observations around
+// a large offset, and StdDev must never become Sqrt of a negative (NaN).
+func TestStreamVarianceNeverNegative(t *testing.T) {
+	var s Stream
+	for i := 0; i < 100; i++ {
+		s.Add(1e15 + float64(i%3)*1e-2)
+	}
+	if v := s.Variance(); v < 0 || math.IsNaN(v) {
+		t.Fatalf("Variance = %g", v)
+	}
+	if sd := s.StdDev(); math.IsNaN(sd) {
+		t.Fatalf("StdDev = %g", sd)
+	}
+	// Property: no non-overflowing float64 sequence may produce a negative
+	// variance. (Magnitudes near MaxFloat64 overflow Welford's
+	// intermediates to Inf — out of scope for the clamp.)
+	if err := quick.Check(func(xs []float64) bool {
+		var q Stream
+		for _, x := range xs {
+			if math.IsNaN(x) || math.Abs(x) > 1e150 {
+				return true
+			}
+			q.Add(x)
+		}
+		return q.Variance() >= 0 && !math.IsNaN(q.StdDev())
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestSampleQuantile(t *testing.T) {
 	var s Sample
 	s.AddAll([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})

@@ -64,6 +64,19 @@ func (f *PolicyFamily[P, O]) Names() []string {
 	return out
 }
 
+// Lookup returns the named policy's metadata, reporting whether the name
+// is registered. Spec-driven callers (the hypothesis harness, config
+// loaders) use it to validate and describe a policy reference without
+// constructing the policy.
+func (f *PolicyFamily[P, O]) Lookup(name string) (PolicyInfo, bool) {
+	for _, e := range f.entries {
+		if e.info.Name == name {
+			return e.info, true
+		}
+	}
+	return PolicyInfo{}, false
+}
+
 // New constructs the named policy from the options. Unknown names error
 // and list the known ones.
 func (f *PolicyFamily[P, O]) New(name string, opts O) (P, error) {
@@ -128,18 +141,24 @@ func RoutingPolicies() *PolicyFamily[federation.RoutingPolicy, RoutingOptions] {
 // AdmissionOptions parameterizes AdmissionPolicies constructors. Each
 // policy reads only its own fields; Spill applies to every shedding policy
 // (Defer instead of Reject, so a federation re-routes the overflow).
+//
+// The zero value is valid for every policy: each constructor substitutes
+// the two-class reference defaults documented on its fields, so a registry
+// sweep over names needs no per-policy configuration.
 type AdmissionOptions struct {
 	// Rate[k] and Burst[k] parameterize "token-bucket": class k's
-	// sustained admission rate (jobs/sec) and burst capacity.
+	// sustained admission rate (jobs/sec) and burst capacity. Leaving
+	// both nil defaults to two classes at 1 job/sec with burst 4.
 	Rate  []float64
 	Burst []float64
 	// MaxBacklog[k] parameterizes "queue-depth": the largest backlog a
-	// class-k arrival joins.
+	// class-k arrival joins. Nil defaults to {8, 8}.
 	MaxBacklog []int
 	// BudgetSec[k], Quantile and MinObservations parameterize
-	// "slo-budget": the per-class wait budget, the learned service-time
-	// quantile the wait prediction uses (0 = 0.95), and the completions
-	// required before the predictor sheds anything (0 = 8).
+	// "slo-budget": the per-class wait budget (nil = {60, 600} seconds),
+	// the learned service-time quantile the wait prediction uses
+	// (0 = 0.95), and the completions required before the predictor sheds
+	// anything (0 = 8).
 	BudgetSec       []float64
 	Quantile        float64
 	MinObservations int
@@ -160,20 +179,32 @@ func AdmissionPolicies() *PolicyFamily[admission.Policy, AdmissionOptions] {
 				}},
 			{PolicyInfo{"token-bucket", "per-class sustained rate with bounded burst"},
 				func(o AdmissionOptions) (admission.Policy, error) {
+					rate, burst := o.Rate, o.Burst
+					if len(rate) == 0 && len(burst) == 0 {
+						rate, burst = []float64{1, 1}, []float64{4, 4}
+					}
 					return admission.NewTokenBucket(admission.TokenBucketConfig{
-						Rate: o.Rate, Burst: o.Burst, Spill: o.Spill,
+						Rate: rate, Burst: burst, Spill: o.Spill,
 					})
 				}},
 			{PolicyInfo{"queue-depth", "shed past a per-class backlog threshold"},
 				func(o AdmissionOptions) (admission.Policy, error) {
+					backlog := o.MaxBacklog
+					if len(backlog) == 0 {
+						backlog = []int{8, 8}
+					}
 					return admission.NewQueueDepth(admission.QueueDepthConfig{
-						MaxBacklog: o.MaxBacklog, Spill: o.Spill,
+						MaxBacklog: backlog, Spill: o.Spill,
 					})
 				}},
 			{PolicyInfo{"slo-budget", "shed when predicted wait exceeds the class budget"},
 				func(o AdmissionOptions) (admission.Policy, error) {
+					budget := o.BudgetSec
+					if len(budget) == 0 {
+						budget = []float64{60, 600}
+					}
 					return admission.NewSLOBudget(admission.SLOBudgetConfig{
-						BudgetSec:       o.BudgetSec,
+						BudgetSec:       budget,
 						Quantile:        o.Quantile,
 						MinObservations: o.MinObservations,
 						Spill:           o.Spill,
@@ -231,12 +262,18 @@ func ScalePolicies() *PolicyFamily[core.ScalePolicy, ScaleOptions] {
 type DeflatorFactory func(*simtime.Simulation) (core.Deflator, error)
 
 // DeflationOptions parameterizes DeflationPolicies constructors. "static"
-// reads DropRatios; "adaptive" reads Adaptive.
+// reads DropRatios; "adaptive" reads Adaptive. The zero value is valid for
+// both: constructors substitute the reference defaults documented on the
+// fields.
 type DeflationOptions struct {
 	// DropRatios[k] is "static"'s fixed per-stage drop-ratio vector for
-	// class k (nil entry = no dropping).
+	// class k (nil entry = no dropping). Nil defaults to the paper's
+	// reference configuration: drop 20% of the low class's first stage,
+	// nothing from the high class.
 	DropRatios [][]float64
-	// Adaptive is "adaptive"'s controller configuration.
+	// Adaptive is "adaptive"'s controller configuration. The zero value
+	// defaults to a 60s low-class response target, theta capped at 0.4,
+	// window 5, step 0.05, hysteresis 0.8.
 	Adaptive core.AdaptiveConfig
 }
 
@@ -250,7 +287,11 @@ func DeflationPolicies() *PolicyFamily[DeflatorFactory, DeflationOptions] {
 		entries: []policyEntry[DeflatorFactory, DeflationOptions]{
 			{PolicyInfo{"static", "fixed offline-selected drop ratios"},
 				func(o DeflationOptions) (DeflatorFactory, error) {
-					d, err := core.NewStaticDeflator(o.DropRatios)
+					ratios := o.DropRatios
+					if len(ratios) == 0 {
+						ratios = [][]float64{{0.2}, nil}
+					}
+					d, err := core.NewStaticDeflator(ratios)
 					if err != nil {
 						return nil, err
 					}
@@ -259,6 +300,15 @@ func DeflationPolicies() *PolicyFamily[DeflatorFactory, DeflationOptions] {
 			{PolicyInfo{"adaptive", "walk drop ratios online to hold latency targets"},
 				func(o DeflationOptions) (DeflatorFactory, error) {
 					cfg := o.Adaptive
+					if len(cfg.TargetResponseSec) == 0 {
+						cfg = core.AdaptiveConfig{
+							TargetResponseSec: []float64{60, 0},
+							MaxTheta:          []float64{0.4, 0},
+							Window:            5,
+							Step:              0.05,
+							Hysteresis:        0.8,
+						}
+					}
 					return func(sim *simtime.Simulation) (core.Deflator, error) {
 						return core.NewAdaptiveDeflator(sim, cfg)
 					}, nil

@@ -75,6 +75,93 @@ func TestRegistriesConstructibleByName(t *testing.T) {
 	}
 }
 
+// TestRegistriesZeroValueOptions: every registered name in all four
+// families constructs from the zero-value options struct (each constructor
+// substitutes its documented reference defaults), and unknown names fail
+// with the exact error enumerating the valid names.
+func TestRegistriesZeroValueOptions(t *testing.T) {
+	var zeroAdm dias.AdmissionOptions
+	var zeroRoute dias.RoutingOptions
+	var zeroScale dias.ScaleOptions
+	var zeroDefl dias.DeflationOptions
+
+	cases := []struct {
+		family    string
+		names     []string
+		construct func(name string) (any, error)
+		wantErr   string // golden unknown-name error
+	}{
+		{
+			family: "routing",
+			names:  dias.RoutingPolicies().Names(),
+			construct: func(name string) (any, error) {
+				return dias.RoutingPolicies().New(name, zeroRoute)
+			},
+			wantErr: `dias: unknown routing policy "bogus" (have [random round-robin jsq least-loaded sprint-aware data-local])`,
+		},
+		{
+			family: "admission",
+			names:  dias.AdmissionPolicies().Names(),
+			construct: func(name string) (any, error) {
+				return dias.AdmissionPolicies().New(name, zeroAdm)
+			},
+			wantErr: `dias: unknown admission policy "bogus" (have [always token-bucket queue-depth slo-budget])`,
+		},
+		{
+			family: "scaling",
+			names:  dias.ScalePolicies().Names(),
+			construct: func(name string) (any, error) {
+				return dias.ScalePolicies().New(name, zeroScale)
+			},
+			wantErr: `dias: unknown scaling policy "bogus" (have [backlog latency])`,
+		},
+		{
+			family: "deflation",
+			names:  dias.DeflationPolicies().Names(),
+			construct: func(name string) (any, error) {
+				factory, err := dias.DeflationPolicies().New(name, zeroDefl)
+				if err != nil {
+					return nil, err
+				}
+				// The factory is the constructed artifact; binding it to a
+				// simulation must also succeed with defaulted options.
+				return factory(simtime.New())
+			},
+			wantErr: `dias: unknown deflation policy "bogus" (have [static adaptive])`,
+		},
+	}
+	for _, c := range cases {
+		if len(c.names) == 0 {
+			t.Errorf("%s: empty registry", c.family)
+		}
+		for _, name := range c.names {
+			p, err := c.construct(name)
+			if err != nil {
+				t.Errorf("%s %q with zero-value options: %v", c.family, name, err)
+				continue
+			}
+			if p == nil {
+				t.Errorf("%s %q: nil policy", c.family, name)
+			}
+		}
+		if _, err := c.construct("bogus"); err == nil {
+			t.Errorf("%s: unknown name accepted", c.family)
+		} else if err.Error() != c.wantErr {
+			t.Errorf("%s unknown-name error:\n got  %q\n want %q", c.family, err, c.wantErr)
+		}
+	}
+}
+
+func TestRegistryLookup(t *testing.T) {
+	info, ok := dias.RoutingPolicies().Lookup("jsq")
+	if !ok || info.Name != "jsq" || info.Description == "" {
+		t.Fatalf("Lookup(jsq) = %+v, %v", info, ok)
+	}
+	if _, ok := dias.AdmissionPolicies().Lookup("bogus"); ok {
+		t.Fatal("Lookup accepted an unknown name")
+	}
+}
+
 func TestRegistryMetadata(t *testing.T) {
 	families := []interface {
 		Family() string
