@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short test-race bench bench-smoke bench-baseline bench-check determinism profile staticcheck fmt fmt-check vet experiments apicompat hypotheses hypotheses-check
+.PHONY: build test test-short test-race cover bench bench-smoke bench-baseline bench-check determinism profile staticcheck fmt fmt-check vet experiments apicompat hypotheses hypotheses-check
 
 # The reduced figure set and scale the smoke/baseline/gate pipeline runs.
 # Changing it requires regenerating the committed baseline (bench-baseline).
@@ -24,6 +24,14 @@ test-short:
 # paths this guards.
 test-race:
 	$(GO) test -race -short ./...
+
+# Per-package coverage over the short suite: coverage.out (the profile)
+# plus coverage.txt (the per-function/per-package summary). CI's fast
+# lane runs this and uploads both as the `coverage` artifact.
+cover:
+	$(GO) test -short -coverprofile=coverage.out ./...
+	$(GO) tool cover -func=coverage.out > coverage.txt
+	@tail -n 1 coverage.txt
 
 # Benchmark the figure harness (short workloads; drop -short for the full
 # per-figure numbers).
@@ -65,12 +73,20 @@ profile:
 
 # The CI determinism lane: a reduced figure run twice, -workers 1 vs
 # -workers 8, diffed byte for byte — the worker-count invariance guarantee
-# as a pipeline check (faults covers the new injection layer).
+# as a pipeline check (faults covers the new injection layer). The second
+# pair runs traced (faults + federation-scaleout) and also diffs the
+# telemetry exports: the Perfetto trace and the gauge timeline must be
+# byte-identical at any worker count, not just the rendered figures.
 determinism:
 	$(GO) run ./cmd/dias-experiments -fig 7,faults -jobs 40 -workers 1 -bench-out '' > determinism-w1.txt
 	$(GO) run ./cmd/dias-experiments -fig 7,faults -jobs 40 -workers 8 -bench-out '' > determinism-w8.txt
 	cmp determinism-w1.txt determinism-w8.txt
-	rm -f determinism-w1.txt determinism-w8.txt
+	$(GO) run ./cmd/dias-experiments -fig faults,federation-scaleout -jobs 40 -workers 1 -bench-out '' -trace determinism-w1.trace.json -timeline determinism-w1.timeline.csv > determinism-traced-w1.txt
+	$(GO) run ./cmd/dias-experiments -fig faults,federation-scaleout -jobs 40 -workers 8 -bench-out '' -trace determinism-w8.trace.json -timeline determinism-w8.timeline.csv > determinism-traced-w8.txt
+	cmp determinism-traced-w1.txt determinism-traced-w8.txt
+	cmp determinism-w1.trace.json determinism-w8.trace.json
+	cmp determinism-w1.timeline.csv determinism-w8.timeline.csv
+	rm -f determinism-w1.txt determinism-w8.txt determinism-traced-w1.txt determinism-traced-w8.txt determinism-w1.trace.json determinism-w8.trace.json determinism-w1.timeline.csv determinism-w8.timeline.csv
 
 # Static analysis beyond go vet (CI installs the pinned tool; locally:
 # go install honnef.co/go/tools/cmd/staticcheck@latest).

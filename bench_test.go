@@ -21,6 +21,7 @@ import (
 	"dias/internal/experiments"
 	"dias/internal/federation"
 	"dias/internal/runner"
+	"dias/internal/telemetry"
 )
 
 // benchScale keeps per-iteration work bounded for testing.B; -short
@@ -98,6 +99,47 @@ func BenchmarkKernelChurn(b *testing.B) {
 		stack.Run()
 		if got := len(stack.Records()); got != 200 {
 			b.Fatalf("completed %d jobs, want 200", got)
+		}
+	}
+}
+
+// BenchmarkKernelChurnTraced is the same spine with the telemetry layer
+// armed: every lifecycle hook fires into a collector and the run is
+// driven through the gauge sampler. Compare against BenchmarkKernelChurn
+// to read the enabled-telemetry overhead; BENCHMARKING.md gates it at
+// <10% wall-clock (the disabled case is gated at zero added allocations
+// by BenchmarkKernelChurn itself — tracer hooks are nil-guarded).
+func BenchmarkKernelChurnTraced(b *testing.B) {
+	input := make(engine.Dataset, 40)
+	for p := range input {
+		input[p] = engine.Partition{{Key: "k", Value: 1.0}}
+	}
+	job := &engine.Job{
+		Name:      "churn",
+		Input:     input,
+		SizeBytes: 1 << 20,
+		Stages: []engine.Stage{
+			{Name: "map", Kind: engine.ShuffleMap, OutPartitions: 10},
+			{Name: "out", Kind: engine.Result, Deps: []int{0}},
+		},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		col := telemetry.NewCollector(telemetry.Config{Seed: 1})
+		stack, err := dias.NewStack(dias.StackConfig{Policy: core.PolicyNP(2), Seed: 1, Telemetry: col})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j := 0; j < 200; j++ {
+			stack.SubmitAt(float64(j), j%2, job)
+		}
+		stack.Run()
+		if got := len(stack.Records()); got != 200 {
+			b.Fatalf("completed %d jobs, want 200", got)
+		}
+		if col.SeenJobs() != 200 {
+			b.Fatalf("traced %d jobs, want 200", col.SeenJobs())
 		}
 	}
 }

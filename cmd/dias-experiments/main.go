@@ -3,12 +3,23 @@
 //	dias-experiments [-fig list|all|NAME[,NAME...]]
 //	                 [-jobs N] [-seed S] [-workers W] [-replicas R]
 //	                 [-bench-out BENCH_results.json]
+//	                 [-trace trace.json] [-events events.jsonl]
+//	                 [-timeline timeline.csv]
 //
 // -fig list prints every registered figure with its description; -fig also
 // accepts a comma-separated list (e.g. -fig 7,federation-scaleout). The
 // figure set is the experiments package's driver registry — each driver
 // self-registers with experiments.Register, so this binary has no
 // hand-maintained figure switch.
+//
+// -trace, -events and -timeline arm the telemetry layer on the first-seed
+// run of every selected figure (replica runs stay untraced) and export,
+// respectively, a Chrome trace_event JSON file (open with Perfetto or
+// chrome://tracing), the raw span-event stream as JSONL (feed to
+// dias-trace), and the periodic gauge timeline as CSV. Tracing is
+// observational only: figure output and BENCH_results.json are
+// byte-identical with or without it, and the exports themselves are
+// byte-identical at any -workers count.
 //
 // Output is the textual form of each figure: baseline absolutes plus
 // relative differences, exactly the quantities the paper plots. Every
@@ -36,6 +47,7 @@ import (
 	"dias/internal/experiments"
 	"dias/internal/metrics"
 	"dias/internal/runner"
+	"dias/internal/telemetry"
 )
 
 func main() {
@@ -45,6 +57,9 @@ func main() {
 	workers := flag.Int("workers", 0, "concurrent simulation runs per figure (0 = one per CPU core)")
 	replicas := flag.Int("replicas", 1, "seed replicas per figure (seeds seed..seed+R-1)")
 	benchOut := flag.String("bench-out", "BENCH_results.json", "write the machine-readable benchmark report here (empty = skip)")
+	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON file here (empty = no tracing)")
+	eventsOut := flag.String("events", "", "write the raw telemetry event stream as JSONL here (empty = skip)")
+	timelineOut := flag.String("timeline", "", "write the gauge timeline as CSV here (empty = skip)")
 	flag.Parse()
 
 	if *fig == "list" {
@@ -67,10 +82,50 @@ func main() {
 		fmt.Fprintf(os.Stderr, "dias-experiments: %v\nusage: -bench-out must name a file in a writable directory (or be empty to skip the report)\n", err)
 		os.Exit(2)
 	}
-	if err := run(*fig, scale, *replicas, *benchOut); err != nil {
+	exports := exportPaths{trace: *traceOut, events: *eventsOut, timeline: *timelineOut}
+	if err := run(*fig, scale, *replicas, *benchOut, exports); err != nil {
 		fmt.Fprintln(os.Stderr, "dias-experiments:", err)
 		os.Exit(1)
 	}
+}
+
+// exportPaths collects the telemetry export destinations; any non-empty
+// path arms tracing.
+type exportPaths struct {
+	trace, events, timeline string
+}
+
+func (e exportPaths) armed() bool { return e.trace != "" || e.events != "" || e.timeline != "" }
+
+// write exports the registry to every requested destination.
+func (e exportPaths) write(reg *telemetry.Registry) error {
+	type export struct {
+		path  string
+		label string
+		fn    func(*os.File) error
+	}
+	for _, x := range []export{
+		{e.trace, "trace", func(f *os.File) error { return reg.WriteChromeTrace(f) }},
+		{e.events, "events", func(f *os.File) error { return reg.WriteEventsJSONL(f) }},
+		{e.timeline, "timeline", func(f *os.File) error { return reg.WriteTimelineCSV(f) }},
+	} {
+		if x.path == "" {
+			continue
+		}
+		f, err := os.Create(x.path)
+		if err != nil {
+			return fmt.Errorf("writing %s: %w", x.label, err)
+		}
+		if err := x.fn(f); err != nil {
+			f.Close()
+			return fmt.Errorf("writing %s: %w", x.label, err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("writing %s: %w", x.label, err)
+		}
+		fmt.Fprintf(os.Stderr, "dias-experiments: wrote %s %s\n", x.label, x.path)
+	}
+	return nil
 }
 
 // listFigures prints the driver catalogue in run order.
@@ -137,7 +192,7 @@ type figureReport struct {
 	Scenarios []runner.Summary `json:"scenarios,omitempty"`
 }
 
-func run(fig string, scale experiments.Scale, replicas int, benchOut string) error {
+func run(fig string, scale experiments.Scale, replicas int, benchOut string, exports exportPaths) error {
 	// -fig accepts a comma-separated selection; "all" anywhere in the list
 	// wins.
 	want := make(map[string]bool)
@@ -164,6 +219,10 @@ func run(fig string, scale experiments.Scale, replicas int, benchOut string) err
 		return fmt.Errorf("no figure selected in %q", fig)
 	}
 	seeds := runner.Seeds(scale.Seed, replicas)
+	var reg *telemetry.Registry
+	if exports.armed() {
+		reg = telemetry.NewRegistry(telemetry.Config{Seed: scale.Seed})
+	}
 	report := benchReport{
 		SchemaVersion:   1,
 		GeneratedAt:     time.Now().UTC().Format(time.RFC3339),
@@ -184,6 +243,11 @@ func run(fig string, scale experiments.Scale, replicas int, benchOut string) err
 		figStart := time.Now()
 		sc0 := d.Scaled(scale)
 		sc0.Seed = seeds[0]
+		if reg != nil {
+			// Only the first-seed run is traced; figure names namespace the
+			// collectors so scenario names never collide across figures.
+			sc0.Telemetry = reg.Namespace(d.Name)
+		}
 		first, err := d.Run(sc0)
 		if err != nil {
 			return fmt.Errorf("figure %s (seed %d): %w", d.Name, seeds[0], err)
@@ -227,6 +291,11 @@ func run(fig string, scale experiments.Scale, replicas int, benchOut string) err
 		report.Figures = append(report.Figures, fr)
 	}
 	report.TotalWallClockSec = time.Since(start).Seconds()
+	if reg != nil {
+		if err := exports.write(reg); err != nil {
+			return err
+		}
+	}
 	if benchOut != "" {
 		if err := writeReport(benchOut, &report); err != nil {
 			return err

@@ -54,13 +54,13 @@ func TestCheckBenchOut(t *testing.T) {
 
 func TestRunRejectsUnknownFigure(t *testing.T) {
 	scale := quickTestScale()
-	if err := run("no-such-figure", scale, 1, ""); err == nil {
+	if err := run("no-such-figure", scale, 1, "", exportPaths{}); err == nil {
 		t.Fatal("unknown figure accepted")
 	}
 }
 
 func TestRunEmptySelection(t *testing.T) {
-	if err := run(" , ", quickTestScale(), 1, ""); err == nil {
+	if err := run(" , ", quickTestScale(), 1, "", exportPaths{}); err == nil {
 		t.Fatal("empty selection accepted")
 	}
 }

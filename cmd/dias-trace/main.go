@@ -1,0 +1,51 @@
+// dias-trace summarizes a telemetry event stream exported by
+// dias-experiments -events (or any telemetry.WriteEventsJSONL output).
+//
+//	dias-trace -events events.jsonl [-top K]
+//
+// For every run in the stream it reports the event-kind counts, per-class
+// span statistics (queue / execution / response, mean and max over the
+// sampled jobs), and the top-K slowest jobs with their per-stage critical
+// path: the engine executes one job at a time per member, so a job's stage
+// sequence — including setup and shuffle gaps — is its execution timeline.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dias/internal/telemetry"
+)
+
+func main() {
+	events := flag.String("events", "", "telemetry event stream (JSONL, from dias-experiments -events)")
+	top := flag.Int("top", 3, "slowest jobs to detail per run")
+	flag.Parse()
+
+	if *events == "" {
+		fmt.Fprintln(os.Stderr, "dias-trace: -events is required (export one with dias-experiments -events)")
+		os.Exit(2)
+	}
+	if err := run(*events, *top); err != nil {
+		fmt.Fprintln(os.Stderr, "dias-trace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path string, top int) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	evs, err := telemetry.ReadEventsJSONL(f)
+	if err != nil {
+		return err
+	}
+	if len(evs) == 0 {
+		return fmt.Errorf("%s holds no events", path)
+	}
+	fmt.Print(telemetry.Render(telemetry.Summarize(evs, top)))
+	return nil
+}

@@ -44,6 +44,7 @@ import (
 	"dias/internal/faults"
 	"dias/internal/federation"
 	"dias/internal/simtime"
+	"dias/internal/telemetry"
 	"dias/internal/workload"
 )
 
@@ -80,6 +81,12 @@ type StackConfig struct {
 	// DeflationPolicies). Setting both Deflation and Policy.Deflator is an
 	// error.
 	Deflation DeflatorFactory
+	// Telemetry, when non-nil, traces the stack into the collector: job
+	// lifecycle spans from the scheduler and engine, and periodic gauges
+	// sampled while Run drains the simulation. Tracing is observational
+	// only — results are byte-identical with or without it. Setting both
+	// Telemetry and Policy.Tracer is an error.
+	Telemetry *telemetry.Collector
 	// Seed drives all randomness; runs are reproducible per seed.
 	Seed int64
 }
@@ -98,6 +105,9 @@ type Stack struct {
 	// StackConfig.Scaling is set). Feed it completions by wiring
 	// Policy.OnRecord to Autoscaler.Observe, or use NewStack which does.
 	Autoscaler *core.Autoscaler
+
+	// sampler, when non-nil, drives Run with gauge sampling (telemetry).
+	sampler *telemetry.Sampler
 }
 
 // NewStack builds a ready-to-use deployment.
@@ -140,6 +150,14 @@ func NewStack(cfg StackConfig) (*Stack, error) {
 			return nil, fmt.Errorf("building deflator: %w", err)
 		}
 	}
+	if cfg.Telemetry != nil {
+		if policy.Tracer != nil {
+			return nil, fmt.Errorf("dias: set StackConfig.Telemetry or Policy.Tracer, not both")
+		}
+		tr := cfg.Telemetry.Member(0)
+		policy.Tracer = tr
+		eng.SetTracer(tr)
+	}
 	stack := &Stack{Sim: sim, Cluster: clu, Engine: eng}
 	if scaling != nil {
 		// The autoscaler's latency signal taps the same record stream the
@@ -169,6 +187,16 @@ func NewStack(cfg StackConfig) (*Stack, error) {
 		if stack.Autoscaler, err = core.NewAutoscaler(sim, clu, eng, sch, *scaling); err != nil {
 			return nil, fmt.Errorf("arming autoscaler: %w", err)
 		}
+	}
+	if cfg.Telemetry != nil {
+		stack.sampler = telemetry.NewSampler(cfg.Telemetry, []telemetry.MemberGauges{{
+			Classes:       policy.Classes,
+			QueuedInClass: sch.QueuedJobsInClass,
+			Rejected:      sch.RejectedJobs,
+			BusySlots:     clu.BusySlots,
+			PoweredNodes:  clu.PoweredNodes,
+			Utilization:   clu.Utilization,
+		}})
 	}
 	return stack, nil
 }
@@ -212,8 +240,16 @@ func (s *Stack) InjectFailures(cfg engine.FailureConfig) error {
 }
 
 // Run drains the simulation: all scheduled arrivals are processed and all
-// jobs run to completion.
-func (s *Stack) Run() { s.Sim.Run() }
+// jobs run to completion. With telemetry configured the run is driven
+// through the gauge sampler, which fires the same events at the same
+// instants and leaves the clock untouched (see telemetry.Sampler.Drive).
+func (s *Stack) Run() {
+	if s.sampler != nil {
+		s.sampler.Drive(s.Sim)
+		return
+	}
+	s.Sim.Run()
+}
 
 // Records returns the completed-job records.
 func (s *Stack) Records() []core.JobRecord { return s.Scheduler.Records() }
@@ -241,6 +277,9 @@ type FederationConfig struct {
 	// Data, when non-nil, enables the cross-cluster data model: every
 	// member gets its own dfs and off-home routing pays WAN input fetches.
 	Data *dfs.Config
+	// Telemetry, when non-nil, traces the federation into the collector
+	// (member-indexed spans, routing decisions, per-member gauges).
+	Telemetry *telemetry.Collector
 	// Seed drives all randomness; runs are reproducible per seed.
 	Seed int64
 }
@@ -266,5 +305,6 @@ func NewFederation(cfg FederationConfig) (*federation.Federation, error) {
 		Admission: cfg.Admission,
 		Data:      cfg.Data,
 		Seed:      cfg.Seed,
+		Telemetry: cfg.Telemetry,
 	})
 }

@@ -21,6 +21,7 @@ import (
 	"dias/internal/engine"
 	"dias/internal/ring"
 	"dias/internal/simtime"
+	"dias/internal/telemetry"
 	"dias/internal/trace"
 )
 
@@ -96,6 +97,12 @@ type Config struct {
 	// Trace, when non-nil, receives scheduler events (arrivals,
 	// dispatches, evictions, sprint transitions, completions).
 	Trace *trace.Log
+	// Tracer, when non-nil, receives the full job lifecycle as telemetry
+	// spans (admission verdicts with policy names, dispatches, evictions,
+	// sprint windows, completions with failure reasons). Every emission is
+	// guarded on nil, so a disabled tracer costs one pointer test on the
+	// allocation-free hot paths.
+	Tracer telemetry.Tracer
 }
 
 func (c Config) validate() error {
@@ -240,6 +247,7 @@ type entry struct {
 	dispatchedAt simtime.Time
 	evictions    int
 	engineID     engine.JobID
+	span         telemetry.SpanID
 
 	// completeFn is the pre-bound s.onComplete(en, res) callback handed to
 	// the engine for every job this entry struct carries.
@@ -345,6 +353,9 @@ func (s *Scheduler) Offer(class int, job *engine.Job) (admission.Decision, error
 			s.Reject(class, job)
 			return admission.Reject, nil
 		case admission.Defer:
+			if s.cfg.Tracer != nil {
+				s.cfg.Tracer.JobDeferred(s.sim.Now(), job.Name, class, s.cfg.Admission.Name())
+			}
 			return admission.Defer, nil
 		default:
 			return admission.Reject, fmt.Errorf("core: admission policy %s returned %v", s.cfg.Admission.Name(), dec)
@@ -352,6 +363,12 @@ func (s *Scheduler) Offer(class int, job *engine.Job) (admission.Decision, error
 	}
 	en := s.newEntry(class, job)
 	s.trace(trace.Arrival, en, "")
+	if s.cfg.Tracer != nil {
+		en.span = s.cfg.Tracer.JobSubmitted(s.sim.Now(), job.Name, class)
+		if s.cfg.Admission != nil {
+			s.cfg.Tracer.JobAdmitted(s.sim.Now(), en.span, s.cfg.Admission.Name())
+		}
+	}
 	s.buffers[class].PushBack(en)
 	if s.obs != nil {
 		s.obs.JobQueued(class)
@@ -382,6 +399,16 @@ func (s *Scheduler) Reject(class int, job *engine.Job) {
 			name = job.Name
 		}
 		s.cfg.Trace.Record(s.sim.Now(), trace.Reject, name, class, "")
+	}
+	if s.cfg.Tracer != nil {
+		name, policy := "", ""
+		if job != nil {
+			name = job.Name
+		}
+		if s.cfg.Admission != nil {
+			policy = s.cfg.Admission.Name()
+		}
+		s.cfg.Tracer.JobRejected(s.sim.Now(), name, class, policy)
 	}
 	now := s.sim.Now()
 	rec := JobRecord{
@@ -414,6 +441,9 @@ func (s *Scheduler) evictCurrent() {
 	}
 	victim.evictions++
 	s.trace(trace.Evict, victim, "")
+	if s.cfg.Tracer != nil {
+		s.cfg.Tracer.JobEvicted(s.sim.Now(), victim.span)
+	}
 	s.buffers[victim.class].PushFront(victim)
 	if s.obs != nil {
 		s.obs.BusyChanged(false)
@@ -434,7 +464,7 @@ func (s *Scheduler) newEntry(class int, job *engine.Job) *entry {
 		en.completeFn = func(res engine.JobResult) { s.onComplete(en, res) }
 	}
 	en.class, en.job, en.arrivedAt = class, job, s.sim.Now()
-	en.dispatchedAt, en.evictions, en.engineID = 0, 0, 0
+	en.dispatchedAt, en.evictions, en.engineID, en.span = 0, 0, 0, 0
 	return en
 }
 
@@ -487,6 +517,7 @@ func (s *Scheduler) dispatchNext() {
 	id, err := s.eng.Submit(next.job, engine.SubmitOptions{
 		DropRatios: drops,
 		OnComplete: next.completeFn,
+		Span:       next.span,
 	})
 	if err != nil {
 		// Invalid job: drop it rather than wedging the queue. Validation
@@ -498,6 +529,9 @@ func (s *Scheduler) dispatchNext() {
 	next.engineID = id
 	s.current = next
 	s.trace(trace.Dispatch, next, "")
+	if s.cfg.Tracer != nil {
+		s.cfg.Tracer.JobDispatched(s.sim.Now(), next.span)
+	}
 	if s.obs != nil {
 		s.obs.BusyChanged(true)
 	}
@@ -513,6 +547,9 @@ func (s *Scheduler) onComplete(en *entry, res engine.JobResult) {
 	}
 	s.stopSprint()
 	s.trace(trace.Complete, en, "")
+	if s.cfg.Tracer != nil {
+		s.cfg.Tracer.JobCompleted(s.sim.Now(), en.span, res.Failed, res.FailureReason)
+	}
 	now := s.sim.Now()
 	rec := JobRecord{
 		Class:              en.class,
@@ -595,6 +632,9 @@ func (s *Scheduler) startSprint(en *entry) {
 	s.sprinting = true
 	s.clu.SetSprinting(true)
 	s.trace(trace.SprintStart, en, "")
+	if s.cfg.Tracer != nil {
+		s.cfg.Tracer.SprintChanged(s.sim.Now(), true, "")
+	}
 	if !math.IsInf(s.budgetCap, 1) {
 		ttl := s.budget / s.cfg.Sprint.DrainWatts
 		s.depleteTimer.Reset(simtime.Duration(ttl), s.onBudgetDepleted)
@@ -609,6 +649,9 @@ func (s *Scheduler) onBudgetDepleted() {
 	s.sprinting = false
 	s.clu.SetSprinting(false)
 	s.trace(trace.SprintStop, s.current, "budget-depleted")
+	if s.cfg.Tracer != nil {
+		s.cfg.Tracer.SprintChanged(s.sim.Now(), false, "budget-depleted")
+	}
 }
 
 // stopSprint ends sprinting when the sprinted job leaves the engine and
@@ -624,6 +667,9 @@ func (s *Scheduler) stopSprint() {
 		s.sprinting = false
 		s.clu.SetSprinting(false)
 		s.trace(trace.SprintStop, s.current, "job-left-engine")
+		if s.cfg.Tracer != nil {
+			s.cfg.Tracer.SprintChanged(s.sim.Now(), false, "job-left-engine")
+		}
 	}
 }
 

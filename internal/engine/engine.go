@@ -11,6 +11,7 @@ import (
 	"dias/internal/dfs"
 	"dias/internal/ring"
 	"dias/internal/simtime"
+	"dias/internal/telemetry"
 )
 
 // Record is one key-value datum flowing through a job.
@@ -306,6 +307,10 @@ type SubmitOptions struct {
 	DropRatios []float64
 	// OnComplete is invoked in simulation context when the job finishes.
 	OnComplete func(JobResult)
+	// Span, when non-zero, tags this submission's telemetry: stage and
+	// task events the engine emits carry it, joining the execution to the
+	// submitter's job lifecycle span.
+	Span telemetry.SpanID
 }
 
 // task is one unit of schedulable work. Tasks are pooled on the engine's
@@ -475,7 +480,16 @@ type Engine struct {
 	taskFaults      TaskFaultInjector
 	maxTaskAttempts int
 	failedJobs      int
+
+	// tracer, when non-nil, receives stage, task-retry, straggler and node
+	// telemetry; every emission is nil-guarded so the pooled churn paths
+	// stay allocation-free with tracing off.
+	tracer telemetry.Tracer
 }
+
+// SetTracer installs the telemetry tracer (nil disables). Per-job events
+// carry the SubmitOptions.Span of their execution.
+func (e *Engine) SetTracer(tr telemetry.Tracer) { e.tracer = tr }
 
 // New builds an engine bound to a simulation and cluster. fs may be nil
 // when input fetch times are irrelevant.
@@ -752,6 +766,9 @@ func (e *Engine) startStage(ex *execution, si int) {
 	selected := e.findMissingPartitions(n, ex.drop(si))
 	ex.tasksDropped += n - len(selected)
 	ex.stageStats[si].TasksDropped = n - len(selected)
+	if e.tracer != nil && ex.opts.Span != 0 {
+		e.tracer.StageStarted(e.sim.Now(), ex.opts.Span, si, ex.job.Stages[si].Name, len(selected), n-len(selected))
+	}
 	ex.pendingTasks[si] = len(selected)
 	ex.donePartitions[si] = resetSlice(ex.donePartitions[si], n)
 	if s := ex.job.Stages[si]; s.Kind == ShuffleMap {
@@ -861,6 +878,9 @@ func (e *Engine) startTask(t *task, slot *cluster.Slot) {
 		f := e.taskFaults.TaskStarted(t.exec.job.Name, t.stage, t.partition, t.attempt)
 		if f.Slowdown > 1 {
 			work *= f.Slowdown // injected straggler
+			if e.tracer != nil && t.exec.opts.Span != 0 {
+				e.tracer.TaskStraggled(e.sim.Now(), t.exec.opts.Span, t.stage, t.partition, f.Slowdown)
+			}
 		}
 		if f.FailAfterFrac > 0 {
 			// The attempt runs only to its failure point; the rest of the
@@ -1008,6 +1028,9 @@ func (e *Engine) failTask(t *task) {
 	}
 	ex.retries++
 	e.tasksRetried++
+	if e.tracer != nil && ex.opts.Span != 0 {
+		e.tracer.TaskRetried(now, ex.opts.Span, t.stage, t.partition, t.attempt)
+	}
 	ex.pending.PushFront(t)
 	e.dispatch()
 }
@@ -1159,6 +1182,9 @@ func sortFloats(xs []float64) {
 // then unblocks dependent stages, or completes the job after the Result
 // stage.
 func (e *Engine) finishStage(ex *execution, si int) {
+	if e.tracer != nil && ex.opts.Span != 0 {
+		e.tracer.StageEnded(e.sim.Now(), ex.opts.Span, si)
+	}
 	ex.stageStats[si].EndedAt = e.sim.Now()
 	if n := ex.stageStats[si].TasksExecuted; n > 0 {
 		ex.stageStats[si].MeanTaskSec = ex.stageTaskSecs[si] / float64(n)
@@ -1272,6 +1298,9 @@ func (e *Engine) FailNode(node int) error {
 	if err := e.clu.FailNode(node); err != nil {
 		return err
 	}
+	if e.tracer != nil {
+		e.tracer.NodeEvent(e.sim.Now(), telemetry.KindNodeFail, node)
+	}
 	now := e.sim.Now()
 	for _, ex := range e.execOrder {
 		aborted := e.abortScratch[:0]
@@ -1318,6 +1347,9 @@ func (e *Engine) FailNode(node int) error {
 			ex.pending.PushFront(t)
 			ex.retries++
 			e.tasksRetried++
+			if e.tracer != nil && ex.opts.Span != 0 {
+				e.tracer.TaskRetried(now, ex.opts.Span, t.stage, t.partition, t.attempt)
+			}
 		}
 		// Keep the (possibly regrown) scratch for the next execution and
 		// the next failure, dropping the task references.
@@ -1334,6 +1366,9 @@ func (e *Engine) RepairNode(node int) error {
 	if err := e.clu.RepairNode(node); err != nil {
 		return err
 	}
+	if e.tracer != nil {
+		e.tracer.NodeEvent(e.sim.Now(), telemetry.KindNodeRepair, node)
+	}
 	e.dispatch()
 	return nil
 }
@@ -1342,7 +1377,13 @@ func (e *Engine) RepairNode(node int) error {
 // task is aborted: running tasks drain gracefully and the node powers off
 // when the last one releases (see cluster.Decommission).
 func (e *Engine) DecommissionNode(node int) error {
-	return e.clu.Decommission(node)
+	if err := e.clu.Decommission(node); err != nil {
+		return err
+	}
+	if e.tracer != nil {
+		e.tracer.NodeEvent(e.sim.Now(), telemetry.KindNodeDecommission, node)
+	}
+	return nil
 }
 
 // CommissionNode returns a decommissioned node to service and dispatches
@@ -1350,6 +1391,9 @@ func (e *Engine) DecommissionNode(node int) error {
 func (e *Engine) CommissionNode(node int) error {
 	if err := e.clu.Commission(node); err != nil {
 		return err
+	}
+	if e.tracer != nil {
+		e.tracer.NodeEvent(e.sim.Now(), telemetry.KindNodeCommission, node)
 	}
 	e.dispatch()
 	return nil

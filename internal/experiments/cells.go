@@ -16,6 +16,7 @@ import (
 	"dias/internal/faults"
 	"dias/internal/federation"
 	"dias/internal/metrics"
+	"dias/internal/telemetry"
 	"dias/internal/workload"
 )
 
@@ -113,6 +114,9 @@ type StackCell struct {
 	Admission func() admission.Policy
 	// Faults, when non-nil, arms the fault-injection layer.
 	Faults *faults.Config
+	// Telemetry, when non-nil, traces the cell into a collector named
+	// after the cell (observational only; results are unchanged).
+	Telemetry *telemetry.Registry
 }
 
 // RunStackCell executes one single-cluster cell to completion.
@@ -131,7 +135,7 @@ func (w *ReferenceWorkload) RunStackCell(c StackCell) (metrics.ScenarioResult, e
 		jobs:      []*engine.Job{w.LowJob, w.HighJob},
 		cost:      w.cost,
 		cluster:   w.cluCfg,
-		scale:     Scale{Jobs: c.Jobs, WarmupFraction: warm, Seed: w.Seed},
+		scale:     Scale{Jobs: c.Jobs, WarmupFraction: warm, Seed: w.Seed, Telemetry: c.Telemetry},
 		faultPlan: c.Faults,
 		admit:     c.Admission,
 	}
@@ -156,6 +160,9 @@ type FederationCell struct {
 	// Routing builds a fresh routing policy per run; the seed passed in is
 	// the run's derived routing seed (stateful policies, own RNG streams).
 	Routing func(seed int64) federation.RoutingPolicy
+	// Telemetry, when non-nil, traces the cell into a collector named
+	// after the cell (observational only; results are unchanged).
+	Telemetry *telemetry.Registry
 }
 
 // RunFederationCell executes one federation cell to completion and returns
@@ -184,7 +191,7 @@ func (w *ReferenceWorkload) RunFederationCell(c FederationCell) (metrics.Scenari
 			fedVariants(w.LowJob, c.Members),
 			fedVariants(w.HighJob, c.Members),
 		},
-		scale: Scale{Jobs: c.Jobs, WarmupFraction: warm, Seed: w.Seed},
+		scale: Scale{Jobs: c.Jobs, WarmupFraction: warm, Seed: w.Seed, Telemetry: c.Telemetry},
 	}
 	res, err := sc.run()
 	if err != nil {

@@ -20,6 +20,7 @@ import (
 	"dias/internal/metrics"
 	"dias/internal/runner"
 	"dias/internal/simtime"
+	"dias/internal/telemetry"
 	"dias/internal/workload"
 )
 
@@ -37,6 +38,11 @@ type Scale struct {
 	// bit-identical at any worker count because every run seeds its own
 	// RNGs and owns its whole simulated stack.
 	Workers int
+	// Telemetry, when non-nil, traces every scenario in the figure: each
+	// run gets a collector named after the scenario (spans, routing
+	// decisions, periodic gauges). Tracing is observational only — figure
+	// results are byte-identical with or without it.
+	Telemetry *telemetry.Registry
 }
 
 // QuickScale is sized for go test / benchmarks.
@@ -208,6 +214,13 @@ func (sc scenario) run() (metrics.ScenarioResult, error) {
 			as.Observe(r)
 		}
 	}
+	var col *telemetry.Collector
+	if sc.scale.Telemetry != nil {
+		col = sc.scale.Telemetry.Collector(sc.name)
+		tr := col.Member(0)
+		policy.Tracer = tr
+		eng.SetTracer(tr)
+	}
 	sch, err := core.New(sim, clu, eng, policy)
 	if err != nil {
 		return metrics.ScenarioResult{}, err
@@ -276,7 +289,18 @@ func (sc scenario) run() (metrics.ScenarioResult, error) {
 			}
 		})
 	}
-	sim.Run()
+	if col != nil {
+		telemetry.NewSampler(col, []telemetry.MemberGauges{{
+			Classes:       policy.Classes,
+			QueuedInClass: sch.QueuedJobsInClass,
+			Rejected:      sch.RejectedJobs,
+			BusySlots:     clu.BusySlots,
+			PoweredNodes:  clu.PoweredNodes,
+			Utilization:   clu.Utilization,
+		}}).Drive(sim)
+	} else {
+		sim.Run()
+	}
 	if arriveErr != nil {
 		return metrics.ScenarioResult{}, arriveErr
 	}

@@ -23,6 +23,7 @@ import (
 	"dias/internal/federation"
 	"dias/internal/metrics"
 	"dias/internal/runner"
+	"dias/internal/telemetry"
 	"dias/internal/workload"
 )
 
@@ -123,6 +124,10 @@ func (sc fedScenario) run() (metrics.FederationScenarioResult, error) {
 	classes := len(sc.rates)
 	acc := metrics.NewFederationAccumulator(len(sc.members), classes, sc.scale.Jobs, sc.scale.WarmupFraction)
 	data := dfs.DefaultConfig()
+	var col *telemetry.Collector
+	if sc.scale.Telemetry != nil {
+		col = sc.scale.Telemetry.Collector(sc.name)
+	}
 	fed, err := federation.New(federation.Config{
 		Members:        sc.members,
 		Policy:         federationPolicy(),
@@ -132,6 +137,7 @@ func (sc fedScenario) run() (metrics.FederationScenarioResult, error) {
 		Seed:           sc.scale.Seed,
 		OnRecord:       acc.Add,
 		DiscardRecords: true,
+		Telemetry:      col,
 	})
 	if err != nil {
 		return metrics.FederationScenarioResult{}, err

@@ -31,6 +31,7 @@ import (
 	"dias/internal/dfs"
 	"dias/internal/engine"
 	"dias/internal/simtime"
+	"dias/internal/telemetry"
 	"dias/internal/workload"
 )
 
@@ -84,6 +85,12 @@ type Config struct {
 	// DiscardRecords stops member schedulers from retaining completed-job
 	// records (combine with OnRecord for O(classes) memory on long runs).
 	DiscardRecords bool
+	// Telemetry, when non-nil, traces the whole federation into one
+	// collector: each member's scheduler and engine emit through their
+	// member-indexed tracer view, the dispatcher records routing and
+	// outage events, and Run samples per-member gauges on the collector's
+	// cadence. Policy.Tracer must stay nil (the federation wires it).
+	Telemetry *telemetry.Collector
 }
 
 func (c Config) validate() error {
@@ -98,6 +105,9 @@ func (c Config) validate() error {
 	}
 	if c.Policy.OnRecord != nil || c.Policy.Trace != nil {
 		return errors.New("federation: set record/trace hooks on Config, not Config.Policy")
+	}
+	if c.Policy.Tracer != nil {
+		return errors.New("federation: set Config.Telemetry, not Config.Policy.Tracer")
 	}
 	if c.Policy.Admission != nil {
 		return errors.New("federation: set Config.Admission (a per-member factory), not Config.Policy.Admission")
@@ -169,6 +179,8 @@ type Federation struct {
 	spilled int
 	// index is the incrementally maintained routing state (see LoadIndex).
 	index *LoadIndex
+	// sampler, when non-nil, drives Run with gauge sampling (telemetry).
+	sampler *telemetry.Sampler
 }
 
 // outageWindow is one planned [at, end) outage of a member.
@@ -230,6 +242,11 @@ func New(cfg Config) (*Federation, error) {
 		if cfg.Admission != nil {
 			policy.Admission = cfg.Admission()
 		}
+		if cfg.Telemetry != nil {
+			tr := cfg.Telemetry.Member(i)
+			policy.Tracer = tr
+			eng.SetTracer(tr)
+		}
 		sch, err := core.New(f.sim, clu, eng, policy)
 		if err != nil {
 			return nil, fmt.Errorf("member %s: building scheduler: %w", name, err)
@@ -252,6 +269,20 @@ func New(cfg Config) (*Federation, error) {
 		m.Cluster.OnOccupancyChange(func(busySlots int) { f.index.occupancyChanged(i, busySlots) })
 		m.Cluster.OnPowerChange(func(poweredNodes int) { f.index.powerChanged(i, poweredNodes) })
 		m.Cluster.OnSpeedChange(func(_, _ float64) { f.index.sprintingChanged(i, m.Cluster.Sprinting()) })
+	}
+	if cfg.Telemetry != nil {
+		gauges := make([]telemetry.MemberGauges, len(f.members))
+		for i, m := range f.members {
+			gauges[i] = telemetry.MemberGauges{
+				Classes:       cfg.Policy.Classes,
+				QueuedInClass: m.Scheduler.QueuedJobsInClass,
+				Rejected:      m.Scheduler.RejectedJobs,
+				BusySlots:     m.Cluster.BusySlots,
+				PoweredNodes:  m.Cluster.PoweredNodes,
+				Utilization:   m.Cluster.Utilization,
+			}
+		}
+		f.sampler = telemetry.NewSampler(cfg.Telemetry, gauges)
 	}
 	return f, nil
 }
@@ -376,6 +407,9 @@ func (f *Federation) dispatch(class int, job *engine.Job) {
 	m := candidates[i]
 	if f.cfg.Admission == nil {
 		f.routed[m.Index]++
+		if f.cfg.Telemetry != nil {
+			f.cfg.Telemetry.Route(f.sim.Now(), class, m.Index, false)
+		}
 		// Arrival errors are programming errors (bad class/job); surface them
 		// loudly rather than silently dropping workload, like dias.Stack.
 		if err := m.Scheduler.Arrive(class, job); err != nil {
@@ -398,6 +432,9 @@ func (f *Federation) dispatch(class int, job *engine.Job) {
 	switch dec {
 	case admission.Accept:
 		f.routed[m.Index]++
+		if f.cfg.Telemetry != nil {
+			f.cfg.Telemetry.Route(f.sim.Now(), class, m.Index, false)
+		}
 		return
 	case admission.Reject:
 		return
@@ -412,6 +449,9 @@ func (f *Federation) dispatch(class int, job *engine.Job) {
 		case admission.Accept:
 			f.routed[c.Index]++
 			f.spilled++
+			if f.cfg.Telemetry != nil {
+				f.cfg.Telemetry.Route(f.sim.Now(), class, c.Index, true)
+			}
 			return
 		case admission.Reject:
 			return
@@ -443,6 +483,9 @@ func (f *Federation) SetMemberDown(i int, down bool) error {
 	}
 	m.down = down
 	f.index.setAvailable(i, !down)
+	if f.cfg.Telemetry != nil {
+		f.cfg.Telemetry.MemberState(f.sim.Now(), i, down)
+	}
 	nodes := m.Cluster.Config().Nodes
 	if down {
 		f.downMembers++
@@ -529,8 +572,17 @@ func (f *Federation) SubmitStream(proc workload.Process, source workload.JobSour
 }
 
 // Run drains the simulation: all scheduled arrivals are routed and all
-// jobs run to completion on their members.
-func (f *Federation) Run() { f.sim.Run() }
+// jobs run to completion on their members. With telemetry configured the
+// run is driven through the gauge sampler, which fires the same events
+// at the same instants and leaves the clock untouched (see
+// telemetry.Sampler.Drive).
+func (f *Federation) Run() {
+	if f.sampler != nil {
+		f.sampler.Drive(f.sim)
+		return
+	}
+	f.sim.Run()
+}
 
 // Routed returns how many arrivals each member received so far.
 func (f *Federation) Routed() []int {

@@ -51,8 +51,15 @@ func NewLogHistogram(lo, hi float64, n int) (*LogHistogram, error) {
 
 // Add records one observation. Non-positive and NaN values clamp into the
 // first bucket (response times are positive; zero only for degenerate
-// records).
+// records); a NaN counts as 0 throughout, so it can never poison the
+// tracked min/max.
 func (h *LogHistogram) Add(x float64) {
+	if math.IsNaN(x) {
+		// Without this, a NaN first observation would set min and max to
+		// NaN, and every later comparison against them would fail — the
+		// histogram would report NaN quantiles forever.
+		x = 0
+	}
 	i := 0
 	if x >= h.lo {
 		i = int((math.Log(x) - h.logLo) * h.invLogG)

@@ -209,6 +209,47 @@ func TestLogHistogramDegenerateObservations(t *testing.T) {
 	}
 }
 
+// TestLogHistogramNaNFirstObservation is the regression test for the
+// min/max poisoning bug: a NaN FIRST observation used to set min and max
+// to NaN, and since every comparison against NaN is false, no later
+// observation could repair them — Quantile returned NaN forever. A NaN
+// must behave exactly like the documented bucket-0 clamp (i.e. as 0)
+// regardless of arrival order.
+func TestLogHistogramNaNFirstObservation(t *testing.T) {
+	h, err := NewLogHistogram(1e-3, 1e6, 480)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Add(math.NaN()) // first observation — the poisoning position
+	h.Add(50)
+	h.Add(2)
+	if got := h.Quantile(0); got != 0 {
+		t.Fatalf("p=0 = %g, want 0 (NaN clamps to the bucket-0 value)", got)
+	}
+	if got := h.Quantile(1); got != 50 {
+		t.Fatalf("p=1 = %g, want exact max 50", got)
+	}
+	for _, p := range []float64{0.25, 0.5, 0.95} {
+		if got := h.Quantile(p); math.IsNaN(got) {
+			t.Fatalf("p=%g = NaN: min/max poisoned by a NaN first observation", p)
+		}
+	}
+
+	// Order-independence: NaN first then x must leave the same state as x
+	// then NaN.
+	a, _ := NewLogHistogram(1e-3, 1e6, 480)
+	b, _ := NewLogHistogram(1e-3, 1e6, 480)
+	a.Add(math.NaN())
+	a.Add(7)
+	b.Add(7)
+	b.Add(math.NaN())
+	for _, p := range []float64{0, 0.5, 1} {
+		if ga, gb := a.Quantile(p), b.Quantile(p); ga != gb {
+			t.Fatalf("p=%g: NaN-first %g != NaN-last %g", p, ga, gb)
+		}
+	}
+}
+
 func TestLogHistogramPercentileAlias(t *testing.T) {
 	h, err := NewLogHistogram(1e-3, 1e3, 64)
 	if err != nil {

@@ -1,0 +1,342 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Chrome trace_event export: the Catapult/Perfetto JSON object format.
+// Each (run, member) pair becomes a process; lifecycle, engine and
+// cluster activity land on fixed thread lanes inside it, gauges become
+// counter tracks. Everything is assembled from the deterministic event
+// order, and map-typed args always hold a single key, so the output is
+// byte-identical across worker counts.
+
+const (
+	tidLifecycle = 1 // queue-level instants: submit/admit/reject/route/...
+	tidEngine    = 2 // dispatch->complete X spans with nested stage spans
+	tidCluster   = 3 // node/member outage windows, sprint windows
+)
+
+type chromeComplete struct {
+	Name string `json:"name"`
+	Cat  string `json:"cat"`
+	Ph   string `json:"ph"`
+	Ts   int64  `json:"ts"`
+	Dur  int64  `json:"dur"`
+	Pid  int    `json:"pid"`
+	Tid  int    `json:"tid"`
+	Args any    `json:"args,omitempty"`
+}
+
+type chromeInstant struct {
+	Name string `json:"name"`
+	Cat  string `json:"cat"`
+	Ph   string `json:"ph"`
+	Ts   int64  `json:"ts"`
+	Pid  int    `json:"pid"`
+	Tid  int    `json:"tid"`
+	S    string `json:"s"`
+	Args any    `json:"args,omitempty"`
+}
+
+type chromeAsync struct {
+	Name string `json:"name"`
+	Cat  string `json:"cat"`
+	Ph   string `json:"ph"`
+	Ts   int64  `json:"ts"`
+	Pid  int    `json:"pid"`
+	Tid  int    `json:"tid"`
+	ID   string `json:"id"`
+}
+
+type chromeCounter struct {
+	Name string             `json:"name"`
+	Ph   string             `json:"ph"`
+	Ts   int64              `json:"ts"`
+	Pid  int                `json:"pid"`
+	Tid  int                `json:"tid"`
+	Args map[string]float64 `json:"args"` // single key: deterministic
+}
+
+type chromeMeta struct {
+	Name string `json:"name"`
+	Ph   string `json:"ph"`
+	Pid  int    `json:"pid"`
+	Tid  int    `json:"tid"`
+	Args any    `json:"args"`
+}
+
+type evArgs struct {
+	Job    string `json:"job,omitempty"`
+	Class  int    `json:"class"`
+	Detail string `json:"detail,omitempty"`
+}
+
+type stageArgs struct {
+	Executed int `json:"executed"`
+	Dropped  int `json:"dropped"`
+}
+
+type taskArgs struct {
+	Partition int     `json:"partition"`
+	Attempt   int     `json:"attempt,omitempty"`
+	Factor    float64 `json:"factor,omitempty"`
+}
+
+type endArgs struct {
+	Detail string `json:"detail,omitempty"`
+}
+
+type chromeFile struct {
+	TraceEvents     []any  `json:"traceEvents"`
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+}
+
+func usec(at float64) int64 { return int64(math.Round(at * 1e6)) }
+
+// WriteChromeTrace writes a Perfetto/chrome://tracing-loadable trace of
+// every collector in the registry.
+func (r *Registry) WriteChromeTrace(w io.Writer) error {
+	var events []any
+	base := 1
+	for _, name := range r.Names() {
+		base = appendChromeRun(&events, name, r.Get(name), base)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeFile{TraceEvents: events, DisplayTimeUnit: "ms"})
+}
+
+// appendChromeRun emits one run's processes starting at pid base and
+// returns the next free pid.
+func appendChromeRun(out *[]any, run string, c *Collector, base int) int {
+	members := c.Members()
+	pid := func(m int) int { return base + m }
+	for m := 0; m < members; m++ {
+		pname := run
+		if members > 1 {
+			pname = fmt.Sprintf("%s c%d", run, m)
+		}
+		*out = append(*out,
+			chromeMeta{Name: "process_name", Ph: "M", Pid: pid(m), Args: map[string]string{"name": pname}},
+			chromeMeta{Name: "process_sort_index", Ph: "M", Pid: pid(m), Args: map[string]int{"sort_index": pid(m)}},
+			chromeMeta{Name: "thread_name", Ph: "M", Pid: pid(m), Tid: tidLifecycle, Args: map[string]string{"name": "lifecycle"}},
+			chromeMeta{Name: "thread_name", Ph: "M", Pid: pid(m), Tid: tidEngine, Args: map[string]string{"name": "engine"}},
+			chromeMeta{Name: "thread_name", Ph: "M", Pid: pid(m), Tid: tidCluster, Args: map[string]string{"name": "cluster"}},
+		)
+	}
+
+	type openSpan struct {
+		ts     int64
+		member int
+		name   string
+		args   any
+	}
+	jobName := make(map[SpanID]string)
+	openJob := make(map[SpanID]openSpan)      // async job span: submit -> complete/fail
+	openDispatch := make(map[SpanID]openSpan) // engine X: dispatch -> evict/complete/fail
+	openStage := make(map[SpanID]openSpan)    // stage X: stage-start -> stage-end
+	openNode := make(map[[2]int]openSpan)     // (member, node) down window
+	openMember := make(map[int]openSpan)      // member outage window
+	openSprint := make(map[int]openSpan)      // sprint window
+
+	evs := c.Events()
+	var maxTs int64
+	for _, ev := range evs {
+		if ts := usec(ev.At); ts > maxTs {
+			maxTs = ts
+		}
+	}
+	if tl := c.Timeline(); tl != nil && tl.Len() > 0 {
+		at, _ := tl.Row(tl.Len() - 1)
+		if ts := usec(at); ts > maxTs {
+			maxTs = ts
+		}
+	}
+
+	instant := func(ev Event, tid int, args any) {
+		*out = append(*out, chromeInstant{
+			Name: ev.Kind.String(), Cat: "event", Ph: "i",
+			Ts: usec(ev.At), Pid: pid(ev.Member), Tid: tid, S: "t", Args: args,
+		})
+	}
+	complete := func(open openSpan, endTs int64, tid int, cat string) {
+		*out = append(*out, chromeComplete{
+			Name: open.name, Cat: cat, Ph: "X",
+			Ts: open.ts, Dur: endTs - open.ts,
+			Pid: pid(open.member), Tid: tid, Args: open.args,
+		})
+	}
+
+	for _, ev := range evs {
+		ts := usec(ev.At)
+		switch ev.Kind {
+		case KindSubmit:
+			jobName[ev.Span] = ev.Job
+			openJob[ev.Span] = openSpan{ts: ts, member: ev.Member, name: ev.Job}
+			*out = append(*out, chromeAsync{
+				Name: ev.Job, Cat: "job", Ph: "b", Ts: ts,
+				Pid: pid(ev.Member), Tid: tidLifecycle,
+				ID: fmt.Sprintf("%s/%d", run, ev.Span),
+			})
+		case KindAdmit, KindReject, KindDefer, KindEvict:
+			instant(ev, tidLifecycle, evArgs{Job: ev.Job, Class: ev.Class, Detail: ev.Detail})
+			if ev.Kind == KindEvict {
+				if open, ok := openDispatch[ev.Span]; ok {
+					open.args = endArgs{Detail: "evicted"}
+					complete(open, ts, tidEngine, "exec")
+					delete(openDispatch, ev.Span)
+				}
+			}
+		case KindDispatch:
+			openDispatch[ev.Span] = openSpan{ts: ts, member: ev.Member, name: jobName[ev.Span]}
+		case KindComplete, KindFail:
+			if open, ok := openDispatch[ev.Span]; ok {
+				if ev.Kind == KindFail {
+					open.args = endArgs{Detail: ev.Detail}
+				}
+				complete(open, ts, tidEngine, "exec")
+				delete(openDispatch, ev.Span)
+			}
+			if open, ok := openJob[ev.Span]; ok {
+				*out = append(*out, chromeAsync{
+					Name: open.name, Cat: "job", Ph: "e", Ts: ts,
+					Pid: pid(open.member), Tid: tidLifecycle,
+					ID: fmt.Sprintf("%s/%d", run, ev.Span),
+				})
+				delete(openJob, ev.Span)
+			}
+		case KindStageStart:
+			openStage[ev.Span] = openSpan{
+				ts: ts, member: ev.Member, name: ev.Detail,
+				args: stageArgs{Executed: ev.N, Dropped: int(ev.Value)},
+			}
+		case KindStageEnd:
+			if open, ok := openStage[ev.Span]; ok {
+				complete(open, ts, tidEngine, "stage")
+				delete(openStage, ev.Span)
+			}
+		case KindTaskRetry:
+			instant(ev, tidEngine, taskArgs{Partition: ev.Part, Attempt: ev.N})
+		case KindStraggler:
+			instant(ev, tidEngine, taskArgs{Partition: ev.Part, Factor: ev.Value})
+		case KindNodeFail:
+			openNode[[2]int{ev.Member, ev.N}] = openSpan{
+				ts: ts, member: ev.Member, name: fmt.Sprintf("node %d down", ev.N),
+			}
+		case KindNodeRepair:
+			if open, ok := openNode[[2]int{ev.Member, ev.N}]; ok {
+				complete(open, ts, tidCluster, "node")
+				delete(openNode, [2]int{ev.Member, ev.N})
+			}
+		case KindNodeCommission, KindNodeDecommission:
+			instant(ev, tidCluster, map[string]int{"node": ev.N})
+		case KindSprintStart:
+			openSprint[ev.Member] = openSpan{ts: ts, member: ev.Member, name: "sprint"}
+		case KindSprintStop:
+			if open, ok := openSprint[ev.Member]; ok {
+				open.args = endArgs{Detail: ev.Detail}
+				complete(open, ts, tidCluster, "power")
+				delete(openSprint, ev.Member)
+			}
+		case KindRoute, KindSpill:
+			instant(ev, tidLifecycle, evArgs{Class: ev.Class})
+		case KindMemberDown:
+			openMember[ev.Member] = openSpan{ts: ts, member: ev.Member, name: "member down"}
+		case KindMemberUp:
+			if open, ok := openMember[ev.Member]; ok {
+				complete(open, ts, tidCluster, "outage")
+				delete(openMember, ev.Member)
+			}
+		}
+	}
+
+	// Close anything still open at the end of the trace, in sorted key
+	// order (map iteration would be nondeterministic).
+	for _, id := range sortedSpanKeys(openStage) {
+		complete(openStage[id], maxTs, tidEngine, "stage")
+	}
+	for _, id := range sortedSpanKeys(openDispatch) {
+		open := openDispatch[id]
+		open.args = endArgs{Detail: "unfinished"}
+		complete(open, maxTs, tidEngine, "exec")
+	}
+	for _, id := range sortedSpanKeys(openJob) {
+		open := openJob[id]
+		*out = append(*out, chromeAsync{
+			Name: open.name, Cat: "job", Ph: "e", Ts: maxTs,
+			Pid: pid(open.member), Tid: tidLifecycle,
+			ID: fmt.Sprintf("%s/%d", run, id),
+		})
+	}
+	{
+		keys := make([][2]int, 0, len(openNode))
+		for k := range openNode {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i][0] != keys[j][0] {
+				return keys[i][0] < keys[j][0]
+			}
+			return keys[i][1] < keys[j][1]
+		})
+		for _, k := range keys {
+			complete(openNode[k], maxTs, tidCluster, "node")
+		}
+	}
+	for _, m := range sortedIntKeys(openMember) {
+		complete(openMember[m], maxTs, tidCluster, "outage")
+	}
+	for _, m := range sortedIntKeys(openSprint) {
+		complete(openSprint[m], maxTs, tidCluster, "power")
+	}
+
+	// Gauge counters: one counter track per column on its member's
+	// process.
+	if tl := c.Timeline(); tl != nil {
+		cols := tl.Columns()
+		for i := 0; i < tl.Len(); i++ {
+			at, row := tl.Row(i)
+			ts := usec(at)
+			for ci, col := range cols {
+				*out = append(*out, chromeCounter{
+					Name: counterName(col.Name), Ph: "C", Ts: ts,
+					Pid:  pid(col.Member),
+					Args: map[string]float64{counterName(col.Name): row[ci]},
+				})
+			}
+		}
+	}
+	return base + members
+}
+
+// counterName strips the "c<i>." member prefix: the member is already
+// encoded in the pid.
+func counterName(name string) string {
+	if i := strings.Index(name, "."); i >= 0 && strings.HasPrefix(name, "c") {
+		return name[i+1:]
+	}
+	return name
+}
+
+func sortedSpanKeys[V any](m map[SpanID]V) []SpanID {
+	keys := make([]SpanID, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+func sortedIntKeys[V any](m map[int]V) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}

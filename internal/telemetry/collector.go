@@ -1,0 +1,293 @@
+package telemetry
+
+import (
+	"math/rand"
+	"sort"
+
+	"dias/internal/simtime"
+)
+
+// Config bounds a Collector's memory. The zero value selects defaults
+// suitable for figure-scale runs; million-job runs keep the same bounds
+// and simply sample a smaller fraction of jobs.
+type Config struct {
+	// MaxJobs is the reservoir capacity: at most this many job spans are
+	// retained, chosen by uniform reservoir sampling over every submitted
+	// job (default 4096).
+	MaxJobs int
+	// MaxEventsPerJob caps one span's event list; events beyond it are
+	// counted in Dropped (default 128).
+	MaxEventsPerJob int
+	// MaxEvents caps the span-less event ring (rejects, node and sprint
+	// events, routing decisions); once full the oldest entries are
+	// overwritten (default 65536).
+	MaxEvents int
+	// GaugeIntervalSec is the simulated-time sampling cadence for gauge
+	// timelines (default 30).
+	GaugeIntervalSec float64
+	// Seed drives the reservoir's sampling RNG. Collectors built through a
+	// Registry get a name-derived offset so concurrent scenarios sample
+	// independently yet reproducibly.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 4096
+	}
+	if c.MaxEventsPerJob <= 0 {
+		c.MaxEventsPerJob = 128
+	}
+	if c.MaxEvents <= 0 {
+		c.MaxEvents = 1 << 16
+	}
+	if c.GaugeIntervalSec <= 0 {
+		c.GaugeIntervalSec = 30
+	}
+	return c
+}
+
+// jobSpan is one sampled job's retained lifecycle.
+type jobSpan struct {
+	id     SpanID
+	member int
+	class  int
+	events []Event
+}
+
+// Collector accumulates telemetry from one run (a single stack or a whole
+// federation: member tracers share the collector, so spans and gauges
+// land on one timeline). It is not safe for concurrent use — each
+// scenario owns its collector, matching the one-goroutine-per-run
+// execution model of the figure harness.
+type Collector struct {
+	cfg Config
+	rng *rand.Rand
+
+	seq      uint64
+	seenJobs int
+	live     map[SpanID]*jobSpan
+	spans    []*jobSpan // the reservoir, in slot order
+
+	global     []Event // span-less events, a ring once MaxEvents is reached
+	globalHead int
+	dropped    int
+
+	members  []Tracer
+	timeline *Timeline
+}
+
+// NewCollector builds a collector with the given bounds.
+func NewCollector(cfg Config) *Collector {
+	cfg = cfg.withDefaults()
+	return &Collector{
+		cfg:  cfg,
+		rng:  rand.New(rand.NewSource(cfg.Seed)),
+		live: make(map[SpanID]*jobSpan),
+	}
+}
+
+// Member returns the Tracer view for member index i (0 for a single
+// stack). Views are cached, so handing the same member's tracer to both
+// the scheduler and the engine costs one allocation total.
+func (c *Collector) Member(i int) Tracer {
+	for len(c.members) <= i {
+		c.members = append(c.members, &memberTracer{c: c, member: len(c.members)})
+	}
+	return c.members[i]
+}
+
+// Members returns the highest member index seen plus one.
+func (c *Collector) Members() int {
+	n := len(c.members)
+	if tl := c.timeline; tl != nil {
+		for _, col := range tl.cols {
+			if col.Member+1 > n {
+				n = col.Member + 1
+			}
+		}
+	}
+	if n == 0 {
+		n = 1
+	}
+	return n
+}
+
+// Route records a federation dispatch decision: the arrival was accepted
+// by the given member. Spilled marks arrivals the routed member deferred
+// and a sibling accepted.
+func (c *Collector) Route(now simtime.Time, class, member int, spilled bool) {
+	kind := KindRoute
+	if spilled {
+		kind = KindSpill
+	}
+	c.globalEvent(Event{At: now.Seconds(), Kind: kind, Member: member, Class: class})
+}
+
+// MemberState records a cluster-level outage transition.
+func (c *Collector) MemberState(now simtime.Time, member int, down bool) {
+	kind := KindMemberUp
+	if down {
+		kind = KindMemberDown
+	}
+	c.globalEvent(Event{At: now.Seconds(), Kind: kind, Member: member})
+}
+
+// SetTimeline attaches the gauge timeline (normally done by NewSampler).
+func (c *Collector) SetTimeline(tl *Timeline) { c.timeline = tl }
+
+// Timeline returns the attached gauge timeline, or nil.
+func (c *Collector) Timeline() *Timeline { return c.timeline }
+
+// SeenJobs returns the number of submitted jobs offered to the reservoir.
+func (c *Collector) SeenJobs() int { return c.seenJobs }
+
+// SampledJobs returns the number of job spans currently retained.
+func (c *Collector) SampledJobs() int { return len(c.spans) }
+
+// Dropped returns the number of events shed by the per-span and global
+// caps (reservoir replacement is not counted; it is sampling, not loss).
+func (c *Collector) Dropped() int { return c.dropped }
+
+// Events returns every retained event — sampled span events and the
+// span-less ring merged into emission order. The slice is freshly
+// allocated; mutating it does not affect the collector.
+func (c *Collector) Events() []Event {
+	n := len(c.global)
+	for _, sp := range c.spans {
+		n += len(sp.events)
+	}
+	out := make([]Event, 0, n)
+	out = append(out, c.global...)
+	for _, sp := range c.spans {
+		out = append(out, sp.events...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].seq < out[j].seq })
+	return out
+}
+
+func (c *Collector) next() uint64 {
+	c.seq++
+	return c.seq
+}
+
+func (c *Collector) jobSubmitted(now simtime.Time, member int, job string, class int) SpanID {
+	c.seenJobs++
+	id := SpanID(c.seenJobs)
+	var sp *jobSpan
+	if len(c.spans) < c.cfg.MaxJobs {
+		sp = &jobSpan{id: id, member: member, class: class}
+		c.spans = append(c.spans, sp)
+	} else {
+		slot := c.rng.Intn(c.seenJobs)
+		if slot >= c.cfg.MaxJobs {
+			return 0 // not sampled; all later calls with id 0 no-op
+		}
+		old := c.spans[slot]
+		delete(c.live, old.id)
+		sp = &jobSpan{id: id, member: member, class: class}
+		c.spans[slot] = sp
+	}
+	c.live[id] = sp
+	c.spanEvent(id, Event{At: now.Seconds(), Kind: KindSubmit, Job: job})
+	return id
+}
+
+// spanEvent appends to a sampled span; stale IDs (evicted from the
+// reservoir or already completed) and the zero ID are ignored.
+func (c *Collector) spanEvent(id SpanID, ev Event) {
+	if id == 0 {
+		return
+	}
+	sp, ok := c.live[id]
+	if !ok {
+		return
+	}
+	if len(sp.events) >= c.cfg.MaxEventsPerJob {
+		c.dropped++
+		return
+	}
+	ev.Span = id
+	ev.Member = sp.member
+	ev.Class = sp.class
+	ev.seq = c.next()
+	sp.events = append(sp.events, ev)
+}
+
+func (c *Collector) globalEvent(ev Event) {
+	ev.seq = c.next()
+	if len(c.global) < c.cfg.MaxEvents {
+		c.global = append(c.global, ev)
+		return
+	}
+	c.global[c.globalHead] = ev
+	c.globalHead = (c.globalHead + 1) % len(c.global)
+	c.dropped++
+}
+
+// memberTracer curries a member index onto the shared collector.
+type memberTracer struct {
+	c      *Collector
+	member int
+}
+
+func (m *memberTracer) JobSubmitted(now simtime.Time, job string, class int) SpanID {
+	return m.c.jobSubmitted(now, m.member, job, class)
+}
+
+func (m *memberTracer) JobAdmitted(now simtime.Time, id SpanID, policy string) {
+	m.c.spanEvent(id, Event{At: now.Seconds(), Kind: KindAdmit, Detail: policy})
+}
+
+func (m *memberTracer) JobRejected(now simtime.Time, job string, class int, policy string) {
+	m.c.globalEvent(Event{At: now.Seconds(), Kind: KindReject, Member: m.member, Job: job, Class: class, Detail: policy})
+}
+
+func (m *memberTracer) JobDeferred(now simtime.Time, job string, class int, policy string) {
+	m.c.globalEvent(Event{At: now.Seconds(), Kind: KindDefer, Member: m.member, Job: job, Class: class, Detail: policy})
+}
+
+func (m *memberTracer) JobDispatched(now simtime.Time, id SpanID) {
+	m.c.spanEvent(id, Event{At: now.Seconds(), Kind: KindDispatch})
+}
+
+func (m *memberTracer) JobEvicted(now simtime.Time, id SpanID) {
+	m.c.spanEvent(id, Event{At: now.Seconds(), Kind: KindEvict})
+}
+
+func (m *memberTracer) JobCompleted(now simtime.Time, id SpanID, failed bool, reason string) {
+	kind := KindComplete
+	if failed {
+		kind = KindFail
+	}
+	m.c.spanEvent(id, Event{At: now.Seconds(), Kind: kind, Detail: reason})
+	delete(m.c.live, id) // span closed; drop stray late events
+}
+
+func (m *memberTracer) StageStarted(now simtime.Time, id SpanID, stage int, name string, executed, dropped int) {
+	m.c.spanEvent(id, Event{At: now.Seconds(), Kind: KindStageStart, Stage: stage, Detail: name, N: executed, Value: float64(dropped)})
+}
+
+func (m *memberTracer) StageEnded(now simtime.Time, id SpanID, stage int) {
+	m.c.spanEvent(id, Event{At: now.Seconds(), Kind: KindStageEnd, Stage: stage})
+}
+
+func (m *memberTracer) TaskRetried(now simtime.Time, id SpanID, stage, partition, attempt int) {
+	m.c.spanEvent(id, Event{At: now.Seconds(), Kind: KindTaskRetry, Stage: stage, Part: partition, N: attempt})
+}
+
+func (m *memberTracer) TaskStraggled(now simtime.Time, id SpanID, stage, partition int, factor float64) {
+	m.c.spanEvent(id, Event{At: now.Seconds(), Kind: KindStraggler, Stage: stage, Part: partition, Value: factor})
+}
+
+func (m *memberTracer) NodeEvent(now simtime.Time, kind Kind, node int) {
+	m.c.globalEvent(Event{At: now.Seconds(), Kind: kind, Member: m.member, N: node})
+}
+
+func (m *memberTracer) SprintChanged(now simtime.Time, on bool, detail string) {
+	kind := KindSprintStop
+	if on {
+		kind = KindSprintStart
+	}
+	m.c.globalEvent(Event{At: now.Seconds(), Kind: kind, Member: m.member, Detail: detail})
+}

@@ -1,0 +1,81 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// RunEvent is one exported event line: the owning run's name plus the
+// event, flattened (the same JSONL shape internal/trace uses).
+type RunEvent struct {
+	Run string `json:"run"`
+	Event
+}
+
+// WriteEventsJSONL streams every collector's events, runs in sorted name
+// order and events in emission order — deterministic across worker
+// counts.
+func (r *Registry) WriteEventsJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, name := range r.Names() {
+		for _, ev := range r.Get(name).Events() {
+			if err := enc.Encode(RunEvent{Run: name, Event: ev}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ReadEventsJSONL decodes a stream written by WriteEventsJSONL,
+// preserving line order. Malformed input errors out rather than being
+// silently dropped.
+func ReadEventsJSONL(rd io.Reader) ([]RunEvent, error) {
+	dec := json.NewDecoder(rd)
+	var out []RunEvent
+	for {
+		var ev RunEvent
+		if err := dec.Decode(&ev); err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return nil, fmt.Errorf("telemetry: decode events: %w", err)
+		}
+		out = append(out, ev)
+	}
+	return out, nil
+}
+
+// WriteTimelineCSV writes every collector's gauge timeline in long form
+// (run,time,member,column,value): one schema regardless of how many
+// members or classes each run has, and trivially plottable.
+func (r *Registry) WriteTimelineCSV(w io.Writer) error {
+	if _, err := io.WriteString(w, "run,time,member,column,value\n"); err != nil {
+		return err
+	}
+	for _, name := range r.Names() {
+		tl := r.Get(name).Timeline()
+		if tl == nil {
+			continue
+		}
+		cols := tl.Columns()
+		for i := 0; i < tl.Len(); i++ {
+			at, row := tl.Row(i)
+			for ci, col := range cols {
+				_, err := fmt.Fprintf(w, "%s,%s,%d,%s,%s\n",
+					name,
+					strconv.FormatFloat(at, 'g', -1, 64),
+					col.Member,
+					col.Name,
+					strconv.FormatFloat(row[ci], 'g', -1, 64))
+				if err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,86 @@
+package telemetry
+
+import (
+	"hash/fnv"
+	"sort"
+	"sync"
+)
+
+// Registry keys collectors by run name so a multi-figure invocation
+// (cmd/dias-experiments) traces every scenario into one export set.
+// Namespace views share the underlying store under a prefix, letting
+// each figure driver use its scenario names without cross-figure
+// collisions. Collector creation is mutex-guarded (scenarios start on
+// worker goroutines); each collector is then used by its scenario alone.
+type Registry struct {
+	state  *registryState
+	prefix string
+}
+
+type registryState struct {
+	mu     sync.Mutex
+	cfg    Config
+	byName map[string]*Collector
+}
+
+// NewRegistry builds a registry whose collectors inherit cfg, with each
+// collector's sampling seed offset by a hash of its full name so
+// reservoir decisions are per-run deterministic regardless of worker
+// scheduling.
+func NewRegistry(cfg Config) *Registry {
+	return &Registry{state: &registryState{
+		cfg:    cfg.withDefaults(),
+		byName: make(map[string]*Collector),
+	}}
+}
+
+// Namespace returns a view of the same registry that prefixes every
+// collector name with "prefix/". A nil registry namespaces to nil, so
+// callers can thread an optional registry without guards.
+func (r *Registry) Namespace(prefix string) *Registry {
+	if r == nil {
+		return nil
+	}
+	return &Registry{state: r.state, prefix: r.prefix + prefix + "/"}
+}
+
+// Collector returns the collector for name (prefixed by the namespace),
+// creating it on first use.
+func (r *Registry) Collector(name string) *Collector {
+	full := r.prefix + name
+	st := r.state
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if c, ok := st.byName[full]; ok {
+		return c
+	}
+	cfg := st.cfg
+	h := fnv.New32a()
+	h.Write([]byte(full))
+	cfg.Seed += int64(h.Sum32())
+	c := NewCollector(cfg)
+	st.byName[full] = c
+	return c
+}
+
+// Names returns every collector's full name, sorted — the deterministic
+// export order.
+func (r *Registry) Names() []string {
+	st := r.state
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	names := make([]string, 0, len(st.byName))
+	for n := range st.byName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Get returns the collector registered under the full name, or nil.
+func (r *Registry) Get(full string) *Collector {
+	st := r.state
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.byName[full]
+}

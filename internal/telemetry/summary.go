@@ -1,0 +1,285 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Summarization of exported event streams: per-run kind counts, per-class
+// span statistics (queue / execution / response), and the top-K slowest
+// jobs with their per-stage critical path. This backs cmd/dias-trace.
+
+// StageSpan is one executed stage inside a job's critical path.
+type StageSpan struct {
+	Stage    int
+	Name     string
+	StartAt  float64
+	EndAt    float64
+	Executed int
+	Dropped  int
+}
+
+// JobSummary is one sampled job reconstructed from its span events.
+type JobSummary struct {
+	Run      string
+	Span     SpanID
+	Job      string
+	Class    int
+	Member   int
+	SubmitAt float64
+	// DispatchAt is the final dispatch (evictions restart execution).
+	DispatchAt float64
+	EndAt      float64
+	Failed     bool
+	Reason     string
+	Evictions  int
+	Retries    int
+	Straggles  int
+	Stages     []StageSpan
+	complete   bool
+}
+
+// QueueSec returns time spent buffered before the final dispatch.
+func (j *JobSummary) QueueSec() float64 { return j.DispatchAt - j.SubmitAt }
+
+// ExecSec returns time from final dispatch to completion.
+func (j *JobSummary) ExecSec() float64 { return j.EndAt - j.DispatchAt }
+
+// ResponseSec returns submit-to-completion time.
+func (j *JobSummary) ResponseSec() float64 { return j.EndAt - j.SubmitAt }
+
+// ClassSummary aggregates completed sampled spans of one class.
+type ClassSummary struct {
+	Class     int
+	Jobs      int
+	Failed    int
+	Evictions int
+	Retries   int
+
+	MeanQueueSec, MaxQueueSec       float64
+	MeanExecSec, MaxExecSec         float64
+	MeanResponseSec, MaxResponseSec float64
+}
+
+// RunSummary is one run's digest.
+type RunSummary struct {
+	Run     string
+	Events  int
+	ByKind  []KindCount // sorted by kind value
+	Classes []ClassSummary
+	Slowest []*JobSummary // by response time, descending
+}
+
+// KindCount pairs a kind with its event count.
+type KindCount struct {
+	Kind  Kind
+	Count int
+}
+
+// Summarize digests an exported event stream (ReadEventsJSONL order)
+// into per-run summaries, retaining the topK slowest completed jobs per
+// run. Runs appear in first-seen order.
+func Summarize(events []RunEvent, topK int) []*RunSummary {
+	byRun := make(map[string]*RunSummary)
+	var order []string
+	jobs := make(map[string]map[SpanID]*JobSummary)
+
+	for _, re := range events {
+		rs, ok := byRun[re.Run]
+		if !ok {
+			rs = &RunSummary{Run: re.Run}
+			byRun[re.Run] = rs
+			jobs[re.Run] = make(map[SpanID]*JobSummary)
+			order = append(order, re.Run)
+		}
+		rs.Events++
+		bumpKind(&rs.ByKind, re.Kind)
+		if re.Span == 0 {
+			continue
+		}
+		spans := jobs[re.Run]
+		j, ok := spans[re.Span]
+		if !ok {
+			j = &JobSummary{Run: re.Run, Span: re.Span, Class: re.Class, Member: re.Member}
+			spans[re.Span] = j
+		}
+		switch re.Kind {
+		case KindSubmit:
+			j.Job = re.Job
+			j.SubmitAt = re.At
+		case KindDispatch:
+			j.DispatchAt = re.At
+		case KindEvict:
+			j.Evictions++
+			j.Stages = j.Stages[:0] // execution restarts from stage 0
+		case KindComplete, KindFail:
+			j.EndAt = re.At
+			j.Failed = re.Kind == KindFail
+			j.Reason = re.Detail
+			j.complete = true
+		case KindStageStart:
+			j.Stages = append(j.Stages, StageSpan{
+				Stage: re.Stage, Name: re.Detail, StartAt: re.At,
+				Executed: re.N, Dropped: int(re.Value),
+			})
+		case KindStageEnd:
+			for i := len(j.Stages) - 1; i >= 0; i-- {
+				if j.Stages[i].Stage == re.Stage && j.Stages[i].EndAt == 0 {
+					j.Stages[i].EndAt = re.At
+					break
+				}
+			}
+		case KindTaskRetry:
+			j.Retries++
+		case KindStraggler:
+			j.Straggles++
+		}
+	}
+
+	out := make([]*RunSummary, 0, len(order))
+	for _, run := range order {
+		rs := byRun[run]
+		finalize(rs, jobs[run], topK)
+		out = append(out, rs)
+	}
+	return out
+}
+
+func bumpKind(counts *[]KindCount, k Kind) {
+	for i := range *counts {
+		if (*counts)[i].Kind == k {
+			(*counts)[i].Count++
+			return
+		}
+	}
+	*counts = append(*counts, KindCount{Kind: k, Count: 1})
+	sort.Slice(*counts, func(i, j int) bool { return (*counts)[i].Kind < (*counts)[j].Kind })
+}
+
+func finalize(rs *RunSummary, spans map[SpanID]*JobSummary, topK int) {
+	var all []*JobSummary
+	for _, j := range spans {
+		if j.complete {
+			all = append(all, j)
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].ResponseSec() != all[j].ResponseSec() {
+			return all[i].ResponseSec() > all[j].ResponseSec()
+		}
+		return all[i].Span < all[j].Span
+	})
+
+	classes := make(map[int]*ClassSummary)
+	for _, j := range all {
+		cs, ok := classes[j.Class]
+		if !ok {
+			cs = &ClassSummary{Class: j.Class, MaxQueueSec: -1}
+			classes[j.Class] = cs
+		}
+		cs.Jobs++
+		if j.Failed {
+			cs.Failed++
+		}
+		cs.Evictions += j.Evictions
+		cs.Retries += j.Retries
+		cs.MeanQueueSec += j.QueueSec()
+		cs.MeanExecSec += j.ExecSec()
+		cs.MeanResponseSec += j.ResponseSec()
+		if j.QueueSec() > cs.MaxQueueSec {
+			cs.MaxQueueSec = j.QueueSec()
+		}
+		if j.ExecSec() > cs.MaxExecSec {
+			cs.MaxExecSec = j.ExecSec()
+		}
+		if j.ResponseSec() > cs.MaxResponseSec {
+			cs.MaxResponseSec = j.ResponseSec()
+		}
+	}
+	for _, cs := range classes {
+		if cs.Jobs > 0 {
+			cs.MeanQueueSec /= float64(cs.Jobs)
+			cs.MeanExecSec /= float64(cs.Jobs)
+			cs.MeanResponseSec /= float64(cs.Jobs)
+		}
+		if cs.MaxQueueSec < 0 {
+			cs.MaxQueueSec = 0
+		}
+		rs.Classes = append(rs.Classes, *cs)
+	}
+	sort.Slice(rs.Classes, func(i, j int) bool { return rs.Classes[i].Class < rs.Classes[j].Class })
+
+	if topK > len(all) {
+		topK = len(all)
+	}
+	rs.Slowest = all[:topK]
+}
+
+// Render formats run summaries as the dias-trace report.
+func Render(summaries []*RunSummary) string {
+	var b strings.Builder
+	for si, rs := range summaries {
+		if si > 0 {
+			b.WriteString("\n")
+		}
+		fmt.Fprintf(&b, "== %s (%d events)\n", rs.Run, rs.Events)
+		b.WriteString("   kinds:")
+		for _, kc := range rs.ByKind {
+			fmt.Fprintf(&b, " %s=%d", kc.Kind, kc.Count)
+		}
+		b.WriteString("\n")
+		for _, cs := range rs.Classes {
+			fmt.Fprintf(&b, "   class %d: %d sampled", cs.Class, cs.Jobs)
+			if cs.Failed > 0 {
+				fmt.Fprintf(&b, " (%d failed)", cs.Failed)
+			}
+			fmt.Fprintf(&b, "  queue %.1fs/%.1fs  exec %.1fs/%.1fs  response %.1fs/%.1fs (mean/max)\n",
+				cs.MeanQueueSec, cs.MaxQueueSec, cs.MeanExecSec, cs.MaxExecSec,
+				cs.MeanResponseSec, cs.MaxResponseSec)
+		}
+		if len(rs.Slowest) > 0 {
+			fmt.Fprintf(&b, "   slowest %d:\n", len(rs.Slowest))
+		}
+		for _, j := range rs.Slowest {
+			status := ""
+			if j.Failed {
+				status = fmt.Sprintf(" FAILED(%s)", j.Reason)
+			}
+			fmt.Fprintf(&b, "     %s span=%d class=%d c%d%s  response %.1fs = queue %.1fs + exec %.1fs",
+				j.Job, j.Span, j.Class, j.Member, status, j.ResponseSec(), j.QueueSec(), j.ExecSec())
+			if j.Evictions > 0 {
+				fmt.Fprintf(&b, "  evictions=%d", j.Evictions)
+			}
+			if j.Retries > 0 {
+				fmt.Fprintf(&b, "  retries=%d", j.Retries)
+			}
+			if j.Straggles > 0 {
+				fmt.Fprintf(&b, "  stragglers=%d", j.Straggles)
+			}
+			b.WriteString("\n")
+			// The critical path: the engine runs one job at a time, so the
+			// stage sequence (with setup and shuffle gaps) is the job's
+			// execution timeline.
+			prev := j.DispatchAt
+			for _, st := range j.Stages {
+				gap := st.StartAt - prev
+				label := "setup"
+				if st.Stage > 0 {
+					label = "shuffle"
+				}
+				if gap > 1e-9 {
+					fmt.Fprintf(&b, "       %8.1fs  %s\n", gap, label)
+				}
+				end := st.EndAt
+				if end == 0 {
+					end = j.EndAt
+				}
+				fmt.Fprintf(&b, "       %8.1fs  stage %d %q (tasks %d run, %d dropped)\n",
+					end-st.StartAt, st.Stage, st.Name, st.Executed, st.Dropped)
+				prev = end
+			}
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,214 @@
+// Package telemetry is the observability spine of the simulator: a
+// unified tracing and time-series layer threaded through the scheduler
+// (internal/core), the dataflow engine (internal/engine) and the
+// federation dispatcher (internal/federation).
+//
+// Two event families are produced. Job lifecycle spans record every
+// transition of a job on the virtual timeline — submit, admission verdict
+// (with the policy name), dispatch, per-stage execution including task
+// dropping, eviction, task retries and straggler slowdowns, and
+// completion or failure — plus node events (fail/repair, commission/
+// decommission), sprint transitions and federation routing decisions.
+// Periodic gauges sample queue depths, busy slots, powered nodes,
+// admission reject rates and per-member utilization into a columnar
+// Timeline on a simulated-time cadence that never perturbs the run (see
+// Sampler.Drive).
+//
+// The layer has zero overhead when disabled: every emission site guards
+// on a nil Tracer, so the pooled hot paths stay allocation-free (pinned
+// by the kernel benchmarks). When enabled, the Collector bounds memory
+// with per-job reservoir sampling and a capped global ring, so tracing a
+// million-job run retains a representative sample instead of everything.
+//
+// All timestamps are simulated time, so exports are byte-identical across
+// worker counts — the same determinism contract as the figures.
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"dias/internal/simtime"
+)
+
+// SpanID identifies one sampled job's lifecycle span within a Collector.
+// The zero SpanID means "not sampled": every Tracer method accepting a
+// SpanID ignores calls with zero, so callers thread the ID through
+// unconditionally and the reservoir decides what is retained.
+type SpanID uint64
+
+// Kind enumerates telemetry event types.
+type Kind uint8
+
+// Event kinds, in rough lifecycle order.
+const (
+	// KindSubmit opens a job span at arrival (after admission accepted it).
+	KindSubmit Kind = iota + 1
+	// KindAdmit records the admission policy's Accept verdict (Detail is
+	// the policy name).
+	KindAdmit
+	// KindReject records an arrival shed by admission (or a deferred
+	// arrival no member would take); span-less since the job never ran.
+	KindReject
+	// KindDefer records an admission Defer verdict on a single stack or a
+	// routed member (the federation dispatcher then spills the arrival).
+	KindDefer
+	// KindDispatch marks the job leaving its buffer for the engine.
+	KindDispatch
+	// KindEvict marks a preemptive eviction (the job re-queues).
+	KindEvict
+	// KindComplete closes a span for a successfully completed job.
+	KindComplete
+	// KindFail closes a span for a job the engine aborted (Detail is the
+	// failure reason).
+	KindFail
+	// KindStageStart marks a stage launching (Detail is the stage name, N
+	// the executed-task count, Value the dropped-task count).
+	KindStageStart
+	// KindStageEnd marks a stage's last task finishing (excludes the
+	// trailing shuffle delay).
+	KindStageEnd
+	// KindTaskRetry marks a task attempt aborted by a fault or node crash
+	// and re-queued (Stage/Part locate it, N is the new attempt count).
+	KindTaskRetry
+	// KindStraggler marks an injected task slowdown (Value is the factor).
+	KindStraggler
+	// KindSprintStart / KindSprintStop bracket DVFS sprinting windows
+	// (Detail on stop says why: budget-depleted or job-left-engine).
+	KindSprintStart
+	KindSprintStop
+	// Node lifecycle events; N is the node index.
+	KindNodeFail
+	KindNodeRepair
+	KindNodeDecommission
+	KindNodeCommission
+	// KindRoute records the federation dispatcher's choice (Member is the
+	// chosen member); KindSpill the same for an arrival the routed member
+	// deferred and another member accepted.
+	KindRoute
+	KindSpill
+	// KindMemberDown / KindMemberUp bracket cluster-level outages.
+	KindMemberDown
+	KindMemberUp
+)
+
+var kindNames = map[Kind]string{
+	KindSubmit:           "submit",
+	KindAdmit:            "admit",
+	KindReject:           "reject",
+	KindDefer:            "defer",
+	KindDispatch:         "dispatch",
+	KindEvict:            "evict",
+	KindComplete:         "complete",
+	KindFail:             "fail",
+	KindStageStart:       "stage-start",
+	KindStageEnd:         "stage-end",
+	KindTaskRetry:        "task-retry",
+	KindStraggler:        "straggler",
+	KindSprintStart:      "sprint-start",
+	KindSprintStop:       "sprint-stop",
+	KindNodeFail:         "node-fail",
+	KindNodeRepair:       "node-repair",
+	KindNodeDecommission: "node-decommission",
+	KindNodeCommission:   "node-commission",
+	KindRoute:            "route",
+	KindSpill:            "spill",
+	KindMemberDown:       "member-down",
+	KindMemberUp:         "member-up",
+}
+
+// String returns the wire name of the kind.
+func (k Kind) String() string {
+	if n, ok := kindNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// MarshalJSON encodes the kind as its wire name.
+func (k Kind) MarshalJSON() ([]byte, error) {
+	n, ok := kindNames[k]
+	if !ok {
+		return nil, fmt.Errorf("telemetry: unknown kind %d", int(k))
+	}
+	return json.Marshal(n)
+}
+
+// UnmarshalJSON decodes a wire name.
+func (k *Kind) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	for kk, n := range kindNames {
+		if n == s {
+			*k = kk
+			return nil
+		}
+	}
+	return fmt.Errorf("telemetry: unknown kind %q", s)
+}
+
+// Event is one telemetry entry. The integer payload fields are
+// kind-specific (see the Kind constants); unused ones are zero.
+type Event struct {
+	At     float64 `json:"at"` // virtual seconds
+	Kind   Kind    `json:"kind"`
+	Member int     `json:"member"`
+	Span   SpanID  `json:"span,omitempty"`
+	Job    string  `json:"job,omitempty"`
+	Class  int     `json:"class"`
+	Stage  int     `json:"stage"`
+	Part   int     `json:"part"`
+	N      int     `json:"n"`
+	Value  float64 `json:"value"`
+	Detail string  `json:"detail,omitempty"`
+
+	// seq is the collector-wide emission order, the deterministic total
+	// order exports merge by. It is not serialized; readers rely on the
+	// line order of the JSONL stream instead.
+	seq uint64
+}
+
+// Tracer receives job lifecycle and subsystem events from one member
+// stack (scheduler + engine + cluster). All methods take the current
+// virtual time explicitly so emitters pay no clock lookup beyond the one
+// they already have, and all arguments are scalars so a disabled tracer
+// (nil interface — every emission site guards on it) costs nothing.
+//
+// Implementations must not call back into the scheduler or engine;
+// methods run in simulation context on the emitting run's goroutine.
+type Tracer interface {
+	// JobSubmitted opens a span for an admitted arrival and returns its
+	// ID, or zero when the reservoir does not sample this job. Callers
+	// keep the ID with the job and pass it to the per-job methods below.
+	JobSubmitted(now simtime.Time, job string, class int) SpanID
+	// JobAdmitted records the admission policy's Accept verdict.
+	JobAdmitted(now simtime.Time, id SpanID, policy string)
+	// JobRejected records an arrival shed before buffering (span-less).
+	JobRejected(now simtime.Time, job string, class int, policy string)
+	// JobDeferred records an admission Defer verdict (span-less; the
+	// caller decides where the job goes next).
+	JobDeferred(now simtime.Time, job string, class int, policy string)
+	// JobDispatched marks the job leaving its buffer for the engine.
+	JobDispatched(now simtime.Time, id SpanID)
+	// JobEvicted marks a preemptive eviction (the job will re-queue).
+	JobEvicted(now simtime.Time, id SpanID)
+	// JobCompleted closes the span (failed jobs carry the engine's
+	// failure reason).
+	JobCompleted(now simtime.Time, id SpanID, failed bool, reason string)
+	// StageStarted marks a stage launching executed tasks (dropped tasks
+	// were shed by approximation).
+	StageStarted(now simtime.Time, id SpanID, stage int, name string, executed, dropped int)
+	// StageEnded marks the stage's last task finishing.
+	StageEnded(now simtime.Time, id SpanID, stage int)
+	// TaskRetried marks a task attempt aborted and re-queued.
+	TaskRetried(now simtime.Time, id SpanID, stage, partition, attempt int)
+	// TaskStraggled marks an injected slowdown on a task attempt.
+	TaskStraggled(now simtime.Time, id SpanID, stage, partition int, factor float64)
+	// NodeEvent records a node lifecycle transition (kind must be one of
+	// the KindNode* constants).
+	NodeEvent(now simtime.Time, kind Kind, node int)
+	// SprintChanged records a DVFS sprint transition.
+	SprintChanged(now simtime.Time, on bool, detail string)
+}

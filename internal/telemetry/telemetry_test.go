@@ -1,0 +1,354 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"dias/internal/simtime"
+)
+
+func at(sec float64) simtime.Time { return simtime.Time(sec) }
+
+// TestReservoirBounds pins the memory contract: an unbounded job stream
+// retains at most MaxJobs spans, sampled uniformly, and events for
+// unsampled or replaced spans vanish without error.
+func TestReservoirBounds(t *testing.T) {
+	c := NewCollector(Config{MaxJobs: 8, Seed: 3})
+	tr := c.Member(0)
+	var ids []SpanID
+	for i := 0; i < 500; i++ {
+		id := tr.JobSubmitted(at(float64(i)), "j", 0)
+		tr.JobDispatched(at(float64(i)), id)
+		tr.JobCompleted(at(float64(i)+0.5), id, false, "")
+		ids = append(ids, id)
+	}
+	if c.SeenJobs() != 500 {
+		t.Fatalf("SeenJobs = %d, want 500", c.SeenJobs())
+	}
+	if c.SampledJobs() != 8 {
+		t.Fatalf("SampledJobs = %d, want 8", c.SampledJobs())
+	}
+	sampled := 0
+	for _, id := range ids {
+		if id != 0 {
+			sampled++
+		}
+	}
+	if sampled < 8 {
+		t.Fatalf("only %d submissions returned non-zero spans", sampled)
+	}
+	// Exactly the retained spans appear in the merged stream, each with a
+	// full submit/dispatch/complete triple, in emission order.
+	evs := c.Events()
+	if len(evs) != 8*3 {
+		t.Fatalf("Events() = %d, want 24 (8 spans x 3 events)", len(evs))
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].seq <= evs[i-1].seq {
+			t.Fatalf("events out of emission order at %d", i)
+		}
+	}
+	// Events against a closed or replaced span are ignored, not recorded.
+	tr.JobDispatched(at(1000), ids[0])
+	if n := len(c.Events()); n != 24 {
+		t.Fatalf("stale span event recorded: %d events", n)
+	}
+}
+
+// TestSpanEventCapCountsDropped pins that per-span overflow is counted,
+// not silently discarded.
+func TestSpanEventCapCountsDropped(t *testing.T) {
+	c := NewCollector(Config{MaxEventsPerJob: 4})
+	tr := c.Member(0)
+	id := tr.JobSubmitted(at(0), "j", 1)
+	for i := 0; i < 10; i++ {
+		tr.TaskRetried(at(float64(i)), id, 0, i, 1)
+	}
+	if c.Dropped() != 7 { // submit + 3 retries fit; 7 retries dropped
+		t.Fatalf("Dropped = %d, want 7", c.Dropped())
+	}
+}
+
+// TestSamplerDriveDoesNotPerturbClock is the telemetry-invariance
+// keystone: driving a simulation through the gauge sampler must fire the
+// same events at the same instants and leave the final clock exactly
+// where sim.Run() would have — gauge ticks are never simulation events.
+func TestSamplerDriveDoesNotPerturbClock(t *testing.T) {
+	run := func(traced bool) (simtime.Time, []simtime.Time, int) {
+		sim := simtime.New()
+		var fired []simtime.Time
+		for _, sec := range []float64{10, 42.5, 95} {
+			sec := sec
+			sim.At(at(sec), func() { fired = append(fired, sim.Now()) })
+		}
+		if !traced {
+			sim.Run()
+			return sim.Now(), fired, 0
+		}
+		c := NewCollector(Config{GaugeIntervalSec: 30})
+		s := NewSampler(c, []MemberGauges{{
+			Classes:       1,
+			QueuedInClass: func(int) int { return 2 },
+			Rejected:      func() int { return 0 },
+			BusySlots:     func() int { return 5 },
+			PoweredNodes:  func() int { return 3 },
+			Utilization:   func() float64 { return 0.5 },
+		}})
+		s.Drive(sim)
+		return sim.Now(), fired, c.Timeline().Len()
+	}
+	plainNow, plainFired, _ := run(false)
+	tracedNow, tracedFired, samples := run(true)
+	if tracedNow != plainNow {
+		t.Fatalf("Drive left the clock at %v, plain Run at %v", tracedNow, plainNow)
+	}
+	if len(tracedFired) != len(plainFired) {
+		t.Fatalf("Drive fired %d events, plain Run %d", len(tracedFired), len(plainFired))
+	}
+	for i := range plainFired {
+		if tracedFired[i] != plainFired[i] {
+			t.Fatalf("event %d fired at %v traced vs %v plain", i, tracedFired[i], plainFired[i])
+		}
+	}
+	// Samples at 0, 30, 60, 90: the tick past the last event (120) must
+	// not happen — it would have advanced the clock.
+	if samples != 4 {
+		t.Fatalf("timeline has %d samples, want 4 (0/30/60/90)", samples)
+	}
+}
+
+// TestRegistryNamespace pins collector identity and name ordering.
+func TestRegistryNamespace(t *testing.T) {
+	reg := NewRegistry(Config{Seed: 1})
+	fig := reg.Namespace("fig7")
+	a := fig.Collector("zeta")
+	b := fig.Collector("alpha")
+	if fig.Collector("zeta") != a {
+		t.Fatal("same name returned a different collector")
+	}
+	if a == b {
+		t.Fatal("distinct names shared a collector")
+	}
+	names := reg.Names()
+	want := []string{"fig7/alpha", "fig7/zeta"}
+	if len(names) != 2 || names[0] != want[0] || names[1] != want[1] {
+		t.Fatalf("Names() = %v, want %v", names, want)
+	}
+	if got := reg.Get("fig7/zeta"); got != a {
+		t.Fatal("Get did not resolve the namespaced name")
+	}
+	if got := reg.Get("fig7/missing"); got != nil {
+		t.Fatal("Get invented a collector")
+	}
+}
+
+// fillCollector produces a small but representative event mix plus a
+// two-sample timeline.
+func fillCollector(reg *Registry, name string) *Collector {
+	c := reg.Collector(name)
+	tr := c.Member(0)
+	id := tr.JobSubmitted(at(1), "job-a", 0)
+	tr.JobAdmitted(at(1), id, "slo")
+	tr.JobDispatched(at(2), id)
+	tr.StageStarted(at(3), id, 0, "map", 10, 2)
+	tr.TaskStraggled(at(4), id, 0, 3, 2.5)
+	tr.StageEnded(at(5), id, 0)
+	tr.JobCompleted(at(6), id, false, "")
+	tr.JobRejected(at(7), "job-b", 1, "slo")
+	tr.NodeEvent(at(8), KindNodeFail, 2)
+	tr.SprintChanged(at(9), true, "")
+	tr.SprintChanged(at(10), false, "budget-depleted")
+	c.Route(at(11), 0, 0, false)
+	sim := simtime.New()
+	sim.At(at(40), func() {})
+	NewSampler(c, []MemberGauges{{
+		Classes:       2,
+		QueuedInClass: func(k int) int { return k + 1 },
+		Rejected:      func() int { return 1 },
+		BusySlots:     func() int { return 4 },
+		PoweredNodes:  func() int { return 8 },
+		Utilization:   func() float64 { return 0.25 },
+	}}).Drive(sim)
+	return c
+}
+
+// TestEventsJSONLRoundTrip pins the export wire format: every kind
+// round-trips, runs export in sorted-name order, and unknown kinds fail
+// the read with the package error.
+func TestEventsJSONLRoundTrip(t *testing.T) {
+	reg := NewRegistry(Config{})
+	fillCollector(reg, "beta")
+	fillCollector(reg, "alpha")
+	var buf bytes.Buffer
+	if err := reg.WriteEventsJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	evs, err := ReadEventsJSONL(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 24 { // 12 events per collector
+		t.Fatalf("round trip returned %d events, want 24", len(evs))
+	}
+	if evs[0].Run != "alpha" || evs[len(evs)-1].Run != "beta" {
+		t.Fatalf("runs not in sorted order: first %q last %q", evs[0].Run, evs[len(evs)-1].Run)
+	}
+	if evs[0].Kind != KindSubmit || evs[0].Job != "job-a" {
+		t.Fatalf("first event = %+v, want the submit", evs[0])
+	}
+
+	if _, err := ReadEventsJSONL(strings.NewReader(`{"run":"x","at":1,"kind":"no-such"}`)); err == nil {
+		t.Fatal("unknown kind accepted")
+	} else if !strings.Contains(err.Error(), "telemetry:") {
+		t.Fatalf("error %q lacks package prefix", err)
+	}
+	if _, err := ReadEventsJSONL(strings.NewReader(`{"run":"x","at":`)); err == nil {
+		t.Fatal("truncated line accepted")
+	}
+}
+
+// TestChromeTraceValidAndDeterministic pins that the Perfetto export is
+// well-formed JSON with the expected event phases and is byte-stable
+// across repeated writes.
+func TestChromeTraceValidAndDeterministic(t *testing.T) {
+	reg := NewRegistry(Config{})
+	fillCollector(reg, "beta")
+	fillCollector(reg, "alpha")
+	var one, two bytes.Buffer
+	if err := reg.WriteChromeTrace(&one); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.WriteChromeTrace(&two); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(one.Bytes(), two.Bytes()) {
+		t.Fatal("repeated exports differ")
+	}
+	var v struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+		Unit        string           `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(one.Bytes(), &v); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if v.Unit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", v.Unit)
+	}
+	phases := map[string]int{}
+	pids := map[float64]bool{}
+	for _, e := range v.TraceEvents {
+		phases[e["ph"].(string)]++
+		pids[e["pid"].(float64)] = true
+	}
+	for _, ph := range []string{"M", "X", "i", "b", "e", "C"} {
+		if phases[ph] == 0 {
+			t.Fatalf("no %q phase events in trace (got %v)", ph, phases)
+		}
+	}
+	if len(pids) != 2 {
+		t.Fatalf("want one pid per run, got %d", len(pids))
+	}
+	if phases["b"] != phases["e"] {
+		t.Fatalf("unbalanced async spans: %d b vs %d e", phases["b"], phases["e"])
+	}
+}
+
+// TestTimelineCSV pins the gauge export shape.
+func TestTimelineCSV(t *testing.T) {
+	reg := NewRegistry(Config{})
+	fillCollector(reg, "run")
+	var buf bytes.Buffer
+	if err := reg.WriteTimelineCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if lines[0] != "run,time,member,column,value" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	// 6 columns (queued.k0, queued.k1, busy, powered, util, reject-rate)
+	// x 2 samples (t=0, t=30).
+	if len(lines) != 1+12 {
+		t.Fatalf("%d data lines, want 12", len(lines)-1)
+	}
+	if !strings.HasPrefix(lines[1], "run,0,0,c0.queued.k0,1") {
+		t.Fatalf("first data line = %q", lines[1])
+	}
+}
+
+// TestSummarizeReconstructsSpans pins dias-trace's digest: queue and
+// execution splits, eviction restarts, and stage critical paths.
+func TestSummarizeReconstructsSpans(t *testing.T) {
+	evs := []RunEvent{
+		{Run: "r", Event: Event{At: 0, Kind: KindSubmit, Span: 1, Job: "a", Class: 0}},
+		{Run: "r", Event: Event{At: 1, Kind: KindDispatch, Span: 1}},
+		{Run: "r", Event: Event{At: 2, Kind: KindStageStart, Span: 1, Stage: 0, Detail: "map", N: 4}},
+		// Evicted mid-stage: the partial stage must not survive into the
+		// critical path, and the dispatch clock restarts.
+		{Run: "r", Event: Event{At: 3, Kind: KindEvict, Span: 1}},
+		{Run: "r", Event: Event{At: 10, Kind: KindDispatch, Span: 1}},
+		{Run: "r", Event: Event{At: 11, Kind: KindStageStart, Span: 1, Stage: 0, Detail: "map", N: 4}},
+		{Run: "r", Event: Event{At: 15, Kind: KindStageEnd, Span: 1, Stage: 0}},
+		{Run: "r", Event: Event{At: 16, Kind: KindComplete, Span: 1}},
+		{Run: "r", Event: Event{At: 0.5, Kind: KindSubmit, Span: 2, Job: "b", Class: 1}},
+		{Run: "r", Event: Event{At: 1, Kind: KindDispatch, Span: 2}},
+		{Run: "r", Event: Event{At: 2, Kind: KindFail, Span: 2, Detail: "node-lost"}},
+	}
+	sums := Summarize(evs, 10)
+	if len(sums) != 1 {
+		t.Fatalf("%d runs, want 1", len(sums))
+	}
+	rs := sums[0]
+	if rs.Events != len(evs) {
+		t.Fatalf("Events = %d, want %d", rs.Events, len(evs))
+	}
+	if len(rs.Slowest) != 2 {
+		t.Fatalf("%d completed jobs, want 2", len(rs.Slowest))
+	}
+	a := rs.Slowest[0] // response 16 > 1.5
+	if a.Job != "a" || a.Evictions != 1 {
+		t.Fatalf("slowest = %q evictions %d", a.Job, a.Evictions)
+	}
+	if got := a.QueueSec(); got != 10 {
+		t.Fatalf("QueueSec = %g, want 10 (final dispatch)", got)
+	}
+	if got := a.ExecSec(); got != 6 {
+		t.Fatalf("ExecSec = %g, want 6", got)
+	}
+	if len(a.Stages) != 1 || a.Stages[0].EndAt != 15 {
+		t.Fatalf("critical path kept the pre-eviction stage: %+v", a.Stages)
+	}
+	b := rs.Slowest[1]
+	if !b.Failed || b.Reason != "node-lost" {
+		t.Fatalf("failed job not reconstructed: %+v", b)
+	}
+	var kinds int
+	for _, kc := range rs.ByKind {
+		kinds += kc.Count
+	}
+	if kinds != len(evs) {
+		t.Fatalf("kind counts sum to %d, want %d", kinds, len(evs))
+	}
+	out := Render(sums)
+	for _, want := range []string{"== r (11 events)", "FAILED(node-lost)", "stage 0 \"map\""} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Render output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestUsecRounding pins the microsecond conversion used for Chrome
+// timestamps (round, not truncate — pairs must not invert).
+func TestUsecRounding(t *testing.T) {
+	if got := usec(1.0000005); got != 1000001 && got != 1000000 {
+		t.Fatalf("usec(1.0000005) = %d", got)
+	}
+	if usec(2) != 2000000 {
+		t.Fatalf("usec(2) = %d", usec(2))
+	}
+	if usec(math.Nextafter(3, 4)) != 3000000 {
+		t.Fatal("adjacent float should round to the same microsecond")
+	}
+}

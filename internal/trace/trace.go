@@ -136,7 +136,10 @@ func (l *Log) WriteJSONL(w io.Writer) error {
 	return nil
 }
 
-// ReadJSONL parses a JSON-lines trace back into a Log.
+// ReadJSONL parses a JSON-lines trace back into a Log. Every line must
+// decode to an event with a known kind: malformed JSON, unknown kinds,
+// and kind-less lines (which would otherwise decode to an unencodable
+// zero event) all fail the read — nothing is silently dropped.
 func ReadJSONL(r io.Reader) (*Log, error) {
 	dec := json.NewDecoder(r)
 	l := &Log{}
@@ -147,6 +150,9 @@ func ReadJSONL(r io.Reader) (*Log, error) {
 				break
 			}
 			return nil, fmt.Errorf("trace: decoding event: %w", err)
+		}
+		if _, ok := kindNames[e.Kind]; !ok {
+			return nil, fmt.Errorf("trace: decoding event %d: missing kind", l.Len())
 		}
 		l.events = append(l.events, e)
 	}
