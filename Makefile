@@ -3,11 +3,11 @@
 
 GO ?= go
 
-.PHONY: build test test-short test-race cover bench bench-smoke bench-baseline bench-check determinism profile staticcheck fmt fmt-check vet experiments apicompat hypotheses hypotheses-check
+.PHONY: build test test-short test-race cover bench bench-smoke bench-baseline bench-check determinism scale-smoke profile staticcheck fmt fmt-check vet experiments apicompat hypotheses hypotheses-check
 
 # The reduced figure set and scale the smoke/baseline/gate pipeline runs.
 # Changing it requires regenerating the committed baseline (bench-baseline).
-BENCH_SMOKE_ARGS = -fig 7,federation-scaleout,faults,elasticity -jobs 60 -replicas 2
+BENCH_SMOKE_ARGS = -fig 7,federation-scaleout,faults,elasticity,scale -jobs 60 -replicas 2
 
 build:
 	$(GO) build ./...
@@ -87,6 +87,21 @@ determinism:
 	cmp determinism-w1.trace.json determinism-w8.trace.json
 	cmp determinism-w1.timeline.csv determinism-w8.timeline.csv
 	rm -f determinism-w1.txt determinism-w8.txt determinism-traced-w1.txt determinism-traced-w8.txt determinism-w1.trace.json determinism-w8.trace.json determinism-w1.timeline.csv determinism-w8.timeline.csv
+
+# The CI streaming-scale smoke: the scale figure at 50k jobs (its heavy
+# cells replay 50k arrivals each through an 8-cluster federation on the
+# bounded-memory path), run at -workers 1 and 8 and byte-diffed — the
+# figure text carries no wall-clock, so it must be identical — with the
+# memory high-water ceiling asserted on both runs. The ceiling (MiB of
+# Go-runtime Sys, a monotone RSS proxy) is ~3x the observed high-water;
+# a per-job leak anywhere on the streaming path blows well past it.
+SCALE_SMOKE_JOBS = 50000
+SCALE_SMOKE_MAX_SYS_MB = 2048
+scale-smoke:
+	$(GO) run ./cmd/dias-experiments -fig scale -jobs $(SCALE_SMOKE_JOBS) -workers 1 -bench-out '' -max-sys-mb $(SCALE_SMOKE_MAX_SYS_MB) > scale-smoke-w1.txt
+	$(GO) run ./cmd/dias-experiments -fig scale -jobs $(SCALE_SMOKE_JOBS) -workers 8 -bench-out '' -max-sys-mb $(SCALE_SMOKE_MAX_SYS_MB) > scale-smoke-w8.txt
+	cmp scale-smoke-w1.txt scale-smoke-w8.txt
+	rm -f scale-smoke-w1.txt scale-smoke-w8.txt
 
 # Static analysis beyond go vet (CI installs the pinned tool; locally:
 # go install honnef.co/go/tools/cmd/staticcheck@latest).

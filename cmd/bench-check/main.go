@@ -59,6 +59,10 @@ type scenario struct {
 	FailedJobs       estimate   `json:"failed_jobs"`
 	TasksRetried     estimate   `json:"tasks_retried"`
 	MeanPoweredNodes estimate   `json:"mean_powered_nodes"`
+	// peak_in_flight_jobs is deterministic and gated; sim_jobs_per_wall_sec
+	// is machine-dependent wall-clock throughput and deliberately NOT read
+	// here — trending only, never a regression gate.
+	PeakInFlightJobs estimate `json:"peak_in_flight_jobs"`
 }
 
 type classRow struct {
@@ -232,6 +236,7 @@ func compareScenarios(fig string, base, cand []scenario, th thresholds, notes *[
 		check("failed_jobs", bs.FailedJobs, cs.FailedJobs)
 		check("tasks_retried", bs.TasksRetried, cs.TasksRetried)
 		check("mean_powered_nodes", bs.MeanPoweredNodes, cs.MeanPoweredNodes)
+		check("peak_in_flight_jobs", bs.PeakInFlightJobs, cs.PeakInFlightJobs)
 		candClasses := map[int]classRow{}
 		for _, c := range cs.PerClass {
 			candClasses[c.Class] = c

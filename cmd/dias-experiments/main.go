@@ -4,7 +4,7 @@
 //	                 [-jobs N] [-seed S] [-workers W] [-replicas R]
 //	                 [-bench-out BENCH_results.json]
 //	                 [-trace trace.json] [-events events.jsonl]
-//	                 [-timeline timeline.csv]
+//	                 [-timeline timeline.csv] [-max-sys-mb M]
 //
 // -fig list prints every registered figure with its description; -fig also
 // accepts a comma-separated list (e.g. -fig 7,federation-scaleout). The
@@ -60,6 +60,7 @@ func main() {
 	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON file here (empty = no tracing)")
 	eventsOut := flag.String("events", "", "write the raw telemetry event stream as JSONL here (empty = skip)")
 	timelineOut := flag.String("timeline", "", "write the gauge timeline as CSV here (empty = skip)")
+	maxSysMB := flag.Int("max-sys-mb", 0, "fail if the Go heap reserves more than this many MiB from the OS (0 = no ceiling)")
 	flag.Parse()
 
 	if *fig == "list" {
@@ -87,6 +88,30 @@ func main() {
 		fmt.Fprintln(os.Stderr, "dias-experiments:", err)
 		os.Exit(1)
 	}
+	if err := checkSysCeiling(*maxSysMB); err != nil {
+		fmt.Fprintln(os.Stderr, "dias-experiments:", err)
+		os.Exit(1)
+	}
+}
+
+// checkSysCeiling asserts the process-lifetime memory high-water mark
+// against -max-sys-mb. MemStats.Sys is what the runtime reserved from the
+// OS — a monotone RSS proxy, so an earlier million-job spike still trips
+// the ceiling even after the GC has collected the garbage. This is the
+// scale-smoke memory-bounding gate: a per-job leak on the streaming path
+// shows up here long before it OOMs anything.
+func checkSysCeiling(maxMB int) error {
+	if maxMB <= 0 {
+		return nil
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	sysMB := float64(ms.Sys) / (1 << 20)
+	fmt.Fprintf(os.Stderr, "dias-experiments: memory high-water %.0f MiB (ceiling %d MiB)\n", sysMB, maxMB)
+	if sysMB > float64(maxMB) {
+		return fmt.Errorf("memory high-water %.0f MiB exceeds -max-sys-mb %d", sysMB, maxMB)
+	}
+	return nil
 }
 
 // exportPaths collects the telemetry export destinations; any non-empty

@@ -213,23 +213,30 @@ func (s *Stack) SubmitAt(t float64, class int, job *engine.Job) {
 }
 
 // SubmitStream schedules n arrivals drawn from any arrival process
-// (Poisson mix, MMAP source, trace replay, bootstrap) with jobs built by
-// the source (fixed templates or per-arrival variants). The seed drives
-// both the arrival and the job-variant RNGs.
+// (Poisson mix, Gamma/MMPP bursty streams, MMAP source, trace replay,
+// bootstrap) with jobs built by the source (fixed templates or
+// per-arrival variants). The seed drives both the arrival and the
+// job-variant RNGs.
+//
+// Arrivals are injected feed-forward: only the next arrival is pending
+// at any instant, and each arrival event builds its job and schedules
+// the following one (workload.Inject), so submission memory is O(1) at
+// any n — a million-job stream costs the same as a hundred-job one. The
+// RNG draw order matches the former materialized path, so results are
+// unchanged. Because jobs are now built mid-run, a job-source failure
+// panics at its arrival instant (like SubmitAt on a bad arrival) rather
+// than being returned here.
 func (s *Stack) SubmitStream(proc workload.Process, source workload.JobSource, n int, seed int64) error {
 	if proc == nil || source == nil {
 		return fmt.Errorf("dias: nil arrival process or job source")
 	}
 	arrRng := rand.New(rand.NewSource(seed))
 	jobRng := rand.New(rand.NewSource(seed + 1))
-	for _, a := range workload.StreamOf(proc, arrRng, n) {
-		job, err := source.Job(jobRng, a.Class)
-		if err != nil {
-			return fmt.Errorf("building class-%d job: %w", a.Class, err)
+	return workload.Inject(s.Sim, proc, source, n, arrRng, jobRng, func(class int, job *engine.Job) {
+		if err := s.Scheduler.Arrive(class, job); err != nil {
+			panic(fmt.Sprintf("dias: arrival at t=%v failed: %v", s.Sim.Now(), err))
 		}
-		s.SubmitAt(a.At, a.Class, job)
-	}
-	return nil
+	})
 }
 
 // InjectFailures arms random node fail/repair cycles on the deployment

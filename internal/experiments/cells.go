@@ -160,6 +160,12 @@ type FederationCell struct {
 	// Routing builds a fresh routing policy per run; the seed passed in is
 	// the run's derived routing seed (stateful policies, own RNG streams).
 	Routing func(seed int64) federation.RoutingPolicy
+	// Arrivals, when non-nil, builds the run's arrival process from the
+	// calibrated per-class rates — the burstiness knob (e.g.
+	// workload.NewGamma at CV 3.5, workload.NewMMPP). Nil means the
+	// Poisson mix at the same rates, so a cell pair varying only this
+	// field compares burstiness at equal mean load.
+	Arrivals func(rates []float64) (workload.Process, error)
 	// Telemetry, when non-nil, traces the cell into a collector named
 	// after the cell (observational only; results are unchanged).
 	Telemetry *telemetry.Registry
@@ -191,7 +197,8 @@ func (w *ReferenceWorkload) RunFederationCell(c FederationCell) (metrics.Scenari
 			fedVariants(w.LowJob, c.Members),
 			fedVariants(w.HighJob, c.Members),
 		},
-		scale: Scale{Jobs: c.Jobs, WarmupFraction: warm, Seed: w.Seed, Telemetry: c.Telemetry},
+		scale:    Scale{Jobs: c.Jobs, WarmupFraction: warm, Seed: w.Seed, Telemetry: c.Telemetry},
+		arrivals: c.Arrivals,
 	}
 	res, err := sc.run()
 	if err != nil {

@@ -269,4 +269,13 @@ func init() {
 		}
 		return DriverOutput{Text: r, Scenarios: r.Scenarios()}, nil
 	})
+	Register("scale", DriverMeta{
+		Description: "streaming throughput: arrival process x job count x routing, 8 clusters, bounded memory",
+	}, func(sc Scale) (DriverOutput, error) {
+		r, err := ScaleThroughput(sc)
+		if err != nil {
+			return DriverOutput{}, err
+		}
+		return DriverOutput{Text: r, Scenarios: r.Scenarios()}, nil
+	})
 }

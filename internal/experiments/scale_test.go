@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"math"
+	"os"
+	"testing"
+
+	"dias/internal/federation"
+	"dias/internal/metrics"
+	"dias/internal/workload"
+)
+
+// streamScenario builds one bounded-memory 8-cluster streaming cell at
+// 70% load with Gamma CV-3.5 arrivals — the bursty operating point that
+// maximizes in-flight pressure on the streaming path.
+func streamScenario(t *testing.T, jobs int, warmup float64, bounded bool) fedScenario {
+	t.Helper()
+	scale := Scale{Jobs: jobs, WarmupFraction: warmup, Seed: 1}
+	variants, rates, err := fedWorkload(scale, scaleMembers, scaleUtilization)
+	if err != nil {
+		t.Fatal(err)
+	}
+	members := homogeneousMembers(scaleMembers)
+	return fedScenario{
+		name:    "stream-conservation",
+		members: members,
+		policy: fedPolicyFactory{"jsq", func(int64) federation.RoutingPolicy {
+			return federation.NewJoinShortestQueue()
+		}},
+		rates:    scaleRates(rates, capacityFactor(members)),
+		variants: variants,
+		scale:    scale,
+		arrivals: func(rates []float64) (workload.Process, error) {
+			return workload.NewGamma(rates, scaleGammaCV)
+		},
+		bounded: bounded,
+	}
+}
+
+// outcomes sums a result's per-class completed/failed/rejected counts.
+func outcomes(res metrics.ScenarioResult) (completed, failed, rejected int) {
+	for _, cs := range res.PerClass {
+		completed += cs.Jobs
+		failed += cs.FailedJobs
+		rejected += cs.RejectedJobs
+	}
+	return
+}
+
+// Conservation on the streaming path: with warmup disabled, every
+// injected job must surface as exactly one outcome — completed, failed
+// or rejected — and the in-flight population must stay bounded far
+// below the job count (the O(1)-memory claim, measured).
+func TestStreamingConservation(t *testing.T) {
+	jobs := 100000
+	if testing.Short() {
+		jobs = 3000
+	}
+	res, err := streamScenario(t, jobs, 0, true).run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	completed, failed, rejected := outcomes(res.Overall)
+	if total := completed + failed + rejected; total != jobs {
+		t.Fatalf("conservation broken: %d outcomes (%d completed, %d failed, %d rejected) from %d arrivals",
+			total, completed, failed, rejected, jobs)
+	}
+	peak := res.Overall.PeakInFlightJobs
+	if peak <= 0 {
+		t.Fatal("peak in-flight not tracked")
+	}
+	if peak > jobs/10 {
+		t.Fatalf("peak in-flight %d of %d jobs: the stream is materializing, not bounded", peak, jobs)
+	}
+}
+
+// The bounded accumulator must agree with the materialized oracle on
+// the same run: identical counts, energy, makespan and P99 (same
+// histograms), means to float tolerance, P95 within the documented
+// <4.4% histogram bucket width.
+func TestBoundedAccumulatorMatchesOracle(t *testing.T) {
+	jobs := 10000
+	if testing.Short() {
+		jobs = 2000
+	}
+	bounded, err := streamScenario(t, jobs, 0.1, true).run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := streamScenario(t, jobs, 0.1, false).run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, o := bounded.Overall, oracle.Overall
+	if b.EnergyJoules != o.EnergyJoules || b.MakespanSec != o.MakespanSec {
+		t.Fatalf("run divergence: energy %g vs %g, makespan %g vs %g",
+			b.EnergyJoules, o.EnergyJoules, b.MakespanSec, o.MakespanSec)
+	}
+	if b.PeakInFlightJobs != o.PeakInFlightJobs {
+		t.Fatalf("peak in-flight %d vs %d", b.PeakInFlightJobs, o.PeakInFlightJobs)
+	}
+	if len(b.PerClass) != len(o.PerClass) {
+		t.Fatalf("%d classes vs %d", len(b.PerClass), len(o.PerClass))
+	}
+	relClose := func(a, b, tol float64) bool {
+		if a == b {
+			return true
+		}
+		return math.Abs(a-b) <= tol*math.Max(math.Abs(a), math.Abs(b))
+	}
+	for k := range b.PerClass {
+		bc, oc := b.PerClass[k], o.PerClass[k]
+		if bc.Jobs != oc.Jobs || bc.FailedJobs != oc.FailedJobs || bc.RejectedJobs != oc.RejectedJobs {
+			t.Fatalf("class %d counts: %+v vs %+v", k, bc, oc)
+		}
+		if bc.Evictions != oc.Evictions || bc.TaskRetries != oc.TaskRetries {
+			t.Fatalf("class %d eviction/retry counts: %+v vs %+v", k, bc, oc)
+		}
+		if !relClose(bc.MeanResponseSec, oc.MeanResponseSec, 1e-9) {
+			t.Fatalf("class %d mean response %g vs %g", k, bc.MeanResponseSec, oc.MeanResponseSec)
+		}
+		if !relClose(bc.MeanQueueSec, oc.MeanQueueSec, 1e-9) ||
+			!relClose(bc.MeanExecSec, oc.MeanExecSec, 1e-9) {
+			t.Fatalf("class %d queue/exec means diverge: %+v vs %+v", k, bc, oc)
+		}
+		if bc.P99ResponseSec != oc.P99ResponseSec {
+			t.Fatalf("class %d P99 %g vs %g (both histogram-derived, must be identical)",
+				k, bc.P99ResponseSec, oc.P99ResponseSec)
+		}
+		// Bounded P95 is histogram-derived; the oracle's is exact.
+		if !relClose(bc.P95ResponseSec, oc.P95ResponseSec, 0.044) {
+			t.Fatalf("class %d P95 %g vs exact %g: outside one histogram bucket",
+				k, bc.P95ResponseSec, oc.P95ResponseSec)
+		}
+	}
+}
+
+// The acceptance-scale run: one million jobs through the 8-cluster
+// federation on the bounded path. ~15 CPU-minutes, so it only runs when
+// asked for explicitly:
+//
+//	DIAS_SCALE_1M=1 go test ./internal/experiments -run TestMillionJobStream -timeout 60m
+func TestMillionJobStream(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	if os.Getenv("DIAS_SCALE_1M") == "" {
+		t.Skip("set DIAS_SCALE_1M=1 to run the million-job acceptance test")
+	}
+	const jobs = 1000000
+	res, err := streamScenario(t, jobs, 0, true).run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	completed, failed, rejected := outcomes(res.Overall)
+	if total := completed + failed + rejected; total != jobs {
+		t.Fatalf("conservation broken at 1M: %d outcomes (%d/%d/%d)", total, completed, failed, rejected)
+	}
+	if peak := res.Overall.PeakInFlightJobs; peak > jobs/100 {
+		t.Fatalf("peak in-flight %d at 1M jobs: not bounded", peak)
+	}
+	t.Logf("1M jobs: completed %d, failed %d, rejected %d, peak in-flight %d, makespan %.0fs",
+		completed, failed, rejected, res.Overall.PeakInFlightJobs, res.Overall.MakespanSec)
+}

@@ -177,6 +177,12 @@ type Federation struct {
 	// spilled counts arrivals deferred by their routed member's admission
 	// policy and re-routed to (accepted by) another member.
 	spilled int
+	// inFlight counts dispatched jobs whose record has not come back yet
+	// (every dispatch yields exactly one completion/failure/rejection
+	// record); peakInFlight is its high-water mark — the memory-bounding
+	// figure of a streaming run, since live per-job state is proportional
+	// to it, not to the total job count.
+	inFlight, peakInFlight int
 	// index is the incrementally maintained routing state (see LoadIndex).
 	index *LoadIndex
 	// sampler, when non-nil, drives Run with gauge sampling (telemetry).
@@ -235,9 +241,14 @@ func New(cfg Config) (*Federation, error) {
 		}
 		policy := cfg.Policy
 		policy.DiscardRecords = cfg.DiscardRecords
-		if cfg.OnRecord != nil {
-			idx := i
-			policy.OnRecord = func(rec core.JobRecord) { cfg.OnRecord(idx, rec) }
+		// Every record closes one dispatched job's in-flight window, so
+		// the hook is always wired even without a caller OnRecord.
+		idx := i
+		policy.OnRecord = func(rec core.JobRecord) {
+			f.inFlight--
+			if cfg.OnRecord != nil {
+				cfg.OnRecord(idx, rec)
+			}
 		}
 		if cfg.Admission != nil {
 			policy.Admission = cfg.Admission()
@@ -368,6 +379,10 @@ func (f *Federation) RegisterInput(job *engine.Job, home int) error {
 // whole federation is down, arrivals queue on their nominal targets as if
 // every member were up.
 func (f *Federation) dispatch(class int, job *engine.Job) {
+	f.inFlight++
+	if f.inFlight > f.peakInFlight {
+		f.peakInFlight = f.inFlight
+	}
 	home := -1
 	if h, ok := f.home[job]; ok {
 		home = h
@@ -464,6 +479,12 @@ func (f *Federation) dispatch(class int, job *engine.Job) {
 // admission policy and accepted elsewhere.
 func (f *Federation) Spilled() int { return f.spilled }
 
+// PeakInFlight returns the high-water mark of dispatched jobs whose
+// completion/failure/rejection record had not yet been emitted — the
+// federation's live-job bound. On a streaming run this, not the total
+// job count, is what memory scales with.
+func (f *Federation) PeakInFlight() int { return f.peakInFlight }
+
 // SetMemberDown starts (down = true) or ends a cluster-level outage of
 // member i. An outage removes the member from routing and fails every up
 // node of its cluster, re-queueing in-flight tasks for re-execution after
@@ -554,21 +575,21 @@ func (f *Federation) SubmitAt(t float64, class int, job *engine.Job) {
 
 // SubmitStream schedules n arrivals drawn from any arrival process with
 // jobs built by the source, exactly like dias.Stack.SubmitStream but
-// routed across the federation.
+// routed across the federation. Arrivals are injected feed-forward
+// (workload.Inject): only the next arrival is ever pending, so
+// submission memory is O(1) at any n — the path that pushes 1M+ jobs
+// through an 8-cluster federation with bounded RSS. Job-source failures
+// panic at their arrival instant (like dispatch on a bad arrival)
+// rather than being returned here.
 func (f *Federation) SubmitStream(proc workload.Process, source workload.JobSource, n int, seed int64) error {
 	if proc == nil || source == nil {
 		return errors.New("federation: nil arrival process or job source")
 	}
 	arrRng := rand.New(rand.NewSource(seed))
 	jobRng := rand.New(rand.NewSource(seed + 1))
-	for _, a := range workload.StreamOf(proc, arrRng, n) {
-		job, err := source.Job(jobRng, a.Class)
-		if err != nil {
-			return fmt.Errorf("building class-%d job: %w", a.Class, err)
-		}
-		f.SubmitAt(a.At, a.Class, job)
-	}
-	return nil
+	return workload.Inject(f.sim, proc, source, n, arrRng, jobRng, func(class int, job *engine.Job) {
+		f.dispatch(class, job)
+	})
 }
 
 // Run drains the simulation: all scheduled arrivals are routed and all

@@ -1,0 +1,116 @@
+package hypotheses
+
+import (
+	"fmt"
+
+	"dias"
+	"dias/internal/experiments"
+	"dias/internal/workload"
+)
+
+// H5: burstiness hurts tails no matter how arrivals are routed. A Gamma
+// renewal process at CV 3.5 delivers the same long-run rate as Poisson
+// but packs arrivals into clumps; during a clump every member queues at
+// once, so no routing policy can spread the backlog away. The paper's
+// trace analyses (§2.1) motivate exactly this: real cluster arrivals are
+// far burstier than Poisson, and evaluations that assume memoryless
+// arrivals overstate achievable tails.
+func H5() Spec {
+	const (
+		members = 4
+		util    = 0.70
+		cv      = 3.5
+	)
+	policies := dias.RoutingPolicies().Names()
+	cells := make([]Cell, len(policies))
+	for i, name := range policies {
+		name := name
+		cells[i] = Cell{
+			Name: name,
+			Detail: fmt.Sprintf("%d homogeneous members at %.0f%% nominal load routed by %q; paired gamma(CV=%.1f) and Poisson runs, same seed and workload",
+				members, 100*util, name, cv),
+			Run: func(seed int64, jobs int) (CellResult, error) {
+				w, err := experiments.NewReferenceWorkload(seed)
+				if err != nil {
+					return CellResult{}, err
+				}
+				run := func(label string, arrivals func([]float64) (workload.Process, error)) (metricsP99 float64, peak int, res CellResult, err error) {
+					r, err := w.RunFederationCell(experiments.FederationCell{
+						Name:        name + "-" + label,
+						Jobs:        jobs,
+						Members:     members,
+						Utilization: util,
+						Routing:     mustRouting(name),
+						Arrivals:    arrivals,
+					})
+					if err != nil {
+						return 0, 0, CellResult{}, err
+					}
+					return r.PerClass[0].P99ResponseSec, r.PeakInFlightJobs, CellResult{Scenario: r}, nil
+				}
+				gammaP99, gammaPeak, gammaRes, err := run("gamma", func(rates []float64) (workload.Process, error) {
+					return workload.NewGamma(rates, cv)
+				})
+				if err != nil {
+					return CellResult{}, err
+				}
+				poissonP99, poissonPeak, _, err := run("poisson", nil)
+				if err != nil {
+					return CellResult{}, err
+				}
+				penalty := 0.0
+				if poissonP99 > 0 {
+					penalty = 100 * (gammaP99 - poissonP99) / poissonP99
+				}
+				peakRatio := 0.0
+				if poissonPeak > 0 {
+					peakRatio = float64(gammaPeak) / float64(poissonPeak)
+				}
+				gammaRes.Values = map[string]float64{
+					"p99-low-gamma":     gammaP99,
+					"p99-low-poisson":   poissonP99,
+					"burst-penalty-pct": penalty,
+					"peak-ratio":        peakRatio,
+				}
+				return gammaRes, nil
+			},
+		}
+	}
+	return Spec{
+		ID:     "h5-bursty-arrivals-p99",
+		Title:  "Bursty arrivals degrade P99 under every routing policy",
+		Family: "workload",
+		Claim: "At equal mean rate, gamma-renewal arrivals with CV 3.5 degrade low-class P99 " +
+			"response by a meaningful margin (≥5%) over Poisson arrivals under every routing " +
+			"policy in the registry — burstiness is not a problem routing can solve.",
+		Varied: "routing policy (one cell per registry entry); within each cell a paired arrival-process swap (gamma CV 3.5 vs Poisson) at identical mean rates",
+		Controlled: []string{
+			fmt.Sprintf("%d homogeneous default member clusters at %.0f%% per-cluster nominal load", members, 100*util),
+			"two-class reference text workload, 9:1 low:high mix, data homes round-robin",
+			"paired runs: gamma and Poisson see the same seed, calibrated rates and job templates",
+			"DiAS per-member policy (DA(0,20) + sprinting) in every run",
+		},
+		Seeds: []int64{42, 123, 456},
+		Jobs:  160,
+		Metrics: []Metric{
+			{Name: "p99-low-gamma", Unit: "s", Desc: "low-class P99 response under gamma CV-3.5 arrivals"},
+			{Name: "p99-low-poisson", Unit: "s", Desc: "low-class P99 response under Poisson arrivals"},
+			{Name: "burst-penalty-pct", Unit: "%", Desc: "relative P99 degradation of gamma over Poisson (positive = burstiness hurts)"},
+			{Name: "peak-ratio", Unit: "x", Desc: "peak in-flight jobs under gamma divided by peak under Poisson"},
+		},
+		Cells: cells,
+		Primary: []Check{
+			Invariant{Metric: "burst-penalty-pct", Min: 5, Max: 100000},
+		},
+		Nuance: []Check{
+			// The claimed mechanism: clumped arrivals pile up in-flight work
+			// faster than any dispatcher can drain it, so the gamma run's
+			// high-water backlog should exceed the Poisson run's everywhere.
+			Invariant{Metric: "peak-ratio", Min: 1, Max: 1000},
+		},
+		Notes: "The cell aggregates table reports the gamma run of each pair (the paired Poisson " +
+			"run appears in the p99-low-poisson evidence row). Grounded in the trace analyses the " +
+			"paper builds on: production arrival streams show CV well above 1 at hour scale, so a " +
+			"Poisson-only evaluation understates tail latency regardless of routing choice.",
+	}
+}

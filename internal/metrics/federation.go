@@ -65,6 +65,23 @@ func NewFederationAccumulator(clusters, classes, expectedRecords int, warmupFrac
 	return a
 }
 
+// NewBoundedFederationAccumulator is the strictly O(clusters × classes)
+// variant for million-job streaming runs: every member and the overall
+// rollup use NewBoundedAccumulator, so no per-job response samples are
+// retained anywhere (P95, like P99, comes from the streaming log
+// histogram; counts stay exact).
+func NewBoundedFederationAccumulator(clusters, classes, expectedRecords int, warmupFraction float64) *FederationAccumulator {
+	a := &FederationAccumulator{
+		skip:       int(float64(expectedRecords) * clampWarmup(warmupFraction)),
+		overall:    NewBoundedAccumulator(classes, 0, 0),
+		perCluster: make([]*Accumulator, clusters),
+	}
+	for i := range a.perCluster {
+		a.perCluster[i] = NewBoundedAccumulator(classes, 0, 0)
+	}
+	return a
+}
+
 // Add folds one completed-job record from the given member cluster.
 // Records from out-of-range clusters are ignored, mirroring how
 // Accumulator treats out-of-range classes.

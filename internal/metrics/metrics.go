@@ -13,8 +13,10 @@ type ClassStats struct {
 	Class int
 	Jobs  int
 	// Response/queue/exec times in seconds. P95 is exact (retained
-	// samples); P99 is streamed through a fixed-bucket log-scale histogram
-	// (stats.LogHistogram), accurate to within one bucket width (<4.4%).
+	// samples) under NewAccumulator and histogram-derived under
+	// NewBoundedAccumulator; P99 is always streamed through a fixed-bucket
+	// log-scale histogram (stats.LogHistogram), accurate to within one
+	// bucket width (<4.4%).
 	MeanResponseSec float64
 	P95ResponseSec  float64
 	P99ResponseSec  float64
@@ -72,6 +74,15 @@ type ScenarioResult struct {
 	// jobs per second of makespan — the throughput the latency columns
 	// actually describe.
 	GoodputJobsPerSec float64
+	// SimJobsPerWallSec is host-side simulation throughput: arrivals
+	// simulated per wall-clock second of the run. Machine-dependent (zero
+	// when the driver does not measure it), so it belongs in benchmark
+	// reports, never in deterministic figure text.
+	SimJobsPerWallSec float64
+	// PeakInFlightJobs is the high-water mark of dispatched-but-
+	// unfinished jobs — the memory-bounding figure of a streaming run
+	// (zero when the driver does not track it). Deterministic.
+	PeakInFlightJobs int
 }
 
 // FillOverload derives the rejected-work and goodput fields from the
@@ -107,7 +118,9 @@ func clampWarmup(f float64) float64 {
 // Accumulator folds job records into per-class statistics as they stream
 // in (e.g. wired to core.Config.OnRecord), so scenario drivers never
 // materialize the full record slice. Apart from the retained response-time
-// samples needed for percentiles, memory is O(classes).
+// samples needed for exact percentiles, memory is O(classes);
+// NewBoundedAccumulator drops the retained samples too, for runs whose
+// job count makes even one float per completion unaffordable.
 //
 // The accumulator skips the first warmupFraction of the expected
 // completions as transient; expectedRecords is the anticipated total
@@ -117,8 +130,10 @@ type Accumulator struct {
 	classes int
 	skip    int
 	seen    int
+	bounded bool
 	out     []ClassStats
 	samples []stats.Sample
+	resps   []stats.Stream
 	queues  []stats.Stream
 	execs   []stats.Stream
 	drops   []stats.Stream
@@ -143,6 +158,7 @@ func NewAccumulator(classes, expectedRecords int, warmupFraction float64) *Accum
 		skip:    int(float64(expectedRecords) * clampWarmup(warmupFraction)),
 		out:     make([]ClassStats, classes),
 		samples: make([]stats.Sample, classes),
+		resps:   make([]stats.Stream, classes),
 		queues:  make([]stats.Stream, classes),
 		execs:   make([]stats.Stream, classes),
 		drops:   make([]stats.Stream, classes),
@@ -168,6 +184,38 @@ func NewAccumulator(classes, expectedRecords int, warmupFraction float64) *Accum
 	return a
 }
 
+// NewBoundedAccumulator returns an accumulator whose memory is strictly
+// O(classes) at any record count: the retained per-job response samples
+// that make NewAccumulator's P95 exact are dropped, so MeanResponseSec
+// comes from a Welford stream and P95 — like P99 on both paths — from
+// the fixed-bucket log histogram, accurate to within one bucket width
+// (<4.4%). Counts (jobs, evictions, retries, failures, rejections) are
+// exact and identical to the unbounded accumulator's. This is the
+// million-job variant: use it whenever the run is too large to retain a
+// float per completion.
+func NewBoundedAccumulator(classes, expectedRecords int, warmupFraction float64) *Accumulator {
+	a := &Accumulator{
+		classes: classes,
+		skip:    int(float64(expectedRecords) * clampWarmup(warmupFraction)),
+		bounded: true,
+		out:     make([]ClassStats, classes),
+		resps:   make([]stats.Stream, classes),
+		queues:  make([]stats.Stream, classes),
+		execs:   make([]stats.Stream, classes),
+		drops:   make([]stats.Stream, classes),
+		hists:   make([]*stats.LogHistogram, classes),
+	}
+	for k := range a.out {
+		a.out[k].Class = k
+		h, err := stats.NewLogHistogram(respHistLo, respHistHi, respHistBuckets)
+		if err != nil {
+			panic(err) // constant, always-valid shape
+		}
+		a.hists[k] = h
+	}
+	return a
+}
+
 // Add folds one completed-job record into the running statistics.
 func (a *Accumulator) Add(r core.JobRecord) {
 	a.seen++
@@ -189,7 +237,11 @@ func (a *Accumulator) Add(r core.JobRecord) {
 	}
 	a.out[k].Jobs++
 	a.out[k].Evictions += r.Evictions
-	a.samples[k].Add(r.ResponseSec)
+	if a.bounded {
+		a.resps[k].Add(r.ResponseSec)
+	} else {
+		a.samples[k].Add(r.ResponseSec)
+	}
 	a.hists[k].Add(r.ResponseSec)
 	a.queues[k].Add(r.QueueSec)
 	a.execs[k].Add(r.ExecSec)
@@ -210,8 +262,13 @@ func (a *Accumulator) Classes() []ClassStats {
 	out := make([]ClassStats, a.classes)
 	for k := range out {
 		out[k] = a.out[k]
-		out[k].MeanResponseSec = a.samples[k].Mean()
-		out[k].P95ResponseSec = a.samples[k].Percentile(95)
+		if a.bounded {
+			out[k].MeanResponseSec = a.resps[k].Mean()
+			out[k].P95ResponseSec = a.hists[k].Percentile(95)
+		} else {
+			out[k].MeanResponseSec = a.samples[k].Mean()
+			out[k].P95ResponseSec = a.samples[k].Percentile(95)
+		}
 		out[k].P99ResponseSec = a.hists[k].Percentile(99)
 		out[k].MeanQueueSec = a.queues[k].Mean()
 		out[k].MeanExecSec = a.execs[k].Mean()

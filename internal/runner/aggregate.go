@@ -82,6 +82,12 @@ type Summary struct {
 	FailedJobs       Estimate `json:"failed_jobs"`
 	TasksRetried     Estimate `json:"tasks_retried"`
 	MeanPoweredNodes Estimate `json:"mean_powered_nodes"`
+	// Streaming-scale columns (zero unless the driver measures them).
+	// SimJobsPerWallSec is machine-dependent — reported for trending, never
+	// gated; PeakInFlightJobs is deterministic and gated like any other
+	// column.
+	SimJobsPerWallSec Estimate `json:"sim_jobs_per_wall_sec"`
+	PeakInFlightJobs  Estimate `json:"peak_in_flight_jobs"`
 }
 
 // Summarize aggregates per-seed replicates of one scenario into mean/CI
@@ -118,6 +124,12 @@ func Summarize(seeds []int64, reps []metrics.ScenarioResult) (Summary, error) {
 		FailedJobs:       pick(func(r metrics.ScenarioResult) float64 { return float64(r.FailedJobs) }),
 		TasksRetried:     pick(func(r metrics.ScenarioResult) float64 { return float64(r.TasksRetried) }),
 		MeanPoweredNodes: pick(func(r metrics.ScenarioResult) float64 { return r.MeanPoweredNodes }),
+		SimJobsPerWallSec: pick(func(r metrics.ScenarioResult) float64 {
+			return r.SimJobsPerWallSec
+		}),
+		PeakInFlightJobs: pick(func(r metrics.ScenarioResult) float64 {
+			return float64(r.PeakInFlightJobs)
+		}),
 	}
 	for k := 0; k < classes; k++ {
 		k := k

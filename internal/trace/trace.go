@@ -1,7 +1,3 @@
-// Package trace records scheduler-level events (arrivals, dispatches,
-// evictions, sprint transitions, completions) on the virtual timeline and
-// exports them as JSON lines — the equivalent of the cluster traces the
-// paper's motivation analyses (§2.1) and handy for debugging policies.
 package trace
 
 import (

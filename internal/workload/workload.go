@@ -1,10 +1,3 @@
-// Package workload synthesises the paper's inputs and arrival processes
-// (§5.1): per-topic text corpora standing in for the StackExchange dumps,
-// scale-free graphs standing in for the Google web graph, and Poisson job
-// streams with configurable priority mixes and system loads.
-//
-// Everything is driven by caller-owned seeded RNGs, keeping experiments
-// deterministic.
 package workload
 
 import (
@@ -213,15 +206,7 @@ func (p *PoissonMix) Rates() []float64 {
 // Next draws the gap to the next arrival and its class.
 func (p *PoissonMix) Next(rng *rand.Rand) (gap float64, class int) {
 	gap = rng.ExpFloat64() / p.total
-	u := rng.Float64() * p.total
-	var cum float64
-	for k, r := range p.rates {
-		cum += r
-		if u < cum {
-			return gap, k
-		}
-	}
-	return gap, len(p.rates) - 1
+	return gap, markClass(rng, p.rates, p.total)
 }
 
 // Stream materialises the first n arrivals of the process.
