@@ -306,6 +306,44 @@ func BenchmarkFederationChurnRouting(b *testing.B) {
 	}
 }
 
+// BenchmarkFederationParallelKernel measures the conservative parallel
+// kernel against the serial oracle on the 8-cluster acceptance cell:
+// the same calibrated run at 1 (serial), 2, 4 and 8 sim-workers. The
+// sub-benchmark ratio is the single-run federation speedup (bounded by
+// the host's core count — a 1-core CI box reports ~1x). Results are
+// byte-identical across all settings; the oracle test in
+// internal/federation asserts that, here only wall-clock matters.
+func BenchmarkFederationParallelKernel(b *testing.B) {
+	ref, err := experiments.NewReferenceWorkload(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	jobs := benchScale().Jobs
+	for _, sw := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("simworkers-%d", sw), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := ref.RunFederationCell(experiments.FederationCell{
+					Name:        "parallel-bench",
+					Jobs:        jobs,
+					Members:     8,
+					Utilization: 0.7,
+					Routing: func(int64) federation.RoutingPolicy {
+						return federation.NewJoinShortestQueue()
+					},
+					SimWorkers: sw,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.MakespanSec <= 0 {
+					b.Fatalf("empty run: makespan %v", res.MakespanSec)
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkFigure4(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.Figure4(benchScale()); err != nil {

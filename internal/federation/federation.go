@@ -23,7 +23,9 @@ package federation
 import (
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
+	"sync/atomic"
 
 	"dias/internal/admission"
 	"dias/internal/cluster"
@@ -91,6 +93,22 @@ type Config struct {
 	// outage events, and Run samples per-member gauges on the collector's
 	// cadence. Policy.Tracer must stay nil (the federation wires it).
 	Telemetry *telemetry.Collector
+	// SimWorkers > 1 runs the federation on the conservative parallel
+	// kernel (simtime.Sharded): each member gets its own event arena and
+	// loop, advanced concurrently by that many goroutines inside
+	// lookahead windows, with all cross-member interaction (routing,
+	// admission spills, outages) at window boundaries. 0 or 1 means the
+	// serial kernel — the bit-identical oracle the parallel mode is
+	// byte-diffed against.
+	SimWorkers int
+	// LookaheadSec overrides the conservative lookahead window in
+	// simulated seconds (SimWorkers > 1 only). 0 derives it: the WAN
+	// transfer time of one dfs block when Config.Data is set — the
+	// minimum delay of any data-driven cross-cluster interaction —
+	// and +Inf otherwise, since without a data model members interact
+	// only through dispatcher events on the global partition. Negative
+	// or NaN values are rejected.
+	LookaheadSec float64
 }
 
 func (c Config) validate() error {
@@ -111,6 +129,12 @@ func (c Config) validate() error {
 	}
 	if c.Policy.Admission != nil {
 		return errors.New("federation: set Config.Admission (a per-member factory), not Config.Policy.Admission")
+	}
+	if c.SimWorkers < 0 {
+		return fmt.Errorf("federation: SimWorkers %d is negative", c.SimWorkers)
+	}
+	if math.IsNaN(c.LookaheadSec) || c.LookaheadSec < 0 {
+		return fmt.Errorf("federation: LookaheadSec %g must be positive (or 0 to derive it)", c.LookaheadSec)
 	}
 	return nil
 }
@@ -181,12 +205,22 @@ type Federation struct {
 	// (every dispatch yields exactly one completion/failure/rejection
 	// record); peakInFlight is its high-water mark — the memory-bounding
 	// figure of a streaming run, since live per-job state is proportional
-	// to it, not to the total job count.
-	inFlight, peakInFlight int
+	// to it, not to the total job count. inFlight is atomic because the
+	// parallel kernel's member partitions decrement it from their own
+	// goroutines; peakInFlight is only touched in dispatch, which always
+	// runs on the coordinator.
+	inFlight     atomic.Int64
+	peakInFlight int
 	// index is the incrementally maintained routing state (see LoadIndex).
 	index *LoadIndex
 	// sampler, when non-nil, drives Run with gauge sampling (telemetry).
 	sampler *telemetry.Sampler
+	// kernel and par are set in parallel mode (Config.SimWorkers > 1):
+	// the sharded simulation the members run on, and the window state
+	// (per-member mailboxes) merged at its boundaries. In serial mode
+	// both are nil and f.sim is a plain single simulation.
+	kernel *simtime.Sharded
+	par    *parallelState
 }
 
 // outageWindow is one planned [at, end) outage of a member.
@@ -200,10 +234,28 @@ func New(cfg Config) (*Federation, error) {
 	}
 	f := &Federation{
 		cfg:     cfg,
-		sim:     simtime.New(),
 		home:    make(map[*engine.Job]int),
 		routed:  make([]int, len(cfg.Members)),
 		outages: make(map[int][]outageWindow),
+	}
+	if cfg.SimWorkers > 1 {
+		// Parallel mode: members live on their own partitions of a sharded
+		// kernel and f.sim is its global partition, so everything the
+		// dispatcher schedules (arrivals, outages) fires at window
+		// boundaries with every member aligned to the event's instant.
+		kernel, err := simtime.NewSharded(simtime.ShardedConfig{
+			Partitions: len(cfg.Members),
+			Workers:    cfg.SimWorkers,
+			Lookahead:  deriveLookahead(cfg),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("federation: building parallel kernel: %w", err)
+		}
+		f.kernel = kernel
+		f.sim = kernel.Global()
+		f.par = newParallelState(f)
+	} else {
+		f.sim = simtime.New()
 	}
 	for i, spec := range cfg.Members {
 		name := spec.Name
@@ -228,37 +280,59 @@ func New(cfg Config) (*Federation, error) {
 				return nil, fmt.Errorf("member %s: building dfs: %w", name, err)
 			}
 		}
-		clu, err := cluster.New(f.sim, cluCfg)
+		// In parallel mode each member stack lives on its own partition;
+		// everything it schedules stays member-local by construction (the
+		// engine, cluster and scheduler only ever schedule follow-ups of
+		// their own events), which is what makes the decomposition sound.
+		msim := f.sim
+		if f.kernel != nil {
+			msim = f.kernel.Partition(i)
+		}
+		clu, err := cluster.New(msim, cluCfg)
 		if err != nil {
 			return nil, fmt.Errorf("member %s: building cluster: %w", name, err)
 		}
 		// Each member engine derives its own deterministic seed stream so
 		// task-noise draws on one member never depend on how many members
 		// exist or what the others executed.
-		eng, err := engine.New(f.sim, clu, fs, cost, cfg.Seed+31*int64(i)+1)
+		eng, err := engine.New(msim, clu, fs, cost, cfg.Seed+31*int64(i)+1)
 		if err != nil {
 			return nil, fmt.Errorf("member %s: building engine: %w", name, err)
 		}
 		policy := cfg.Policy
 		policy.DiscardRecords = cfg.DiscardRecords
 		// Every record closes one dispatched job's in-flight window, so
-		// the hook is always wired even without a caller OnRecord.
+		// the hook is always wired even without a caller OnRecord. In
+		// parallel mode records emitted inside a member window are
+		// buffered with their instant and replayed to the caller in
+		// merged virtual-time order at the window boundary; records
+		// emitted on the coordinator (admission rejections during
+		// dispatch) pass through directly, matching the serial order.
 		idx := i
+		memberSim := msim
 		policy.OnRecord = func(rec core.JobRecord) {
-			f.inFlight--
-			if cfg.OnRecord != nil {
-				cfg.OnRecord(idx, rec)
+			f.inFlight.Add(-1)
+			if cfg.OnRecord == nil {
+				return
 			}
+			if f.kernel != nil && f.kernel.InMemberPhase() {
+				f.par.bufferRecord(idx, memberSim.Now(), rec)
+				return
+			}
+			cfg.OnRecord(idx, rec)
 		}
 		if cfg.Admission != nil {
 			policy.Admission = cfg.Admission()
 		}
 		if cfg.Telemetry != nil {
 			tr := cfg.Telemetry.Member(i)
+			if f.par != nil {
+				tr = f.par.wrapTracer(i, tr)
+			}
 			policy.Tracer = tr
 			eng.SetTracer(tr)
 		}
-		sch, err := core.New(f.sim, clu, eng, policy)
+		sch, err := core.New(msim, clu, eng, policy)
 		if err != nil {
 			return nil, fmt.Errorf("member %s: building scheduler: %w", name, err)
 		}
@@ -274,6 +348,9 @@ func New(cfg Config) (*Federation, error) {
 	// occupancy flips, task-slot occupancy, sprint state and power state
 	// into the shared index as they happen.
 	f.index = newLoadIndex(f.members, cfg.Policy.Classes, cfg.Policy.Sprint != nil)
+	if f.par != nil {
+		f.index.setDeferHeapFixes()
+	}
 	for i, m := range f.members {
 		m.li = f.index
 		m.Scheduler.SetObserver(memberObserver{li: f.index, m: i})
@@ -379,9 +456,8 @@ func (f *Federation) RegisterInput(job *engine.Job, home int) error {
 // whole federation is down, arrivals queue on their nominal targets as if
 // every member were up.
 func (f *Federation) dispatch(class int, job *engine.Job) {
-	f.inFlight++
-	if f.inFlight > f.peakInFlight {
-		f.peakInFlight = f.inFlight
+	if n := int(f.inFlight.Add(1)); n > f.peakInFlight {
+		f.peakInFlight = n
 	}
 	home := -1
 	if h, ok := f.home[job]; ok {
@@ -596,13 +672,34 @@ func (f *Federation) SubmitStream(proc workload.Process, source workload.JobSour
 // jobs run to completion on their members. With telemetry configured the
 // run is driven through the gauge sampler, which fires the same events
 // at the same instants and leaves the clock untouched (see
-// telemetry.Sampler.Drive).
+// telemetry.Sampler.Drive). With SimWorkers > 1 the drain happens on the
+// conservative parallel kernel instead (see parallel.go) — same events,
+// same instants, same figures, just on more cores.
 func (f *Federation) Run() {
+	if f.kernel != nil {
+		f.runParallel()
+		return
+	}
 	if f.sampler != nil {
 		f.sampler.Drive(f.sim)
 		return
 	}
 	f.sim.Run()
+}
+
+// Stop aborts a Run in progress at the next event boundary. In parallel
+// mode it also halts mid-window member loops (each partition polls the
+// kernel's stop flag between events) and Run drains the worker pool
+// before returning — no goroutines are left behind — and it is safe to
+// call from another goroutine (the watchdog use case: wall-clock or
+// memory ceilings on huge streaming runs). In serial mode it has the
+// same simulation-context semantics as simtime.Simulation.Stop.
+func (f *Federation) Stop() {
+	if f.kernel != nil {
+		f.kernel.Stop()
+		return
+	}
+	f.sim.Stop()
 }
 
 // Routed returns how many arrivals each member received so far.

@@ -49,6 +49,18 @@ type LoadIndex struct {
 	jsq []memberHeap
 	spr []memberHeap
 	ll  memberHeap
+
+	// deferHeapFixes switches the index to the parallel kernel's update
+	// discipline: state transitions only write their member's flat-array
+	// slots (disjoint elements, so concurrent member partitions never
+	// race) and mark the member dirty; the shared heaps are rebuilt
+	// lazily on the coordinator at the next argmin read. Heapify yields
+	// some valid heap rather than the serial fix sequence's exact
+	// permutation, but only order[0] is ever read and the orderings are
+	// total (index tiebreak), so the argmin — and every routing decision
+	// — is identical.
+	deferHeapFixes bool
+	dirty          []int32
 }
 
 // newLoadIndex sizes an index for the given members. All members start
@@ -90,6 +102,46 @@ func newLoadIndex(members []*Member, classes int, sprintConfigured bool) *LoadIn
 	}
 	li.ll = newMemberHeap(li, heapLL, -1)
 	return li
+}
+
+// setDeferHeapFixes enables the parallel update discipline (see the
+// field comment). Called once at federation construction, before any
+// transition is observed.
+func (li *LoadIndex) setDeferHeapFixes() {
+	li.deferHeapFixes = true
+	li.dirty = make([]int32, li.n)
+}
+
+// markDirty records that member m's heap keys changed while fixes are
+// deferred. Each member writes only its own element, so member
+// partitions running concurrently never touch the same memory.
+func (li *LoadIndex) markDirty(m int) { li.dirty[m] = 1 }
+
+// flushDirty rebuilds every heap if any member's keys changed since the
+// last argmin read. Coordinator-only: it runs inside routing reads,
+// which happen in dispatch events on the global partition with all
+// member partitions paused at a window boundary.
+func (li *LoadIndex) flushDirty() {
+	if !li.deferHeapFixes {
+		return
+	}
+	any := false
+	for m := range li.dirty {
+		if li.dirty[m] != 0 {
+			any = true
+			li.dirty[m] = 0
+		}
+	}
+	if !any {
+		return
+	}
+	for c := range li.jsq {
+		li.jsq[c].rebuild()
+		if li.spr != nil {
+			li.spr[c].rebuild()
+		}
+	}
+	li.ll.rebuild()
 }
 
 // --- Queries ----------------------------------------------------------------
@@ -160,6 +212,7 @@ func (li *LoadIndex) bestJSQ(class int) (int, bool) {
 	if class >= li.classes {
 		return 0, false
 	}
+	li.flushDirty()
 	return int(li.jsq[class].order[0]), true
 }
 
@@ -174,12 +227,16 @@ func (li *LoadIndex) bestBacklog(class int) (int, bool) {
 	if class >= li.classes || li.spr == nil {
 		return 0, false
 	}
+	li.flushDirty()
 	return int(li.spr[class].order[0]), true
 }
 
 // bestLeastLoaded returns the member minimizing (utilization,
 // queued+busy, index).
-func (li *LoadIndex) bestLeastLoaded() int { return int(li.ll.order[0]) }
+func (li *LoadIndex) bestLeastLoaded() int {
+	li.flushDirty()
+	return int(li.ll.order[0])
+}
 
 // --- Updates ----------------------------------------------------------------
 
@@ -201,6 +258,10 @@ func (li *LoadIndex) jobDelta(m, class int, d int32) {
 		li.suffix[base+c] += d
 	}
 	li.totalQueued[m] += d
+	if li.deferHeapFixes {
+		li.markDirty(m)
+		return
+	}
 	for c := 0; c <= class; c++ {
 		li.jsq[c].fix(m)
 		if li.spr != nil {
@@ -218,6 +279,10 @@ func (li *LoadIndex) busyChanged(m int, busy bool) {
 	} else {
 		li.busyJob[m] = 0
 	}
+	if li.deferHeapFixes {
+		li.markDirty(m)
+		return
+	}
 	for c := 0; c < li.classes; c++ {
 		li.jsq[c].fix(m)
 		if li.spr != nil {
@@ -231,6 +296,10 @@ func (li *LoadIndex) busyChanged(m int, busy bool) {
 // and the LeastLoaded utilization key.
 func (li *LoadIndex) occupancyChanged(m, busySlots int) {
 	li.busySlots[m] = int32(busySlots)
+	if li.deferHeapFixes {
+		li.markDirty(m)
+		return
+	}
 	for c := 0; c < li.classes; c++ {
 		li.jsq[c].fix(m)
 	}
@@ -348,6 +417,18 @@ func (h *memberHeap) less(a, b int32) bool {
 func (h *memberHeap) fix(m int) {
 	i := h.pos[m]
 	if !h.up(i) {
+		h.down(i)
+	}
+}
+
+// rebuild re-heapifies the whole array after any number of members'
+// keys changed (the deferred-fix path). A per-member fix assumes the
+// rest of the heap is valid, which no longer holds once two members
+// changed, so the batch repair is a full bottom-up heapify: O(n) with
+// n = member count, no allocation.
+func (h *memberHeap) rebuild() {
+	n := int32(len(h.order))
+	for i := n/2 - 1; i >= 0; i-- {
 		h.down(i)
 	}
 }

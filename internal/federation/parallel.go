@@ -1,0 +1,311 @@
+package federation
+
+// Parallel-mode plumbing for the conservative sharded kernel
+// (simtime.Sharded). The federation's decomposition is exact: member
+// stacks only ever schedule follow-ups of their own events, and every
+// cross-member interaction — routing an arrival, an admission Defer
+// spilling to another member, a cluster-level outage — happens inside an
+// event on the kernel's global partition, with all member partitions
+// barriered and aligned to that instant. What this file adds is the
+// re-serialization layer that keeps observable outputs byte-identical to
+// the serial oracle:
+//
+//   - completed-job records emitted inside a member window are buffered
+//     per member with their virtual time and replayed to Config.OnRecord
+//     in merged (time, member) order at the window boundary;
+//   - telemetry emissions inside a member window are buffered the same
+//     way and replayed onto the real member tracers at the boundary, so
+//     the collector assigns its sequence numbers in virtual-time order;
+//   - emissions on the coordinator (admission verdicts during dispatch,
+//     outage node events) pass straight through — the preceding flush
+//     already drained everything earlier, so direct order is time order.
+//
+// The only divergence from the serial kernel is the order of ties: two
+// events on different members at the exact same instant replay in member
+// order here but in scheduling order serially. Every duration in the
+// simulation is a continuous draw, so cross-member ties have measure
+// zero; the determinism lane byte-diffs the two modes to hold the line.
+
+import (
+	"fmt"
+	"math"
+
+	"dias/internal/core"
+	"dias/internal/simtime"
+	"dias/internal/telemetry"
+)
+
+// deriveLookahead picks the conservative window for a parallel
+// federation. An explicit LookaheadSec wins. With a data model, the WAN
+// transfer time of one block is the minimum delay any cross-cluster
+// data interaction can have — a natural, honest window. Without one,
+// members interact only through global-partition events (which bound
+// every window anyway), so the true lookahead is unbounded and the
+// kernel may drain each member completely between global events.
+func deriveLookahead(cfg Config) simtime.Duration {
+	if cfg.LookaheadSec > 0 {
+		return simtime.Duration(cfg.LookaheadSec)
+	}
+	if cfg.Data != nil {
+		d := dataConfig(*cfg.Data)
+		wan := d.WANBytesPerSec
+		if wan == 0 {
+			wan = 50e6 // dfs.DefaultWANBytesPerSec; dfs.New applies the same default
+		}
+		return simtime.Duration(float64(d.BlockSize) / wan)
+	}
+	return simtime.Duration(math.Inf(1))
+}
+
+// timedRecord is one completed-job record waiting in a member mailbox.
+type timedRecord struct {
+	at  simtime.Time
+	rec core.JobRecord
+}
+
+// tracerOp is one buffered telemetry emission: its instant (for the
+// cross-member merge) and a closure replaying it onto the real tracer.
+type tracerOp struct {
+	at    simtime.Time
+	apply func()
+}
+
+// parallelState holds the per-member window mailboxes. All appends
+// happen either on the owning member's partition goroutine (member
+// phase) or on the coordinator; the kernel's barrier orders the two, so
+// no slice is ever touched concurrently.
+type parallelState struct {
+	f    *Federation
+	recs [][]timedRecord
+	ops  [][]tracerOp
+}
+
+func newParallelState(f *Federation) *parallelState {
+	n := len(f.cfg.Members)
+	return &parallelState{
+		f:    f,
+		recs: make([][]timedRecord, n),
+		ops:  make([][]tracerOp, n),
+	}
+}
+
+func (p *parallelState) bufferRecord(member int, at simtime.Time, rec core.JobRecord) {
+	p.recs[member] = append(p.recs[member], timedRecord{at: at, rec: rec})
+}
+
+// flush drains every member mailbox in merged virtual-time order, with
+// the member index as tiebreak. Each mailbox is already time-ordered
+// (its partition fires events in time order), so this is a k-way merge;
+// records and tracer ops feed independent sinks (metrics accumulator vs
+// collector), so they merge separately.
+func (p *parallelState) flush(simtime.Time) {
+	p.flushRecords()
+	p.flushOps()
+}
+
+func (p *parallelState) flushRecords() {
+	cb := p.f.cfg.OnRecord
+	pending := 0
+	for _, mb := range p.recs {
+		pending += len(mb)
+	}
+	if pending == 0 {
+		return
+	}
+	cur := make([]int, len(p.recs))
+	for done := 0; done < pending; done++ {
+		best := -1
+		var bestAt simtime.Time
+		for m, mb := range p.recs {
+			if cur[m] < len(mb) {
+				if at := mb[cur[m]].at; best < 0 || at < bestAt {
+					best, bestAt = m, at
+				}
+			}
+		}
+		tr := p.recs[best][cur[best]]
+		cur[best]++
+		cb(best, tr.rec)
+	}
+	for m := range p.recs {
+		p.recs[m] = p.recs[m][:0]
+	}
+}
+
+func (p *parallelState) flushOps() {
+	pending := 0
+	for _, mb := range p.ops {
+		pending += len(mb)
+	}
+	if pending == 0 {
+		return
+	}
+	cur := make([]int, len(p.ops))
+	for done := 0; done < pending; done++ {
+		best := -1
+		var bestAt simtime.Time
+		for m, mb := range p.ops {
+			if cur[m] < len(mb) {
+				if at := mb[cur[m]].at; best < 0 || at < bestAt {
+					best, bestAt = m, at
+				}
+			}
+		}
+		op := p.ops[best][cur[best]]
+		cur[best]++
+		op.apply()
+	}
+	for m := range p.ops {
+		p.ops[m] = p.ops[m][:0]
+	}
+}
+
+// wrapTracer interposes the window buffer between member m's stack and
+// its collector view.
+func (p *parallelState) wrapTracer(m int, real telemetry.Tracer) telemetry.Tracer {
+	return &windowTracer{p: p, m: m, real: real}
+}
+
+// windowTracer buffers member-phase telemetry emissions and replays them
+// at the window boundary; coordinator-phase emissions pass through so
+// their collector sequence numbers interleave exactly as in a serial
+// run. JobSubmitted is the one method with a return value (the span ID,
+// drawn from the collector's reservoir RNG) — it only ever fires at
+// arrival time, inside dispatch on the coordinator, so it always passes
+// through; a member-phase call would mean the decomposition is broken
+// and panics loudly rather than silently perturbing the RNG stream.
+type windowTracer struct {
+	p    *parallelState
+	m    int
+	real telemetry.Tracer
+}
+
+func (w *windowTracer) inWindow() bool { return w.p.f.kernel.InMemberPhase() }
+
+func (w *windowTracer) buffer(at simtime.Time, apply func()) {
+	w.p.ops[w.m] = append(w.p.ops[w.m], tracerOp{at: at, apply: apply})
+}
+
+func (w *windowTracer) JobSubmitted(now simtime.Time, job string, class int) telemetry.SpanID {
+	if w.inWindow() {
+		panic(fmt.Sprintf("federation: member %d submitted job %q from a member partition; "+
+			"arrivals must dispatch on the global partition", w.m, job))
+	}
+	return w.real.JobSubmitted(now, job, class)
+}
+
+func (w *windowTracer) JobAdmitted(now simtime.Time, id telemetry.SpanID, policy string) {
+	if !w.inWindow() {
+		w.real.JobAdmitted(now, id, policy)
+		return
+	}
+	w.buffer(now, func() { w.real.JobAdmitted(now, id, policy) })
+}
+
+func (w *windowTracer) JobRejected(now simtime.Time, job string, class int, policy string) {
+	if !w.inWindow() {
+		w.real.JobRejected(now, job, class, policy)
+		return
+	}
+	w.buffer(now, func() { w.real.JobRejected(now, job, class, policy) })
+}
+
+func (w *windowTracer) JobDeferred(now simtime.Time, job string, class int, policy string) {
+	if !w.inWindow() {
+		w.real.JobDeferred(now, job, class, policy)
+		return
+	}
+	w.buffer(now, func() { w.real.JobDeferred(now, job, class, policy) })
+}
+
+func (w *windowTracer) JobDispatched(now simtime.Time, id telemetry.SpanID) {
+	if !w.inWindow() {
+		w.real.JobDispatched(now, id)
+		return
+	}
+	w.buffer(now, func() { w.real.JobDispatched(now, id) })
+}
+
+func (w *windowTracer) JobEvicted(now simtime.Time, id telemetry.SpanID) {
+	if !w.inWindow() {
+		w.real.JobEvicted(now, id)
+		return
+	}
+	w.buffer(now, func() { w.real.JobEvicted(now, id) })
+}
+
+func (w *windowTracer) JobCompleted(now simtime.Time, id telemetry.SpanID, failed bool, reason string) {
+	if !w.inWindow() {
+		w.real.JobCompleted(now, id, failed, reason)
+		return
+	}
+	w.buffer(now, func() { w.real.JobCompleted(now, id, failed, reason) })
+}
+
+func (w *windowTracer) StageStarted(now simtime.Time, id telemetry.SpanID, stage int, name string, executed, dropped int) {
+	if !w.inWindow() {
+		w.real.StageStarted(now, id, stage, name, executed, dropped)
+		return
+	}
+	w.buffer(now, func() { w.real.StageStarted(now, id, stage, name, executed, dropped) })
+}
+
+func (w *windowTracer) StageEnded(now simtime.Time, id telemetry.SpanID, stage int) {
+	if !w.inWindow() {
+		w.real.StageEnded(now, id, stage)
+		return
+	}
+	w.buffer(now, func() { w.real.StageEnded(now, id, stage) })
+}
+
+func (w *windowTracer) TaskRetried(now simtime.Time, id telemetry.SpanID, stage, partition, attempt int) {
+	if !w.inWindow() {
+		w.real.TaskRetried(now, id, stage, partition, attempt)
+		return
+	}
+	w.buffer(now, func() { w.real.TaskRetried(now, id, stage, partition, attempt) })
+}
+
+func (w *windowTracer) TaskStraggled(now simtime.Time, id telemetry.SpanID, stage, partition int, factor float64) {
+	if !w.inWindow() {
+		w.real.TaskStraggled(now, id, stage, partition, factor)
+		return
+	}
+	w.buffer(now, func() { w.real.TaskStraggled(now, id, stage, partition, factor) })
+}
+
+func (w *windowTracer) NodeEvent(now simtime.Time, kind telemetry.Kind, node int) {
+	if !w.inWindow() {
+		w.real.NodeEvent(now, kind, node)
+		return
+	}
+	w.buffer(now, func() { w.real.NodeEvent(now, kind, node) })
+}
+
+func (w *windowTracer) SprintChanged(now simtime.Time, on bool, detail string) {
+	if !w.inWindow() {
+		w.real.SprintChanged(now, on, detail)
+		return
+	}
+	w.buffer(now, func() { w.real.SprintChanged(now, on, detail) })
+}
+
+// runParallel drains the federation on the sharded kernel. With
+// telemetry configured it replicates the serial sampler drive: an
+// initial gauge row at the start instant, then one row per interval,
+// sampled at pauses the kernel only grants while a justifying event at
+// or beyond the tick exists — so the clock ends at the last real event,
+// exactly like telemetry.Sampler.Drive.
+func (f *Federation) runParallel() {
+	hooks := simtime.RoundHooks{Flush: f.par.flush}
+	if f.sampler != nil {
+		f.sampler.Sample(f.sim.Now())
+		next := f.sim.Now().Add(f.sampler.Interval())
+		hooks.NextPause = func() (simtime.Time, bool) { return next, true }
+		hooks.OnPause = func(now simtime.Time) {
+			f.sampler.Sample(now)
+			next = next.Add(f.sampler.Interval())
+		}
+	}
+	f.kernel.Run(hooks)
+}

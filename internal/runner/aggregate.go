@@ -88,6 +88,9 @@ type Summary struct {
 	// column.
 	SimJobsPerWallSec Estimate `json:"sim_jobs_per_wall_sec"`
 	PeakInFlightJobs  Estimate `json:"peak_in_flight_jobs"`
+	// ParallelSpeedup (serial over parallel-kernel wall-clock, same run) is
+	// machine-dependent like SimJobsPerWallSec: trending only, never gated.
+	ParallelSpeedup Estimate `json:"parallel_speedup"`
 }
 
 // Summarize aggregates per-seed replicates of one scenario into mean/CI
@@ -129,6 +132,9 @@ func Summarize(seeds []int64, reps []metrics.ScenarioResult) (Summary, error) {
 		}),
 		PeakInFlightJobs: pick(func(r metrics.ScenarioResult) float64 {
 			return float64(r.PeakInFlightJobs)
+		}),
+		ParallelSpeedup: pick(func(r metrics.ScenarioResult) float64 {
+			return r.ParallelSpeedup
 		}),
 	}
 	for k := 0; k < classes; k++ {

@@ -1,0 +1,349 @@
+package simtime
+
+// Sharded is a conservative parallel discrete-event kernel: N member
+// partitions plus one global partition, each a full Simulation with its
+// own event arena and heap, advanced together under one logical clock.
+//
+// The decomposition targets the federation topology: member clusters
+// never schedule events on each other — every cross-member interaction
+// (routing, admission spills, outages) happens inside events on the
+// global partition — so member partitions are mutually independent
+// between consecutive global events. Each round the coordinator computes
+// a conservative safe horizon
+//
+//	min(next global event, min over members of next event + Lookahead,
+//	    next pause instant)
+//
+// runs every member partition up to the horizon (inclusive) on a worker
+// pool, barriers, lets the caller flush per-partition mailboxes, and
+// only then fires the global events at the horizon. Member events at
+// exactly a boundary therefore fire before the global events at that
+// instant; the serial kernel orders such same-instant ties by scheduling
+// sequence instead, which is why the single-Simulation mode remains the
+// bit-identical oracle (all continuous-time workloads produce no exact
+// cross-partition ties, and the determinism lane byte-diffs the two).
+//
+// Sharded is not itself goroutine-safe: scheduling and Run belong to the
+// coordinator goroutine. Only Stop may be called from anywhere.
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// ShardedConfig sizes a sharded kernel.
+type ShardedConfig struct {
+	// Partitions is the member partition count (one per federation
+	// member); at least 1.
+	Partitions int
+	// Workers bounds the goroutines advancing member partitions
+	// concurrently; at least 1, capped at Partitions.
+	Workers int
+	// Lookahead is the minimum virtual-time delay of any member-to-member
+	// interaction, the window the conservative horizon extends past the
+	// earliest member event. It must be strictly positive — a zero
+	// lookahead would admit zero-width windows and livelock the barrier
+	// loop — and may be +Inf when members interact only through the
+	// global partition (the federation case: routing, spills and outages
+	// are all global events).
+	Lookahead Duration
+}
+
+func (c ShardedConfig) validate() error {
+	if c.Partitions < 1 {
+		return fmt.Errorf("simtime: sharded kernel needs at least 1 partition, got %d", c.Partitions)
+	}
+	if c.Workers < 1 {
+		return fmt.Errorf("simtime: sharded kernel needs at least 1 worker, got %d", c.Workers)
+	}
+	if math.IsNaN(float64(c.Lookahead)) || c.Lookahead <= 0 {
+		return fmt.Errorf("simtime: sharded kernel lookahead must be > 0 (got %v): "+
+			"a zero-width window cannot make conservative progress; use +Inf when "+
+			"partitions only interact through the global partition", c.Lookahead)
+	}
+	return nil
+}
+
+// RoundHooks lets the kernel's owner participate in the round loop.
+// Every field may be nil.
+type RoundHooks struct {
+	// Flush is called on the coordinator goroutine at each window
+	// boundary — after the member phase and again after the global
+	// phase — with no member partition running. This is where per-
+	// partition mailboxes merge (records, telemetry) in virtual-time
+	// order.
+	Flush func(now Time)
+	// NextPause reports the next instant the coordinator wants control
+	// with every partition aligned (the gauge-sampling tick). The kernel
+	// never runs any partition past a pause; when every remaining event
+	// is at or beyond the pause instant it aligns all clocks to it,
+	// fires the events at exactly that instant, and calls OnPause.
+	// Like the serial sampler drive, a pause only happens while some
+	// event at or beyond it exists — a drained kernel returns without
+	// a final pause, leaving clocks at the last real event.
+	NextPause func() (Time, bool)
+	// OnPause runs at the pause instant, after Flush; it should advance
+	// whatever NextPause reports.
+	OnPause func(now Time)
+}
+
+// Sharded wraps N member partitions and a global partition under one
+// logical clock. Build with NewSharded; schedule cross-partition work on
+// Global() and member-local work on Partition(i).
+type Sharded struct {
+	cfg    ShardedConfig
+	global *Simulation
+	parts  []*Simulation
+	stop   atomic.Bool
+
+	// Per-Run worker pool state. horizon/infinite/align are written by
+	// the coordinator before tasks are sent and read by workers after
+	// the receive, so the channel provides the happens-before edge.
+	tasks    chan int
+	wg       sync.WaitGroup
+	horizon  Time
+	infinite bool
+	align    bool
+	// inWindow is true while member partitions are running on the pool
+	// (between the task sends and the barrier). Hooks shared by member
+	// and coordinator code paths branch on it: buffer per-partition when
+	// set, act directly when clear. Written by the coordinator on either
+	// side of the barrier, read by workers between channel receive and
+	// wg.Done — never concurrently.
+	inWindow bool
+}
+
+// NewSharded builds a sharded kernel with empty partitions and all
+// clocks at zero.
+func NewSharded(cfg ShardedConfig) (*Sharded, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Workers > cfg.Partitions {
+		cfg.Workers = cfg.Partitions
+	}
+	k := &Sharded{cfg: cfg, global: New(), parts: make([]*Simulation, cfg.Partitions)}
+	poll := k.stop.Load
+	k.global.SetInterrupt(poll)
+	for i := range k.parts {
+		k.parts[i] = New()
+		k.parts[i].SetInterrupt(poll)
+	}
+	return k, nil
+}
+
+// Global returns the global partition: the coordinator's queue for
+// cross-partition events (arrivals, outages). Its events fire only at
+// window boundaries, with every member partition aligned to the event's
+// instant.
+func (k *Sharded) Global() *Simulation { return k.global }
+
+// Partition returns member partition i's simulation; events scheduled on
+// it must never touch another partition's state.
+func (k *Sharded) Partition(i int) *Simulation { return k.parts[i] }
+
+// Partitions returns the member partition count.
+func (k *Sharded) Partitions() int { return k.cfg.Partitions }
+
+// Lookahead returns the configured conservative lookahead.
+func (k *Sharded) Lookahead() Duration { return k.cfg.Lookahead }
+
+// Stop makes a Run in progress return as soon as every partition loop
+// observes it (between events — partitions poll it via their interrupt
+// hook, so even an infinite-horizon drain window halts promptly). Safe
+// to call from any goroutine.
+func (k *Sharded) Stop() { k.stop.Store(true) }
+
+// Stopped reports whether Stop has been called since the last Run
+// started.
+func (k *Sharded) Stopped() bool { return k.stop.Load() }
+
+// Now returns the logical clock: the global partition's time, which Run
+// keeps at the last window boundary and aligns with the maximum
+// partition clock when the kernel drains.
+func (k *Sharded) Now() Time { return k.global.Now() }
+
+// minPartitionNext returns the earliest pending member event across all
+// partitions.
+func (k *Sharded) minPartitionNext() (Time, bool) {
+	best, ok := Time(0), false
+	for _, p := range k.parts {
+		if t, has := p.NextEventTime(); has && (!ok || t < best) {
+			best, ok = t, true
+		}
+	}
+	return best, ok
+}
+
+// advance runs every member partition up to horizon (inclusive) on the
+// worker pool and barriers. With align set, every partition clock is
+// also advanced to the horizon — required exactly when the coordinator
+// is about to fire global events at that instant (their callbacks
+// schedule relative work on member simulations) or to sample at an
+// event-justified pause. Without align, partition clocks stay at the
+// last event each fired, so a lookahead- or pause-capped horizon past
+// the final event never inflates the makespan the serial kernel would
+// report. An infinite horizon drains each partition completely.
+// Partitions with nothing to fire are handled inline — an empty queue
+// never stalls the barrier, and aligning an idle partition's clock is a
+// field write.
+func (k *Sharded) advance(horizon Time, align bool) {
+	k.infinite = math.IsInf(float64(horizon), 1)
+	k.horizon = horizon
+	k.align = align && !k.infinite
+	k.inWindow = true
+	for i, p := range k.parts {
+		if next, ok := p.NextEventTime(); !ok || next > horizon {
+			// Nothing fires: align the clock on the coordinator (RunUntil
+			// without events is just the clock assignment) and skip the pool.
+			if k.align {
+				p.RunUntil(horizon)
+			}
+			continue
+		}
+		k.wg.Add(1)
+		k.tasks <- i
+	}
+	k.wg.Wait()
+	k.inWindow = false
+}
+
+// InMemberPhase reports whether member partitions are currently running
+// on the worker pool. Callbacks fired from member events see true;
+// callbacks fired from global events, flushes or pauses see false.
+func (k *Sharded) InMemberPhase() bool { return k.inWindow }
+
+// runWorker is one pool goroutine: it advances the partitions the
+// coordinator hands it until the task channel closes.
+func (k *Sharded) runWorker() {
+	for i := range k.tasks {
+		p := k.parts[i]
+		switch {
+		case k.infinite:
+			p.Run()
+		case k.align:
+			p.RunUntil(k.horizon)
+		default:
+			p.runEventsUntil(k.horizon)
+		}
+		k.wg.Done()
+	}
+}
+
+// flush invokes the caller's mailbox merge, if any.
+func (h RoundHooks) flush(now Time) {
+	if h.Flush != nil {
+		h.Flush(now)
+	}
+}
+
+// nextPause polls the caller's pause schedule, if any.
+func (h RoundHooks) nextPause() (Time, bool) {
+	if h.NextPause == nil {
+		return 0, false
+	}
+	return h.NextPause()
+}
+
+// Run drains every partition using conservative time windows, invoking
+// the hooks at window boundaries, until no events remain anywhere or
+// Stop is called. On a clean drain the global clock is aligned with the
+// maximum partition clock, so Now() reports the same makespan the serial
+// kernel would (the time of the last event fired, or of the last aligned
+// boundary past it). The worker pool exists only for the duration of the
+// call; Run returns with no goroutines left behind.
+func (k *Sharded) Run(h RoundHooks) {
+	k.stop.Store(false)
+	k.tasks = make(chan int, len(k.parts))
+	var workers sync.WaitGroup
+	for w := 0; w < k.cfg.Workers; w++ {
+		workers.Add(1)
+		go func() {
+			defer workers.Done()
+			k.runWorker()
+		}()
+	}
+	defer func() {
+		close(k.tasks)
+		workers.Wait()
+	}()
+
+	for !k.stop.Load() {
+		gNext, gOK := k.global.NextEventTime()
+		mNext, mOK := k.minPartitionNext()
+		if !gOK && !mOK {
+			break
+		}
+		earliest := gNext
+		if !gOK || (mOK && mNext < earliest) {
+			earliest = mNext
+		}
+		if pause, ok := h.nextPause(); ok && earliest >= pause {
+			// Everything strictly before the pause has fired; some event at
+			// or beyond it justifies the pause (exactly the serial sampler's
+			// condition). Align every partition to the instant, fire the
+			// events at exactly it — members first, then global, then any
+			// member events the global ones scheduled there — and hand over.
+			k.advance(pause, true)
+			h.flush(pause)
+			k.global.RunUntil(pause)
+			h.flush(pause)
+			k.advance(pause, true)
+			h.flush(pause)
+			if k.stop.Load() {
+				break
+			}
+			if h.OnPause != nil {
+				h.OnPause(pause)
+			}
+			continue
+		}
+		// Conservative window: members may run past their earliest event by
+		// the lookahead, but never past the next global event (whose
+		// callbacks read member state) or the next pause.
+		horizon := Time(math.Inf(1))
+		if mOK {
+			horizon = mNext.Add(k.cfg.Lookahead)
+		}
+		if gOK && gNext < horizon {
+			horizon = gNext
+		}
+		if pause, ok := h.nextPause(); ok && pause < horizon {
+			horizon = pause
+		}
+		// gNext participates in the min above, so the global fires iff it
+		// IS the horizon; only then do member clocks need aligning to it
+		// (global callbacks schedule relative work on member simulations).
+		globalFires := gOK && gNext <= horizon
+		k.advance(horizon, globalFires)
+		h.flush(horizon)
+		if globalFires {
+			// Fire the global events at exactly gNext (it is the queue
+			// minimum, so RunUntil fires that instant only, including
+			// same-instant cascades) with every member flushed and aligned.
+			k.global.RunUntil(gNext)
+			h.flush(gNext)
+		}
+	}
+
+	if !k.stop.Load() {
+		// Drained: align every clock with the furthest partition so Now()
+		// equals the serial kernel's final clock on ALL partitions — the
+		// serial mode's single clock ends there for every component, and
+		// end-of-run integrals read off partition clocks (idle energy,
+		// utilization denominators) must see the same endpoint. All queues
+		// are empty, so each RunUntil is a clock assignment only.
+		maxNow := k.global.Now()
+		for _, p := range k.parts {
+			if n := p.Now(); n > maxNow {
+				maxNow = n
+			}
+		}
+		for _, p := range k.parts {
+			p.RunUntil(maxNow)
+		}
+		k.global.RunUntil(maxNow)
+	}
+}

@@ -1,0 +1,316 @@
+package simtime
+
+import (
+	"math"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestShardedConfigValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  ShardedConfig
+		want string // substring of the expected error; "" means valid
+	}{
+		{"valid finite", ShardedConfig{Partitions: 2, Workers: 2, Lookahead: 1}, ""},
+		{"valid infinite lookahead", ShardedConfig{Partitions: 2, Workers: 2, Lookahead: Duration(math.Inf(1))}, ""},
+		{"zero lookahead", ShardedConfig{Partitions: 2, Workers: 2, Lookahead: 0}, "lookahead must be > 0"},
+		{"negative lookahead", ShardedConfig{Partitions: 2, Workers: 2, Lookahead: -1}, "lookahead must be > 0"},
+		{"nan lookahead", ShardedConfig{Partitions: 2, Workers: 2, Lookahead: Duration(math.NaN())}, "lookahead must be > 0"},
+		{"zero partitions", ShardedConfig{Partitions: 0, Workers: 1, Lookahead: 1}, "at least 1 partition"},
+		{"zero workers", ShardedConfig{Partitions: 1, Workers: 0, Lookahead: 1}, "at least 1 worker"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			k, err := NewSharded(tc.cfg)
+			if tc.want == "" {
+				if err != nil {
+					t.Fatalf("NewSharded(%+v) = %v, want nil error", tc.cfg, err)
+				}
+				if k == nil {
+					t.Fatal("NewSharded returned nil kernel with nil error")
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("NewSharded(%+v) succeeded, want error containing %q", tc.cfg, tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error = %q, want it to contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestShardedWorkersCappedAtPartitions(t *testing.T) {
+	k, err := NewSharded(ShardedConfig{Partitions: 2, Workers: 64, Lookahead: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.cfg.Workers != 2 {
+		t.Fatalf("workers = %d, want capped to 2", k.cfg.Workers)
+	}
+}
+
+// A partition with an empty event queue must not stall the barrier: the
+// run drains the busy partitions and terminates.
+func TestShardedEmptyPartitionDoesNotStall(t *testing.T) {
+	k, err := NewSharded(ShardedConfig{Partitions: 4, Workers: 4, Lookahead: Duration(math.Inf(1))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fired atomic.Int64
+	// Only partition 0 has work; 1..3 stay empty throughout.
+	for i := 0; i < 10; i++ {
+		k.Partition(0).At(Time(i+1), func() { fired.Add(1) })
+	}
+	done := make(chan struct{})
+	go func() {
+		k.Run(RoundHooks{})
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Run stalled with empty partitions present")
+	}
+	if fired.Load() != 10 {
+		t.Fatalf("fired %d events, want 10", fired.Load())
+	}
+	if k.Now() != 10 {
+		t.Fatalf("Now() = %v, want 10 (max partition clock)", k.Now())
+	}
+}
+
+// The conservative guarantee: a global event fires only after every
+// member event strictly before its instant has fired, and never after a
+// member event beyond it. (Callbacks on *different* member partitions
+// inside one window run concurrently — the total order lives in the
+// flush-time mailbox merge, not in wall-clock callback order.)
+func TestShardedOrderingAcrossPartitions(t *testing.T) {
+	k, err := NewSharded(ShardedConfig{Partitions: 3, Workers: 3, Lookahead: Duration(math.Inf(1))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var memberFired atomic.Int64
+	member := func(p int, at Time) {
+		k.Partition(p).At(at, func() { memberFired.Add(1) })
+	}
+	member(0, 1)
+	member(1, 2)
+	member(2, 3)
+	member(0, 4)
+	member(1, 6)
+	// Global events at 2.5 and 5.5 must see exactly the member events
+	// strictly before them: {1,2} and {1,2,3,4}.
+	var at25, at55 int64
+	k.Global().At(2.5, func() { at25 = memberFired.Load() })
+	k.Global().At(5.5, func() { at55 = memberFired.Load() })
+	k.Run(RoundHooks{})
+	if at25 != 2 {
+		t.Fatalf("global@2.5 saw %d member events, want 2", at25)
+	}
+	if at55 != 4 {
+		t.Fatalf("global@5.5 saw %d member events, want 4", at55)
+	}
+	if memberFired.Load() != 5 {
+		t.Fatalf("fired %d member events total, want 5", memberFired.Load())
+	}
+	if k.Now() != 6 {
+		t.Fatalf("Now() = %v, want 6 (last event time)", k.Now())
+	}
+}
+
+// A cross-partition interaction landing exactly at the window horizon:
+// the global event at gNext schedules member work at the same instant,
+// which must still fire (the post-global phase of the next round picks
+// it up) and in a state where the member already ran to the horizon.
+func TestShardedEventExactlyAtHorizon(t *testing.T) {
+	k, err := NewSharded(ShardedConfig{Partitions: 2, Workers: 2, Lookahead: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var got []string
+	log := func(s string) {
+		mu.Lock()
+		got = append(got, s)
+		mu.Unlock()
+	}
+	// Member 0 has an event exactly at the global event's time (t=3 is
+	// also the horizon min(gNext=3, mNext=2+1)); the global event then
+	// injects a same-instant member event.
+	k.Partition(0).At(2, func() { log("m0@2") })
+	k.Partition(0).At(3, func() { log("m0@3") })
+	k.Global().At(3, func() {
+		log("g@3")
+		k.Partition(1).At(3, func() { log("m1@3-injected") })
+		k.Partition(1).At(4, func() { log("m1@4") })
+	})
+	k.Run(RoundHooks{})
+	want := []string{"m0@2", "m0@3", "g@3", "m1@3-injected", "m1@4"}
+	if len(got) != len(want) {
+		t.Fatalf("events %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("events %v, want %v", got, want)
+		}
+	}
+	if k.Now() != 4 {
+		t.Fatalf("Now() = %v, want 4", k.Now())
+	}
+}
+
+// Flush hooks run at every window boundary with monotone non-decreasing
+// times, and see all member events up to the boundary.
+func TestShardedFlushBoundaries(t *testing.T) {
+	k, err := NewSharded(ShardedConfig{Partitions: 2, Workers: 2, Lookahead: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fired atomic.Int64
+	k.Partition(0).At(1, func() { fired.Add(1) })
+	k.Partition(1).At(5, func() { fired.Add(1) })
+	k.Global().At(10, func() { fired.Add(1) })
+	var flushes []Time
+	last := Time(math.Inf(-1))
+	k.Run(RoundHooks{Flush: func(now Time) {
+		if now < last {
+			t.Fatalf("flush time went backwards: %v after %v", now, last)
+		}
+		last = now
+		flushes = append(flushes, now)
+	}})
+	if fired.Load() != 3 {
+		t.Fatalf("fired %d events, want 3", fired.Load())
+	}
+	if len(flushes) == 0 {
+		t.Fatal("no flushes observed")
+	}
+}
+
+// Pause hooks: the kernel aligns all partitions at each pause instant
+// (justified by a pending event at or beyond it) and calls OnPause, like
+// the serial sampler drive.
+func TestShardedPauseAlignment(t *testing.T) {
+	k, err := NewSharded(ShardedConfig{Partitions: 2, Workers: 2, Lookahead: Duration(math.Inf(1))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 9; i++ {
+		p := k.Partition(i % 2)
+		p.At(Time(i), func() {})
+	}
+	next := Time(4)
+	var pauses []Time
+	k.Run(RoundHooks{
+		NextPause: func() (Time, bool) { return next, true },
+		OnPause: func(now Time) {
+			pauses = append(pauses, now)
+			for _, p := range []*Simulation{k.Global(), k.Partition(0), k.Partition(1)} {
+				if p.Now() != now {
+					t.Fatalf("partition clock %v at pause %v", p.Now(), now)
+				}
+			}
+			next += 4
+		},
+	})
+	// Events run to t=9; pauses at 4 and 8 are justified (events beyond
+	// them exist), 12 is not (queue drained before it).
+	want := []Time{4, 8}
+	if len(pauses) != len(want) {
+		t.Fatalf("pauses %v, want %v", pauses, want)
+	}
+	for i := range want {
+		if pauses[i] != want[i] {
+			t.Fatalf("pauses %v, want %v", pauses, want)
+		}
+	}
+	if k.Now() != 9 {
+		t.Fatalf("Now() = %v, want 9", k.Now())
+	}
+}
+
+// Stop mid-window halts the run promptly — even inside an
+// infinite-horizon drain of a long partition queue — and Run returns
+// with every pool goroutine gone.
+func TestShardedStopMidWindowDrainsGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	k, err := NewSharded(ShardedConfig{Partitions: 4, Workers: 4, Lookahead: Duration(math.Inf(1))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A long self-perpetuating chain on every partition: without Stop
+	// this would fire 4M events.
+	var fired atomic.Int64
+	for i := 0; i < 4; i++ {
+		p := k.Partition(i)
+		var tick func()
+		tick = func() {
+			if fired.Add(1) == 1000 {
+				k.Stop() // triggered from inside a worker-side event
+			}
+			if fired.Load() < 4_000_000 {
+				p.After(0.001, tick)
+			}
+		}
+		p.At(0, tick)
+	}
+	done := make(chan struct{})
+	go func() {
+		k.Run(RoundHooks{})
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(20 * time.Second):
+		t.Fatal("Run did not halt after Stop")
+	}
+	if !k.Stopped() {
+		t.Fatal("Stopped() = false after Stop")
+	}
+	if n := fired.Load(); n >= 4_000_000 {
+		t.Fatalf("fired %d events, Stop did not cut the run short", n)
+	}
+	// The pool must be fully drained: goroutine count returns to the
+	// baseline (allow slack for runtime background goroutines).
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before+2 && time.Now().Before(deadline) {
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before+2 {
+		t.Fatalf("goroutines leaked: %d before, %d after", before, after)
+	}
+}
+
+// A second Run after Stop resets the flag and drains what remains.
+func TestShardedRunAfterStop(t *testing.T) {
+	k, err := NewSharded(ShardedConfig{Partitions: 2, Workers: 2, Lookahead: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Stop()
+	var fired atomic.Int64
+	k.Partition(0).At(1, func() { fired.Add(1) })
+	k.Run(RoundHooks{})
+	if fired.Load() != 1 {
+		t.Fatal("Run after Stop did not reset the stop flag")
+	}
+}
+
+func TestShardedEmptyRun(t *testing.T) {
+	k, err := NewSharded(ShardedConfig{Partitions: 3, Workers: 2, Lookahead: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Run(RoundHooks{})
+	if k.Now() != 0 {
+		t.Fatalf("Now() after empty Run = %v, want 0", k.Now())
+	}
+}

@@ -80,6 +80,11 @@ type Simulation struct {
 	free    []int32 // recycled arena slots
 	nextSeq uint64
 	stopped bool
+	// interrupt, when non-nil, is polled between events by Run/RunUntil;
+	// a true return makes them bail out like Stop. Unlike the stopped
+	// flag it is not cleared on entry, so an external controller (the
+	// sharded kernel's Stop) can halt a loop it does not run on.
+	interrupt func() bool
 }
 
 // New returns an empty simulation with the clock at zero.
@@ -271,6 +276,18 @@ func (s *Simulation) Pending() int { return len(s.heap) }
 // callback finishes. Pending events stay queued.
 func (s *Simulation) Stop() { s.stopped = true }
 
+// SetInterrupt installs a poll the run loops consult between events; a
+// true return makes Run/RunUntil bail out like Stop, but the condition is
+// owned by the caller and survives loop re-entry (Run clears the stopped
+// flag, not the interrupt). The sharded kernel uses this to halt member
+// partition loops from the coordinator mid-window. Passing nil removes
+// the hook; the poll must be safe to call from the goroutine running the
+// loop.
+func (s *Simulation) SetInterrupt(poll func() bool) { s.interrupt = poll }
+
+// interrupted polls the interrupt hook, if any.
+func (s *Simulation) interrupted() bool { return s.interrupt != nil && s.interrupt() }
+
 // step fires the earliest pending event. It reports false when the queue is
 // empty.
 func (s *Simulation) step() bool {
@@ -289,22 +306,42 @@ func (s *Simulation) step() bool {
 	return true
 }
 
-// Run fires events until the queue drains or Stop is called.
+// Run fires events until the queue drains, Stop is called, or the
+// interrupt hook trips.
 func (s *Simulation) Run() {
 	s.stopped = false
-	for !s.stopped && s.step() {
+	for !s.stopped && !s.interrupted() && s.step() {
 	}
 }
 
 // RunUntil fires events with timestamps <= t, then advances the clock to t.
-// Events scheduled after t stay pending.
+// Events scheduled after t stay pending. An interrupt leaves the clock at
+// the last fired event, like Stop.
 func (s *Simulation) RunUntil(t Time) {
 	s.stopped = false
 	for !s.stopped && len(s.heap) > 0 && s.events[s.heap[0]].at <= t {
+		if s.interrupted() {
+			return
+		}
 		s.step()
 	}
 	if !s.stopped && t > s.now {
 		s.now = t
+	}
+}
+
+// runEventsUntil fires every event at or before t but, unlike RunUntil,
+// never advances the clock past the last event fired. The sharded kernel
+// uses it for conservative windows whose horizon is a bound, not an
+// instant anything happens at — overshooting there would inflate the
+// final clock past the serial kernel's makespan.
+func (s *Simulation) runEventsUntil(t Time) {
+	s.stopped = false
+	for !s.stopped && len(s.heap) > 0 && s.events[s.heap[0]].at <= t {
+		if s.interrupted() {
+			return
+		}
+		s.step()
 	}
 }
 
